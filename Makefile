@@ -1,0 +1,28 @@
+.PHONY: all build test bench bench-paper doc clean examples
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-paper:
+	dune exec bench/main.exe -- --paper --no-micro 2>&1 | tee bench_output_paper.txt
+
+examples:
+	@for e in quickstart compiler_demo adaptive_mesh reductions race_detection stale_data dynamic_list; do \
+	  echo "== $$e =="; dune exec examples/$$e.exe; echo; done
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

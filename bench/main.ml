@@ -1,0 +1,205 @@
+(* Full benchmark harness: regenerates every table and figure in the paper's
+   evaluation (Section 6.3) from simulation, prints the Section 6.3 claim
+   checklist and the Section 7 / design ablations, then (optionally) runs
+   Bechamel wall-clock micro-benchmarks of the simulator itself.
+
+     dune exec bench/main.exe            # quick scale (about a minute)
+     dune exec bench/main.exe -- --paper # the paper's full problem sizes
+     dune exec bench/main.exe -- --no-micro   # skip the Bechamel section *)
+
+open Lcm_harness
+
+let scale =
+  if Array.exists (( = ) "--paper") Sys.argv then Experiments.Paper
+  else Experiments.Quick
+
+let run_micro = not (Array.exists (( = ) "--no-micro") Sys.argv)
+
+let machine = Config.default_machine
+
+let section title = Printf.printf "\n############ %s ############\n%!" title
+
+let () =
+  Printf.printf
+    "LCM reproduction harness — %d nodes, %d-word blocks, topology %s, scale %s\n"
+    machine.Config.nnodes machine.Config.words_per_block
+    (Lcm_net.Topology.to_string machine.Config.topology)
+    (match scale with
+    | Experiments.Paper -> "paper"
+    | Experiments.Quick -> "quick"
+    | Experiments.Tiny -> "tiny");
+
+  section "Figure 2: Stencil execution time";
+  let fig2 = Experiments.figure2 ~scale machine in
+  print_string (Report.execution_times ~title:"Figure 2" fig2);
+
+  section "Figure 3: Adaptive / Threshold / Unstructured execution time";
+  let fig3 = Experiments.figure3 ~scale machine in
+  print_string (Report.execution_times ~title:"Figure 3" fig3);
+
+  let rows = fig2 @ fig3 in
+  section "Table 1: cache misses and clean copies";
+  print_string (Report.table1 rows);
+
+  section "Clean-copy memory usage (Section 5.1)";
+  print_string (Report.memory_usage rows);
+
+  section "Message breakdown (what the protocols actually send)";
+  print_string
+    (Report.message_breakdown
+       (List.filter
+          (fun (r : Experiments.row) ->
+            r.Experiments.experiment = "stencil-stat"
+            || r.Experiments.experiment = "threshold")
+          rows));
+
+  section "Differential validation";
+  print_string (Report.agreement rows);
+
+  section "Section 6.3 claims";
+  print_string (Report.claims (Experiments.claims rows));
+
+  section "Ablation: reductions (Section 7.1)";
+  print_string
+    (Report.generic ~title:"global sum, 3 implementations"
+       (Experiments.ablation_reduction machine));
+
+  section "Ablation: false sharing (Section 7.4)";
+  print_string
+    (Report.generic ~title:"falsely-shared blocks"
+       (Experiments.ablation_false_sharing machine));
+
+  section "Ablation: stale data (Section 7.5)";
+  print_string
+    (Report.generic ~title:"N-body with stale remote bodies"
+       (Experiments.ablation_stale machine));
+
+  section "Ablation: clean-copy placement vs block reuse (scc vs mcc)";
+  print_string
+    (Report.generic ~title:"stencil across words-per-block"
+       (Experiments.ablation_block_reuse machine));
+
+  section "Ablation: scheduling sensitivity";
+  print_string
+    (Report.generic ~title:"stencil across schedules"
+       (Experiments.ablation_schedule machine));
+
+  section "Ablation: interconnect topology";
+  print_string
+    (Report.generic ~title:"dynamic stencil across interconnects"
+       (Experiments.ablation_topology machine));
+
+  section "Ablation: weak scaling";
+  print_string
+    (Report.generic ~title:"stencil, fixed per-node band, growing machine"
+       (Experiments.ablation_scaling machine));
+
+  section "Ablation: cost-model sensitivity";
+  print_string
+    (Report.generic ~title:"stencil with communication costs scaled"
+       (Experiments.ablation_cost_sensitivity machine));
+
+  section "Ablation: run-time violation detection cost (Sections 7.2-7.3)";
+  print_string
+    (Report.generic ~title:"stencil under LCM-mcc with detection modes"
+       (Experiments.ablation_detection machine));
+
+  section "Ablation: invalidate- vs update-based reconciliation (Section 3)";
+  print_string
+    (Report.generic ~title:"stencil under LCM-mcc vs LCM-mcc-update"
+       (Experiments.ablation_update machine));
+
+  section "Ablation: reconciliation barrier organisation (Section 5.1)";
+  print_string
+    (Report.generic ~title:"flat coordinator vs combining tree"
+       (Experiments.ablation_barrier machine));
+
+  section "Ablation: cache capacity (Stache, static stencil)";
+  print_string
+    (Report.generic ~title:"stencil-stat under finite caches"
+       (Experiments.ablation_capacity machine));
+
+  if not (Report.all_agree rows) then begin
+    prerr_endline "FATAL: protocols disagreed on results";
+    exit 1
+  end;
+
+  (* machine-readable export next to the build *)
+  let csv = Report.to_csv rows in
+  let path = "lcm_results.csv" in
+  let oc = open_out path in
+  output_string oc csv;
+  close_out oc;
+  Printf.printf "\n(wrote %s)\n" path;
+
+  (* ---------------------------------------------------------------- *)
+  (* Bechamel wall-clock micro-benchmarks of the simulator itself      *)
+  (* ---------------------------------------------------------------- *)
+  if run_micro then begin
+    section "Bechamel: simulator wall-clock micro-benchmarks";
+    let open Bechamel in
+    let open Toolkit in
+    let small = { machine with Config.nnodes = 8 } in
+    let bench_system name system schedule run =
+      Test.make ~name
+        (Staged.stage (fun () ->
+             let rt = Config.make_runtime small system ~schedule in
+             ignore (run rt)))
+    in
+    let sp = { Lcm_apps.Stencil.n = 24; iters = 2; work_per_cell = 4 } in
+    let tp = { Lcm_apps.Threshold.n = 24; iters = 2; threshold = 0.5; work_per_cell = 4 } in
+    let up =
+      { Lcm_apps.Unstructured.nodes = 64; edges = 256; iters = 4; seed = 11; work_per_node = 6 }
+    in
+    let ap =
+      {
+        Lcm_apps.Adaptive.n = 8;
+        iters = 3;
+        max_depth = 2;
+        subdiv_threshold = 2.0;
+        arena_per_node = 256;
+        work_per_cell = 6;
+      }
+    in
+    let tests =
+      [
+        (* one Test.make per table/figure cell family *)
+        bench_system "figure2/stencil-stat-mcc" Config.lcm_mcc
+          Lcm_cstar.Schedule.Static (fun rt -> Lcm_apps.Stencil.run rt sp);
+        bench_system "figure2/stencil-dyn-stache" Config.stache
+          (Lcm_cstar.Schedule.Dynamic_random 5) (fun rt -> Lcm_apps.Stencil.run rt sp);
+        bench_system "figure3/adaptive-mcc" Config.lcm_mcc
+          Lcm_cstar.Schedule.Static (fun rt -> Lcm_apps.Adaptive.run rt ap);
+        bench_system "figure3/threshold-mcc" Config.lcm_mcc
+          Lcm_cstar.Schedule.Static (fun rt -> Lcm_apps.Threshold.run rt tp);
+        bench_system "figure3/unstructured-scc" Config.lcm_scc
+          Lcm_cstar.Schedule.Static (fun rt -> Lcm_apps.Unstructured.run rt up);
+        bench_system "table1/stencil-scc" Config.lcm_scc
+          Lcm_cstar.Schedule.Static (fun rt -> Lcm_apps.Stencil.run rt sp);
+      ]
+    in
+    let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+    let instances = Instance.[ monotonic_clock ] in
+    let ols =
+      Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+    in
+    List.iter
+      (fun test ->
+        List.iter
+          (fun elt ->
+            let raw = Benchmark.run cfg instances elt in
+            let est = Analyze.one ols Instance.monotonic_clock raw in
+            let ns =
+              match Analyze.OLS.estimates est with
+              | Some [ e ] -> e
+              | Some _ | None -> nan
+            in
+            Printf.printf "%-32s %12.0f ns/run  (r²=%s)\n%!" (Test.Elt.name elt)
+              ns
+              (match Analyze.OLS.r_square est with
+              | Some r -> Printf.sprintf "%.3f" r
+              | None -> "n/a"))
+          (Test.elements test))
+      tests
+  end;
+  print_endline "\nbench: done."

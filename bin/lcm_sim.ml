@@ -1,0 +1,291 @@
+(* lcm_sim — run any benchmark under any memory system.
+
+     lcm_sim stencil --system mcc --schedule random:5 --size 256 --iters 20
+     lcm_sim adaptive --system stache --nodes 16 --stats
+     lcm_sim reduce --variant serialized
+     lcm_sim nbody --refresh 4
+
+   Prints the Bench_result line; --stats dumps every counter. *)
+
+open Cmdliner
+open Lcm_harness
+open Lcm_apps
+
+let system_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Config.system_of_string s) in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf s.Config.label)
+
+let schedule_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Lcm_cstar.Schedule.of_string s)
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Lcm_cstar.Schedule.to_string s))
+
+let topology_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Lcm_net.Topology.of_string s) in
+  Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Lcm_net.Topology.to_string t))
+
+let system_arg =
+  Arg.(value & opt system_conv Config.lcm_mcc & info [ "system"; "p" ] ~docv:"SYSTEM"
+         ~doc:"Memory system: stache, lcm-scc or lcm-mcc.")
+
+let schedule_arg =
+  Arg.(value & opt schedule_conv Lcm_cstar.Schedule.Static
+       & info [ "schedule"; "s" ] ~docv:"SCHED"
+           ~doc:"Invocation schedule: static, rotate or random:SEED.")
+
+let nodes_arg =
+  Arg.(value & opt int 32 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Processor count.")
+
+let topology_arg =
+  Arg.(value & opt topology_conv (Lcm_net.Topology.Fat_tree { arity = 4 })
+       & info [ "topology" ] ~docv:"TOPO" ~doc:"crossbar, mesh:COLS or fattree:ARITY.")
+
+let size_arg default =
+  Arg.(value & opt int default & info [ "size" ] ~docv:"SIZE" ~doc:"Problem size.")
+
+let iters_arg default =
+  Arg.(value & opt int default & info [ "iters" ] ~docv:"ITERS" ~doc:"Iterations.")
+
+let capacity_arg =
+  Arg.(value & opt (some int) None
+       & info [ "capacity" ] ~docv:"BLOCKS" ~doc:"Finite per-node cache, in blocks.")
+
+let barrier_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Lcm_core.Barrier.of_string s) in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Lcm_core.Barrier.to_string b))
+
+let barrier_arg =
+  Arg.(value & opt barrier_conv Lcm_core.Barrier.Constant
+       & info [ "barrier" ] ~docv:"STYLE"
+           ~doc:"Reconciliation barrier: constant, flat or tree:ARITY.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Dump all simulation counters.")
+
+let paper_arg =
+  Arg.(value & flag & info [ "paper-scale" ] ~doc:"Use the paper's problem sizes.")
+
+let make_runtime ?barrier system schedule nodes topology capacity =
+  let machine =
+    {
+      Config.default_machine with
+      Config.nnodes = nodes;
+      topology;
+      capacity_blocks = capacity;
+    }
+  in
+  Config.make_runtime ?barrier machine system ~schedule
+
+let report rt dump_stats (r : Bench_result.t) =
+  Format.printf "%a@." Bench_result.pp r;
+  if dump_stats then
+    Format.printf "%a" Lcm_util.Stats.pp (Lcm_cstar.Runtime.stats rt)
+
+let simple_bench name ~default_size ~default_iters ~run_fn =
+  let run system schedule nodes topology capacity barrier size iters stats paper =
+    let rt = make_runtime ~barrier system schedule nodes topology capacity in
+    report rt stats (run_fn rt ~size ~iters ~paper)
+  in
+  let term =
+    Term.(
+      const run $ system_arg $ schedule_arg $ nodes_arg $ topology_arg
+      $ capacity_arg $ barrier_arg $ size_arg default_size
+      $ iters_arg default_iters $ stats_arg $ paper_arg)
+  in
+  Cmd.v (Cmd.info name ~doc:(Printf.sprintf "Run the %s benchmark." name)) term
+
+let stencil_cmd =
+  simple_bench "stencil" ~default_size:128 ~default_iters:10
+    ~run_fn:(fun rt ~size ~iters ~paper ->
+      let p =
+        if paper then Stencil.paper
+        else { Stencil.n = size; iters; work_per_cell = 4 }
+      in
+      Stencil.run rt p)
+
+let threshold_cmd =
+  simple_bench "threshold" ~default_size:128 ~default_iters:10
+    ~run_fn:(fun rt ~size ~iters ~paper ->
+      let p =
+        if paper then Threshold.paper
+        else { Threshold.n = size; iters; threshold = 0.5; work_per_cell = 4 }
+      in
+      Threshold.run rt p)
+
+let adaptive_cmd =
+  simple_bench "adaptive" ~default_size:32 ~default_iters:16
+    ~run_fn:(fun rt ~size ~iters ~paper ->
+      let p =
+        if paper then Adaptive.paper
+        else
+          {
+            Adaptive.n = size;
+            iters;
+            max_depth = 3;
+            subdiv_threshold = 2.0;
+            arena_per_node = 4096;
+            work_per_cell = 6;
+          }
+      in
+      Adaptive.run rt p)
+
+let sor_cmd =
+  simple_bench "sor" ~default_size:50 ~default_iters:8
+    ~run_fn:(fun rt ~size ~iters ~paper ->
+      ignore paper;
+      Sor.run rt { Sor.n = size; iters; omega = 1.5; work_per_cell = 4 })
+
+let unstructured_cmd =
+  simple_bench "unstructured" ~default_size:256 ~default_iters:64
+    ~run_fn:(fun rt ~size ~iters ~paper ->
+      let p =
+        if paper then Unstructured.paper
+        else
+          { Unstructured.nodes = size; edges = size * 4; iters; seed = 11; work_per_node = 6 }
+      in
+      Unstructured.run rt p)
+
+let reduce_cmd =
+  let variant_conv =
+    let parse = function
+      | "rsm" | "rsm-reconcile" -> Ok `Rsm_reconcile
+      | "manual" | "manual-partials" -> Ok `Manual_partials
+      | "serialized" -> Ok `Serialized
+      | s -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+    in
+    Arg.conv (parse, fun ppf v -> Format.pp_print_string ppf (Reduce_demo.variant_name v))
+  in
+  let variant_arg =
+    Arg.(value & opt variant_conv `Rsm_reconcile
+         & info [ "variant" ] ~docv:"V" ~doc:"rsm, manual or serialized.")
+  in
+  let run variant nodes topology size stats =
+    let system =
+      match variant with `Rsm_reconcile -> Config.lcm_mcc | _ -> Config.stache
+    in
+    let rt = make_runtime system Lcm_cstar.Schedule.Static nodes topology None in
+    report rt stats (Reduce_demo.run rt variant { Reduce_demo.n = size; per_add_work = 2 })
+  in
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Global-reduction demo (paper section 7.1).")
+    Term.(const run $ variant_arg $ nodes_arg $ topology_arg $ size_arg 8192 $ stats_arg)
+
+let false_sharing_cmd =
+  let run system nodes topology size iters stats =
+    let rt = make_runtime system Lcm_cstar.Schedule.Static nodes topology None in
+    report rt stats (False_sharing.run rt { False_sharing.blocks = size; rounds = iters })
+  in
+  Cmd.v
+    (Cmd.info "false-sharing" ~doc:"False-sharing demo (paper section 7.4).")
+    Term.(
+      const run $ system_arg $ nodes_arg $ topology_arg $ size_arg 64
+      $ iters_arg 20 $ stats_arg)
+
+let nbody_cmd =
+  let refresh_arg =
+    Arg.(value & opt (some int) None
+         & info [ "refresh" ] ~docv:"K"
+             ~doc:"Refresh stale copies every K iterations (omit for fresh).")
+  in
+  let run refresh nodes topology size iters stats =
+    let rt = make_runtime Config.lcm_mcc Lcm_cstar.Schedule.Static nodes topology None in
+    let mode = match refresh with None -> `Fresh | Some k -> `Stale k in
+    report rt stats
+      (Nbody_stale.run rt mode { Nbody_stale.bodies = size; iters; work_per_body = 2 })
+  in
+  Cmd.v
+    (Cmd.info "nbody" ~doc:"Stale-data demo (paper section 7.5).")
+    Term.(
+      const run $ refresh_arg $ nodes_arg $ topology_arg $ size_arg 512
+      $ iters_arg 16 $ stats_arg)
+
+let synthetic_cmd =
+  let sharing_conv =
+    let parse s = Result.map_error (fun e -> `Msg e) (Lcm_apps.Synthetic.sharing_of_string s) in
+    Arg.conv
+      (parse, fun ppf s -> Format.pp_print_string ppf (Lcm_apps.Synthetic.sharing_to_string s))
+  in
+  let sharing_arg =
+    Arg.(value & opt sharing_conv `Neighbour
+         & info [ "sharing" ] ~docv:"PATTERN"
+             ~doc:"private, neighbour, random or hot:BLOCKS.")
+  in
+  let reads_arg =
+    Arg.(value & opt float 0.75
+         & info [ "reads" ] ~docv:"FRACTION" ~doc:"Fraction of ops that read.")
+  in
+  let run system schedule nodes topology sharing reads size iters stats =
+    let rt = make_runtime system schedule nodes topology None in
+    let p =
+      {
+        Synthetic.default with
+        Synthetic.blocks_per_node = size;
+        phases = iters;
+        sharing;
+        read_fraction = reads;
+      }
+    in
+    report rt stats (Synthetic.run rt p)
+  in
+  Cmd.v
+    (Cmd.info "synthetic" ~doc:"Configurable synthetic sharing workload.")
+    Term.(
+      const run $ system_arg $ schedule_arg $ nodes_arg $ topology_arg
+      $ sharing_arg $ reads_arg $ size_arg 8 $ iters_arg 4 $ stats_arg)
+
+let info_cmd =
+  let run () =
+    let m = Config.default_machine in
+    let c = m.Config.costs in
+    Printf.printf "default machine: %d nodes, %d-word blocks, topology %s\n"
+      m.Config.nnodes m.Config.words_per_block
+      (Lcm_net.Topology.to_string m.Config.topology);
+    Printf.printf "systems: stache | lcm-scc | lcm-mcc | lcm-mcc-update\n\n";
+    Printf.printf "cost model (cycles):\n";
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-22s %d\n" k v)
+      [
+        ("cpu_op", c.Lcm_sim.Costs.cpu_op);
+        ("compute_unit", c.Lcm_sim.Costs.compute_unit);
+        ("fault_trap", c.Lcm_sim.Costs.fault_trap);
+        ("handler_occupancy", c.Lcm_sim.Costs.handler_occupancy);
+        ("msg_fixed", c.Lcm_sim.Costs.msg_fixed);
+        ("msg_per_hop", c.Lcm_sim.Costs.msg_per_hop);
+        ("msg_per_word", c.Lcm_sim.Costs.msg_per_word);
+        ("block_install", c.Lcm_sim.Costs.block_install);
+        ("hw_miss", c.Lcm_sim.Costs.hw_miss);
+        ("local_copy", c.Lcm_sim.Costs.local_copy);
+        ("barrier_base", c.Lcm_sim.Costs.barrier_base);
+        ("barrier_per_node", c.Lcm_sim.Costs.barrier_per_node);
+        ("sched_dequeue", c.Lcm_sim.Costs.sched_dequeue);
+        ("invocation_overhead", c.Lcm_sim.Costs.invocation_overhead);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print the default machine and cost model.")
+    Term.(const run $ const ())
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "lcm_sim" ~version:"1.0"
+      ~doc:"Run LCM/RSM paper benchmarks on the simulated multiprocessor."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            stencil_cmd;
+            threshold_cmd;
+            adaptive_cmd;
+            unstructured_cmd;
+            sor_cmd;
+            reduce_cmd;
+            false_sharing_cmd;
+            nbody_cmd;
+            synthetic_cmd;
+            info_cmd;
+          ]))

@@ -1,0 +1,40 @@
+(** Synthetic workload generator for protocol exploration.
+
+    Generates phase-structured workloads with a controllable sharing
+    pattern: every invocation writes elements of its own partition
+    (conflict-free, so all memory systems must compute identical results)
+    and reads according to [sharing]:
+
+    - [`Private]: reads stay in the invocation's partition — no
+      communication beyond cold misses;
+    - [`Neighbour]: reads span the two adjacent partitions — boundary
+      sharing, like a stencil;
+    - [`Random]: reads scatter uniformly — like an irregular graph code;
+    - [`Hot n]: most reads hit a small hot set of [n] blocks — contended
+      shared state.
+
+    Useful both as a CLI exploration tool ([lcm_sim synthetic ...]) and as
+    a fuzzing substrate for protocol tests. *)
+
+type sharing = [ `Private | `Neighbour | `Random | `Hot of int ]
+
+type params = {
+  blocks_per_node : int;  (** partition size, in blocks *)
+  phases : int;
+  invocations_per_node : int;  (** per phase *)
+  ops_per_invocation : int;
+  read_fraction : float;  (** probability an op is a read, in [0,1] *)
+  sharing : sharing;
+  seed : int;
+}
+
+val default : params
+
+val sharing_of_string : string -> (sharing, string) result
+(** ["private"], ["neighbour"], ["random"], ["hot:<blocks>"]. *)
+
+val sharing_to_string : sharing -> string
+
+val run : Lcm_cstar.Runtime.t -> params -> Bench_result.t
+(** Deterministic in [params] and the runtime's schedule; the checksum is
+    identical across memory systems. *)

@@ -1,0 +1,31 @@
+(** Records produced by reconcile-time semantic-violation detection.
+
+    Sections 7.2–7.3 of the paper: because LCM already tracks which words
+    each processor modified, reconciliation can detect (a) two invocations
+    writing the same word — a write/write conflict that violates C\*\*'s
+    "exactly one modified value" guarantee or Steele's no-conflicting-
+    side-effects semantics — and (b) a block both read and written during
+    the same parallel phase — a read/write race under more traditional
+    semantics.
+
+    {b Limitation}: accesses a node makes to blocks homed on itself hit
+    local memory without raising a protocol request, so reads by the home
+    node are invisible to race detection (write/write detection is
+    unaffected — every modified copy flushes through reconciliation).  The
+    paper's scheme has the same property unless home pages are also tagged
+    to fault locally. *)
+
+type conflict = {
+  block : int;  (** global block number *)
+  words : Lcm_util.Mask.t;  (** word indices written by more than one copy *)
+  writer : int;  (** the node whose flush collided *)
+}
+
+type race = {
+  block : int;
+  readers : int list;  (** nodes that read the block during the phase *)
+}
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+val pp_race : Format.formatter -> race -> unit

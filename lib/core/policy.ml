@@ -1,0 +1,44 @@
+type write_grant = Exclusive | Lcm_copy
+
+type t = {
+  name : string;
+  parallel_write_grant : write_grant;
+  local_clean_copies : bool;
+  update_on_reconcile : bool;
+}
+
+let stache =
+  {
+    name = "stache";
+    parallel_write_grant = Exclusive;
+    local_clean_copies = false;
+    update_on_reconcile = false;
+  }
+
+let lcm_scc =
+  {
+    name = "lcm-scc";
+    parallel_write_grant = Lcm_copy;
+    local_clean_copies = false;
+    update_on_reconcile = false;
+  }
+
+let lcm_mcc =
+  {
+    name = "lcm-mcc";
+    parallel_write_grant = Lcm_copy;
+    local_clean_copies = true;
+    update_on_reconcile = false;
+  }
+
+let lcm_mcc_update = { lcm_mcc with name = "lcm-mcc-update"; update_on_reconcile = true }
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "stache" -> Ok stache
+  | "lcm-scc" | "scc" -> Ok lcm_scc
+  | "lcm-mcc" | "mcc" -> Ok lcm_mcc
+  | "lcm-mcc-update" | "mcc-update" | "update" -> Ok lcm_mcc_update
+  | other -> Error (Printf.sprintf "unknown protocol %S" other)
+
+let is_lcm p = p.parallel_write_grant = Lcm_copy

@@ -1,0 +1,62 @@
+(** Reconcilable Shared Memory policies.
+
+    Section 3 of the paper defines RSM as a family of protocols that differ
+    in exactly two program-controlled decisions:
+
+    + the action taken in response to a {e request} for a location — in
+      particular, whether a write request receives an exclusive copy (after
+      invalidating all others, as in conventional coherent memory) or an
+      {e LCM copy} that is private, writable and allowed to coexist with
+      other writable copies; and
+    + how multiple returned copies are {e reconciled} at the home —
+      overwrite for exclusive copies, per-word last-writer-wins or a
+      registered {!Reduction.t} for LCM copies.
+
+    A {!t} captures the request-side decisions; the reconcile side is the
+    per-region reduction registry held by the protocol engine.  The three
+    systems measured in the paper are {!stache}, {!lcm_scc} and
+    {!lcm_mcc}. *)
+
+type write_grant =
+  | Exclusive
+      (** sequentially-consistent behaviour: one writable copy at a time *)
+  | Lcm_copy
+      (** loosely-coherent behaviour: a private inconsistent copy;
+          memory reconciles at the next [reconcile_copies] *)
+
+type t = {
+  name : string;
+  parallel_write_grant : write_grant;
+      (** what a write fault during a parallel phase receives *)
+  local_clean_copies : bool;
+      (** LCM-mcc: marking nodes snapshot a local clean copy and restore
+          from it after a flush, preserving locality; LCM-scc and Stache
+          keep clean copies only at the home *)
+  update_on_reconcile : bool;
+      (** reconciliation pushes the new value to outstanding read-only
+          copies instead of invalidating them — the update-based member of
+          the RSM family ("update-based systems reconcile ... by assigning
+          the new value to all copies", §3).  Costs a data message per copy
+          at reconcile time but saves the re-fetch when consumers
+          re-reference. *)
+}
+
+val stache : t
+(** The baseline: user-level sequentially-consistent directory protocol
+    (Reinhardt et al.'s Stache), expressed as the degenerate RSM policy. *)
+
+val lcm_scc : t
+(** LCM with a single clean copy at the block's home node. *)
+
+val lcm_mcc : t
+(** LCM with clean copies on every node that obtains a marked block. *)
+
+val lcm_mcc_update : t
+(** LCM-mcc with update-based reconciliation: outstanding read-only copies
+    of modified blocks are refreshed in place at [reconcile_copies] rather
+    than invalidated. *)
+
+val of_string : string -> (t, string) result
+(** Accepts ["stache"], ["lcm-scc"], ["lcm-mcc"], ["lcm-mcc-update"]. *)
+
+val is_lcm : t -> bool

@@ -1,0 +1,60 @@
+type request_policy = Exclusive_writer | Private_copies
+
+type clean_copy_placement = Home_only | All_caching_nodes
+
+type outstanding_copies = Invalidate | Update
+
+type reconcile_policy = {
+  placement : clean_copy_placement;
+  outstanding : outstanding_copies;
+}
+
+let instantiate ~request ~reconcile =
+  let grant =
+    match request with
+    | Exclusive_writer -> Policy.Exclusive
+    | Private_copies -> Policy.Lcm_copy
+  in
+  let local = reconcile.placement = All_caching_nodes in
+  let update = reconcile.outstanding = Update in
+  let name =
+    match (request, reconcile.placement, reconcile.outstanding) with
+    | Exclusive_writer, Home_only, Invalidate -> "stache"
+    | Private_copies, Home_only, Invalidate -> "lcm-scc"
+    | Private_copies, All_caching_nodes, Invalidate -> "lcm-mcc"
+    | Private_copies, All_caching_nodes, Update -> "lcm-mcc-update"
+    | Private_copies, Home_only, Update -> "lcm-scc-update"
+    | Exclusive_writer, _, _ -> "stache-variant"
+  in
+  {
+    Policy.name;
+    parallel_write_grant = grant;
+    local_clean_copies = local;
+    update_on_reconcile = update;
+  }
+
+let classify (p : Policy.t) =
+  let request =
+    match p.Policy.parallel_write_grant with
+    | Policy.Exclusive -> Exclusive_writer
+    | Policy.Lcm_copy -> Private_copies
+  in
+  let placement = if p.Policy.local_clean_copies then All_caching_nodes else Home_only in
+  let outstanding = if p.Policy.update_on_reconcile then Update else Invalidate in
+  (request, { placement; outstanding })
+
+let stache =
+  instantiate ~request:Exclusive_writer
+    ~reconcile:{ placement = Home_only; outstanding = Invalidate }
+
+let lcm_scc =
+  instantiate ~request:Private_copies
+    ~reconcile:{ placement = Home_only; outstanding = Invalidate }
+
+let lcm_mcc =
+  instantiate ~request:Private_copies
+    ~reconcile:{ placement = All_caching_nodes; outstanding = Invalidate }
+
+let lcm_mcc_update =
+  instantiate ~request:Private_copies
+    ~reconcile:{ placement = All_caching_nodes; outstanding = Update }

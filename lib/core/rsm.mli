@@ -1,0 +1,53 @@
+(** The RSM design space, as the paper frames it.
+
+    Section 3 defines Reconcilable Shared Memory as a {e family} of
+    protocols that differ in two program-controlled decisions: the
+    response to a request for a location, and the way returned copies
+    reconcile.  This module exposes those two axes literally and maps any
+    point in the space onto a runnable {!Policy.t}:
+
+    - {b request axis}: does a write request receive the single writable
+      copy (invalidating all others — conventional coherence), or a
+      private copy that coexists with other writable copies (LCM)?
+    - {b reconcile axis}: where do clean copies live (home only, or on
+      every caching node), and do outstanding read-only copies get
+      invalidated or updated when reconciliation produces a new value?
+
+    The paper's measured systems are three points in this space; the
+    corner cases compose freely ([instantiate] accepts all eight). *)
+
+type request_policy =
+  | Exclusive_writer
+      (** sequentially-consistent: one writable copy at a time *)
+  | Private_copies
+      (** loosely-coherent: writers get private copies, reconciled later *)
+
+type clean_copy_placement =
+  | Home_only  (** LCM-scc *)
+  | All_caching_nodes  (** LCM-mcc *)
+
+type outstanding_copies =
+  | Invalidate  (** reconciliation invalidates read-only copies *)
+  | Update  (** reconciliation refreshes them in place *)
+
+type reconcile_policy = {
+  placement : clean_copy_placement;
+  outstanding : outstanding_copies;
+}
+
+val instantiate : request:request_policy -> reconcile:reconcile_policy -> Policy.t
+(** A runnable policy for any point in the space.  Note the placement and
+    update knobs only take effect under [Private_copies]; with
+    [Exclusive_writer] reconciliation degenerates to overwrite-at-home, as
+    Section 3 observes of conventional shared memory. *)
+
+val classify : Policy.t -> request_policy * reconcile_policy
+(** The coordinates of an existing policy in the RSM space. *)
+
+val stache : Policy.t
+(** [instantiate Exclusive_writer {Home_only; Invalidate}] =
+    {!Policy.stache}. *)
+
+val lcm_scc : Policy.t
+val lcm_mcc : Policy.t
+val lcm_mcc_update : Policy.t

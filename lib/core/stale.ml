@@ -1,0 +1,5 @@
+type Lcm_tempest.Memeff.dir += Pin_stale of int | Refresh of int
+
+let pin addr = Lcm_tempest.Memeff.directive (Pin_stale addr)
+
+let refresh addr = Lcm_tempest.Memeff.directive (Refresh addr)

@@ -1,0 +1,24 @@
+(** Stale-data directives (Section 7.5 of the paper).
+
+    In applications like N-body simulation, a consumer can tolerate old
+    values of remote data for many iterations.  [pin addr] asks the memory
+    system to keep the local read-only copy of the containing block even
+    when reconciliation would invalidate it; reads keep hitting the stale
+    copy at full speed.  [refresh addr] drops the pinned copy, so the next
+    reference fetches the producer's latest reconciled value ("the consumer
+    can simply flush the block; the next reference will bring its latest
+    value back into the cache"). *)
+
+type Lcm_tempest.Memeff.dir +=
+  | Pin_stale of int
+      (** Keep the local copy of the block containing this address across
+          invalidations until refreshed. *)
+  | Refresh of int
+      (** Drop the local (possibly pinned and stale) copy of the block
+          containing this address. *)
+
+val pin : int -> unit
+(** Perform the {!Pin_stale} directive from fiber code. *)
+
+val refresh : int -> unit
+(** Perform the {!Refresh} directive from fiber code. *)

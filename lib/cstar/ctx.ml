@@ -1,0 +1,3 @@
+type t = { index : int; node : int; iter : int }
+
+let make ~index ~node ~iter = { index; node; iter }

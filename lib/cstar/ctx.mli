@@ -1,0 +1,14 @@
+(** Per-invocation context.
+
+    A parallel function invocation receives a {!t} carrying C\*\*'s
+    pseudo-variables ([#0], and [#0]/[#1] for two-dimensional applications)
+    plus the node it runs on and the current iteration — the pieces of
+    ambient state the runtime knows and the function body may need. *)
+
+type t = {
+  index : int;  (** flattened invocation index ([#0] for 1-D applies) *)
+  node : int;  (** node executing this invocation *)
+  iter : int;  (** the caller's iteration counter *)
+}
+
+val make : index:int -> node:int -> iter:int -> t

@@ -1,0 +1,100 @@
+module Proto = Lcm_core.Proto
+module Machine = Lcm_tempest.Machine
+module Memeff = Lcm_tempest.Memeff
+
+type strategy = Lcm_directives | Explicit_copy
+
+type t = {
+  proto : Proto.t;
+  strategy : strategy;
+  schedule : Schedule.t;
+  flush_between : bool;
+  chunks_per_node : int;
+}
+
+let create proto ~strategy ~schedule ?(flush_between = true)
+    ?(chunks_per_node = 1) () =
+  if chunks_per_node <= 0 then
+    invalid_arg "Runtime.create: chunks_per_node must be positive";
+  { proto; strategy; schedule; flush_between; chunks_per_node }
+
+let proto t = t.proto
+let machine t = Proto.machine t.proto
+let strategy t = t.strategy
+
+let agg_strategy t =
+  match t.strategy with
+  | Lcm_directives -> Agg.Lcm
+  | Explicit_copy -> Agg.Double_buffered
+
+let alloc2d t ~rows ~cols ~dist =
+  Agg.create t.proto ~strategy:(agg_strategy t) ~rows ~cols ~dist
+
+let alloc1d t ~n ~dist = Agg.create1d t.proto ~strategy:(agg_strategy t) ~n ~dist
+
+let reducer t ~op ~init = Reducer.create t.proto ~strategy:(agg_strategy t) ~op ~init
+
+let stats t = Machine.stats (machine t)
+
+let elapsed t = Machine.max_clock (machine t)
+
+let sequential t ?(node = 0) f =
+  let mach = machine t in
+  Machine.spawn mach (Machine.node mach node) f;
+  Machine.run_to_quiescence mach;
+  Machine.set_all_clocks mach (Machine.max_clock mach)
+
+let parallel_apply t ?(iter = 0) ?(reducers = []) ?flush_between ?schedule ~n
+    body =
+  let mach = machine t in
+  let nnodes = Machine.nnodes mach in
+  let costs = Machine.costs mach in
+  let started = Machine.max_clock mach in
+  Proto.begin_parallel t.proto;
+  let schedule = Option.value schedule ~default:t.schedule in
+  let nchunks = max 1 (min n (nnodes * t.chunks_per_node)) in
+  let ranges = Schedule.chunks ~n ~nchunks in
+  let assignment = Schedule.assign schedule ~iter ~nnodes ~nchunks in
+  let dynamic = Schedule.is_dynamic schedule in
+  let emit_flush =
+    Option.value flush_between ~default:t.flush_between
+    && t.strategy = Lcm_directives
+  in
+  for nid = 0 to nnodes - 1 do
+    let my_chunks =
+      List.filter (fun c -> assignment.(c) = nid) (List.init nchunks Fun.id)
+    in
+    if my_chunks <> [] then
+      Machine.spawn mach (Machine.node mach nid) (fun () ->
+          List.iter
+            (fun c ->
+              if dynamic then Memeff.work costs.Lcm_sim.Costs.sched_dequeue;
+              let lo, hi = ranges.(c) in
+              for index = lo to hi - 1 do
+                Memeff.yield ();
+                Memeff.work costs.Lcm_sim.Costs.invocation_overhead;
+                body (Ctx.make ~index ~node:nid ~iter);
+                if emit_flush then Memeff.directive Memeff.Flush_copies
+              done)
+            my_chunks)
+  done;
+  Machine.run_to_quiescence mach;
+  Proto.reconcile t.proto;
+  (* The explicit-copy strategy folds reduction partials sequentially, as
+     hand-written code would after the parallel loop. *)
+  (match t.strategy with
+  | Explicit_copy when reducers <> [] ->
+    sequential t (fun () -> List.iter Reducer.finalize reducers)
+  | Explicit_copy | Lcm_directives -> ());
+  let finished = Machine.max_clock mach in
+  Lcm_util.Stats.incr (stats t) "cstar.parallel_calls";
+  Lcm_util.Stats.add (stats t) "cstar.invocations" n;
+  Lcm_util.Stats.observe (stats t) "cstar.phase_cycles"
+    (float_of_int (finished - started))
+
+let parallel_apply_2d t ?iter ?reducers ?flush_between ?schedule ~rows ~cols
+    body =
+  parallel_apply t ?iter ?reducers ?flush_between ?schedule ~n:(rows * cols)
+    (fun ctx ->
+      let i = ctx.Ctx.index / cols and j = ctx.Ctx.index mod cols in
+      body ctx i j)

@@ -1,0 +1,51 @@
+type t = Static | Dynamic_rotate | Dynamic_random of int
+
+let chunks ~n ~nchunks =
+  if nchunks <= 0 then invalid_arg "Schedule.chunks: nchunks must be positive";
+  if n < 0 then invalid_arg "Schedule.chunks: n must be non-negative";
+  let q = n / nchunks and r = n mod nchunks in
+  let ranges = Array.make nchunks (0, 0) in
+  let lo = ref 0 in
+  for c = 0 to nchunks - 1 do
+    let len = q + if c < r then 1 else 0 in
+    ranges.(c) <- (!lo, !lo + len);
+    lo := !lo + len
+  done;
+  ranges
+
+let assign t ~iter ~nnodes ~nchunks =
+  let base = Array.init nchunks (fun c -> c mod nnodes) in
+  match t with
+  | Static -> base
+  | Dynamic_rotate -> Array.map (fun node -> (node + iter) mod nnodes) base
+  | Dynamic_random seed ->
+    (* A fresh node permutation per iteration: chunk c goes to the node the
+       permutation sends (c mod nnodes) to. *)
+    let rng = Lcm_util.Rng.create ~seed:(seed + (iter * 0x9E37)) in
+    let perm = Array.init nnodes (fun i -> i) in
+    for i = nnodes - 1 downto 1 do
+      let j = Lcm_util.Rng.int rng (i + 1) in
+      let tmp = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- tmp
+    done;
+    Array.map (fun node -> perm.(node)) base
+
+let is_dynamic = function
+  | Static -> false
+  | Dynamic_rotate | Dynamic_random _ -> true
+
+let of_string s =
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "static" ] -> Ok Static
+  | [ "rotate" ] -> Ok Dynamic_rotate
+  | [ "random"; seed ] -> (
+    match int_of_string_opt seed with
+    | Some seed -> Ok (Dynamic_random seed)
+    | None -> Error "random: expected integer seed")
+  | _ -> Error (Printf.sprintf "unknown schedule %S" s)
+
+let to_string = function
+  | Static -> "static"
+  | Dynamic_rotate -> "rotate"
+  | Dynamic_random seed -> Printf.sprintf "random:%d" seed

@@ -1,0 +1,34 @@
+(** Partitioning of parallel-function invocations onto nodes.
+
+    The paper measures two scheduling regimes for each benchmark:
+
+    - {e static}: the aggregate is partitioned once, at the start of the
+      computation — every iteration assigns chunk [c] to node [c mod P],
+      so a protocol like Stache can keep a chunk's interior resident in
+      its node's memory across iterations;
+    - {e dynamic}: the mesh is re-partitioned into chunks at the beginning
+      of every iteration ("less repeatable scheduling techniques"), so
+      locality across iterations is lost.  [Dynamic_rotate] shifts the
+      assignment by one node per iteration; [Dynamic_random] draws a fresh
+      permutation per iteration from a seed.
+
+    Dynamic schedules additionally pay a work-queue access cost per chunk
+    (see {!Lcm_sim.Costs.sched_dequeue}). *)
+
+type t = Static | Dynamic_rotate | Dynamic_random of int
+
+val chunks : n:int -> nchunks:int -> (int * int) array
+(** [chunks ~n ~nchunks] splits the index space [\[0, n)] into [nchunks]
+    contiguous, balanced, half-open ranges.
+    @raise Invalid_argument if [nchunks <= 0] or [n < 0]. *)
+
+val assign : t -> iter:int -> nnodes:int -> nchunks:int -> int array
+(** [assign t ~iter ~nnodes ~nchunks] maps each chunk to a node for the
+    given iteration.  Deterministic in all arguments. *)
+
+val is_dynamic : t -> bool
+
+val of_string : string -> (t, string) result
+(** Accepts ["static"], ["rotate"], ["random:<seed>"]. *)
+
+val to_string : t -> string

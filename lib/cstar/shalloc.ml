@@ -1,0 +1,72 @@
+module Proto = Lcm_core.Proto
+module Machine = Lcm_tempest.Machine
+module Memeff = Lcm_tempest.Memeff
+module Gmem = Lcm_mem.Gmem
+
+type t = {
+  proto : Proto.t;
+  wpb : int;
+  blocks_per_node : int;
+  heads : int array;  (* per-node free-list head word address *)
+  arenas : int array;  (* per-node arena base address *)
+}
+
+let create proto ~blocks_per_node =
+  if blocks_per_node <= 0 then
+    invalid_arg "Shalloc.create: blocks_per_node must be positive";
+  let mach = Proto.machine proto in
+  let gmem = Machine.gmem mach in
+  let wpb = Gmem.words_per_block gmem in
+  let nnodes = Machine.nnodes mach in
+  let heads = Array.make nnodes 0 and arenas = Array.make nnodes 0 in
+  for nid = 0 to nnodes - 1 do
+    let head = Gmem.alloc gmem ~dist:(Gmem.On nid) ~nwords:wpb in
+    let arena = Gmem.alloc gmem ~dist:(Gmem.On nid) ~nwords:(blocks_per_node * wpb) in
+    heads.(nid) <- head;
+    arenas.(nid) <- arena;
+    (* chain every object through its link word; 0 terminates (address 0 is
+       block 0 of the address space, never an arena object) *)
+    for k = 0 to blocks_per_node - 1 do
+      let base = arena + (k * wpb) in
+      let next = if k = blocks_per_node - 1 then 0 else base + wpb in
+      Proto.poke proto base next
+    done;
+    Proto.poke proto head arena
+  done;
+  { proto; wpb; blocks_per_node; heads; arenas }
+
+let object_words t = t.wpb - 1
+
+let alloc t ~node =
+  let head = t.heads.(node) in
+  let h = Memeff.load head in
+  if h = 0 then None
+  else begin
+    let next = Memeff.load h in
+    Memeff.store head next;
+    Some (h + 1)
+  end
+
+let check_object t ~node addr =
+  let base = addr - 1 in
+  let arena = t.arenas.(node) in
+  if
+    base < arena
+    || base >= arena + (t.blocks_per_node * t.wpb)
+    || (base - arena) mod t.wpb <> 0
+  then invalid_arg "Shalloc.free: not an object of this node's arena"
+
+let free t ~node addr =
+  check_object t ~node addr;
+  let base = addr - 1 in
+  let head = t.heads.(node) in
+  let old = Memeff.load head in
+  Memeff.store base old;
+  Memeff.store head base
+
+let available t ~node =
+  (* host-side walk of the free list *)
+  let rec walk h acc =
+    if h = 0 then acc else walk (Proto.peek t.proto h) (acc + 1)
+  in
+  walk (Proto.peek t.proto t.heads.(node)) 0

@@ -1,0 +1,41 @@
+(** A block allocator in simulated shared memory.
+
+    Dynamic programs (the paper's adaptive mesh, §6.2) build pointer
+    structures at run time.  This allocator carves per-node arenas out of
+    the global address space and hands out block-sized objects from free
+    lists that themselves live in simulated memory — so allocation costs
+    real loads and stores, and allocated objects are homed on the
+    allocating node (locality by construction, as a real runtime would
+    arrange).
+
+    Each node allocates and frees only on its own arena (the free-list
+    words are node-private, so no cross-node synchronisation is needed);
+    objects may be {e referenced} from anywhere.  [alloc]/[free] perform
+    memory-system effects and must run in fiber code on the arena's node. *)
+
+type t
+
+val create : Lcm_core.Proto.t -> blocks_per_node:int -> t
+(** Reserve [blocks_per_node] one-block objects per node and initialise
+    the free lists (host-side initialisation, before the program runs).
+    @raise Invalid_argument if [blocks_per_node <= 0]. *)
+
+val object_words : t -> int
+(** Usable words per object: one block minus the link word.  Word 0 of
+    each object is reserved for the allocator's free-list link while the
+    object is free; user data starts at [addr], which points at the first
+    usable word. *)
+
+val alloc : t -> node:int -> int option
+(** [alloc t ~node] pops an object from [node]'s free list and returns the
+    address of its first usable word, or [None] when the arena is
+    exhausted.  Effectful. *)
+
+val free : t -> node:int -> int -> unit
+(** [free t ~node addr] returns an object (by its usable-word address, as
+    returned by {!alloc}) to [node]'s free list.  Effectful; must run on
+    the owning node.  @raise Invalid_argument if [addr] is not an object
+    of [node]'s arena. *)
+
+val available : t -> node:int -> int
+(** Objects currently free on [node]'s arena (non-effectful; for tests). *)

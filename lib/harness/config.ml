@@ -1,0 +1,74 @@
+type system = {
+  label : string;
+  policy : Lcm_core.Policy.t;
+  strategy : Lcm_cstar.Runtime.strategy;
+}
+
+let stache =
+  {
+    label = "Stache+copy";
+    policy = Lcm_core.Policy.stache;
+    strategy = Lcm_cstar.Runtime.Explicit_copy;
+  }
+
+let lcm_scc =
+  {
+    label = "LCM-scc";
+    policy = Lcm_core.Policy.lcm_scc;
+    strategy = Lcm_cstar.Runtime.Lcm_directives;
+  }
+
+let lcm_mcc =
+  {
+    label = "LCM-mcc";
+    policy = Lcm_core.Policy.lcm_mcc;
+    strategy = Lcm_cstar.Runtime.Lcm_directives;
+  }
+
+let lcm_mcc_update =
+  {
+    label = "LCM-mcc-update";
+    policy = Lcm_core.Policy.lcm_mcc_update;
+    strategy = Lcm_cstar.Runtime.Lcm_directives;
+  }
+
+let systems = [ lcm_scc; lcm_mcc; stache ]
+
+let system_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "stache" | "copy" | "stache+copy" -> Ok stache
+  | "lcm-scc" | "scc" -> Ok lcm_scc
+  | "lcm-mcc" | "mcc" | "lcm" -> Ok lcm_mcc
+  | "lcm-mcc-update" | "mcc-update" | "update" -> Ok lcm_mcc_update
+  | other -> Error (Printf.sprintf "unknown system %S" other)
+
+type machine = {
+  nnodes : int;
+  words_per_block : int;
+  topology : Lcm_net.Topology.t;
+  costs : Lcm_sim.Costs.t;
+  capacity_blocks : int option;
+  hw_cache_blocks : int option;
+  seed : int;
+}
+
+let default_machine =
+  {
+    nnodes = 32;
+    words_per_block = 8;
+    topology = Lcm_net.Topology.Fat_tree { arity = 4 };
+    costs = Lcm_sim.Costs.default;
+    capacity_blocks = None;
+    hw_cache_blocks = None;
+    seed = 42;
+  }
+
+let make_runtime ?detect ?barrier m system ~schedule =
+  let mach =
+    Lcm_tempest.Machine.create ~costs:m.costs ~topology:m.topology ~seed:m.seed
+      ?capacity_blocks:m.capacity_blocks ?hw_cache_blocks:m.hw_cache_blocks
+      ~nnodes:m.nnodes
+      ~words_per_block:m.words_per_block ()
+  in
+  let proto = Lcm_core.Proto.install ?detect ?barrier ~policy:system.policy mach in
+  Lcm_cstar.Runtime.create proto ~strategy:system.strategy ~schedule ()

@@ -1,0 +1,49 @@
+(** Experiment configuration: machines and memory systems.
+
+    The paper's testbed is a 32-processor CM-5 running Blizzard-E; the
+    measured systems are Stache with compiler-emitted explicit copying,
+    LCM-scc and LCM-mcc.  A {!system} bundles a protocol policy with the
+    matching C\*\* compilation strategy; {!systems} lists the three in the
+    paper's order. *)
+
+type system = {
+  label : string;
+  policy : Lcm_core.Policy.t;
+  strategy : Lcm_cstar.Runtime.strategy;
+}
+
+val stache : system
+val lcm_scc : system
+val lcm_mcc : system
+
+val lcm_mcc_update : system
+(** The update-based RSM member (not in the paper's measurements; used by
+    the update ablation). *)
+
+val systems : system list
+(** [\[lcm_scc; lcm_mcc; stache\]] — the order of the paper's figures. *)
+
+val system_of_string : string -> (system, string) result
+
+type machine = {
+  nnodes : int;
+  words_per_block : int;
+  topology : Lcm_net.Topology.t;
+  costs : Lcm_sim.Costs.t;
+  capacity_blocks : int option;
+  hw_cache_blocks : int option;
+  seed : int;
+}
+
+val default_machine : machine
+(** 32 nodes, 8-word (32-byte) blocks, arity-4 fat tree — the CM-5 shape. *)
+
+val make_runtime :
+  ?detect:bool ->
+  ?barrier:Lcm_core.Barrier.style ->
+  machine ->
+  system ->
+  schedule:Lcm_cstar.Schedule.t ->
+  Lcm_cstar.Runtime.t
+(** Build a fresh machine, install the system's protocol and return its
+    runtime. *)

@@ -1,0 +1,425 @@
+open Lcm_apps
+module Schedule = Lcm_cstar.Schedule
+
+type scale = Tiny | Quick | Paper
+
+type row = { experiment : string; system : string; result : Bench_result.t }
+
+let dyn_seed = 5
+
+let stencil_params = function
+  | Tiny -> { Stencil.n = 24; iters = 3; work_per_cell = 4 }
+  | Quick -> { Stencil.n = 96; iters = 6; work_per_cell = 4 }
+  | Paper -> { Stencil.n = 1024; iters = 50; work_per_cell = 4 }
+
+let adaptive_params = function
+  | Tiny ->
+    {
+      Adaptive.n = 12;
+      iters = 4;
+      max_depth = 2;
+      subdiv_threshold = 2.0;
+      arena_per_node = 512;
+      work_per_cell = 6;
+    }
+  | Quick ->
+    {
+      Adaptive.n = 24;
+      iters = 12;
+      max_depth = 3;
+      subdiv_threshold = 2.0;
+      arena_per_node = 2048;
+      work_per_cell = 6;
+    }
+  | Paper -> Adaptive.paper
+
+let threshold_params = function
+  | Tiny -> { Threshold.n = 24; iters = 3; threshold = 0.5; work_per_cell = 4 }
+  | Quick -> { Threshold.n = 96; iters = 8; threshold = 0.5; work_per_cell = 4 }
+  | Paper -> Threshold.paper
+
+let unstructured_params = function
+  | Tiny -> { Unstructured.nodes = 64; edges = 256; iters = 6; seed = 11; work_per_node = 6 }
+  | Quick -> { Unstructured.nodes = 256; edges = 1024; iters = 24; seed = 11; work_per_node = 6 }
+  | Paper -> Unstructured.paper
+
+let run_systems machine ~experiment ~schedule run =
+  List.map
+    (fun system ->
+      let rt = Config.make_runtime machine system ~schedule in
+      let result = run rt in
+      (* every harness run is audited: a protocol-state violation fails the
+         whole reproduction rather than silently skewing numbers *)
+      (match Lcm_core.Proto.check_invariants (Lcm_cstar.Runtime.proto rt) with
+      | Ok () -> ()
+      | Error es ->
+        failwith
+          (Printf.sprintf "%s/%s: protocol invariants violated:\n  %s" experiment
+             system.Config.label (String.concat "\n  " es)));
+      { experiment; system = system.Config.label; result })
+    Config.systems
+
+let figure2 ?(scale = Quick) machine =
+  let p = stencil_params scale in
+  run_systems machine ~experiment:"stencil-stat" ~schedule:Schedule.Static
+    (fun rt -> Stencil.run rt p)
+  @ run_systems machine ~experiment:"stencil-dyn"
+      ~schedule:(Schedule.Dynamic_random dyn_seed) (fun rt -> Stencil.run rt p)
+
+let figure3 ?(scale = Quick) machine =
+  let ap = adaptive_params scale in
+  let tp = threshold_params scale in
+  let up = unstructured_params scale in
+  run_systems machine ~experiment:"adaptive-stat" ~schedule:Schedule.Static
+    (fun rt -> Adaptive.run rt ap)
+  @ run_systems machine ~experiment:"adaptive-dyn"
+      ~schedule:(Schedule.Dynamic_random dyn_seed) (fun rt -> Adaptive.run rt ap)
+  @ run_systems machine ~experiment:"threshold" ~schedule:Schedule.Static
+      (fun rt -> Threshold.run rt tp)
+  @ run_systems machine ~experiment:"unstructured" ~schedule:Schedule.Static
+      (fun rt -> Unstructured.run rt up)
+
+let group_by_experiment rows =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      if not (Hashtbl.mem tbl row.experiment) then begin
+        order := row.experiment :: !order;
+        Hashtbl.add tbl row.experiment []
+      end;
+      Hashtbl.replace tbl row.experiment (row :: Hashtbl.find tbl row.experiment))
+    rows;
+  List.rev_map (fun e -> (e, List.rev (Hashtbl.find tbl e))) !order
+
+let verify_agreement rows =
+  List.map
+    (fun (experiment, rows) ->
+      let ok =
+        match rows with
+        | [] -> true
+        | first :: rest ->
+          List.for_all (fun r -> Bench_result.close first.result r.result) rest
+      in
+      (experiment, ok))
+    (group_by_experiment rows)
+
+(* ------------------------------------------------------------------ *)
+(* Claims                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type claim = {
+  id : string;
+  description : string;
+  paper : string;
+  measured : float;
+  holds : bool;
+}
+
+let find rows experiment system =
+  List.find_opt (fun r -> r.experiment = experiment && r.system = system) rows
+
+let cycles rows experiment system =
+  match find rows experiment system with
+  | Some r -> float_of_int r.result.Bench_result.cycles
+  | None -> nan
+
+let ratio_claim rows ~id ~description ~paper ~slower ~faster ~ok =
+  let m = cycles rows (fst slower) (snd slower) /. cycles rows (fst faster) (snd faster) in
+  { id; description; paper; measured = m; holds = ok m }
+
+let claims rows =
+  [
+    ratio_claim rows ~id:"stencil-stat/stache-wins"
+      ~description:"Stencil-stat: Stache faster than LCM (static partition keeps interiors local)"
+      ~paper:"~5x"
+      ~slower:("stencil-stat", "LCM-mcc")
+      ~faster:("stencil-stat", "Stache+copy")
+      ~ok:(fun m -> m > 1.2);
+    ratio_claim rows ~id:"stencil/mcc-over-scc"
+      ~description:"Stencil: LCM-mcc faster than LCM-scc (spatial block reuse)" ~paper:"~4x"
+      ~slower:("stencil-stat", "LCM-scc")
+      ~faster:("stencil-stat", "LCM-mcc")
+      ~ok:(fun m -> m > 1.5);
+    ratio_claim rows ~id:"stencil-dyn/comparable"
+      ~description:"Stencil-dyn: LCM-mcc comparable to Stache (within 25%)"
+      ~paper:"mcc ~2% faster"
+      ~slower:("stencil-dyn", "LCM-mcc")
+      ~faster:("stencil-dyn", "Stache+copy")
+      ~ok:(fun m -> m < 1.25);
+    (* Direction check only: LCM pays overhead on statically-analysable
+       adaptive code, but far less than Stache's stencil-stat advantage.
+       Our flush/copy cost constants make the overhead larger than the
+       paper's 13% — see EXPERIMENTS.md. *)
+    ratio_claim rows ~id:"adaptive-stat/lcm-overhead"
+      ~description:"Adaptive-stat: LCM slower than Stache (but scc beats mcc, as in the paper)"
+      ~paper:"LCM 13% slower"
+      ~slower:("adaptive-stat", "LCM-mcc")
+      ~faster:("adaptive-stat", "Stache+copy")
+      ~ok:(fun m -> m > 1.0 && m < 3.2);
+    ratio_claim rows ~id:"adaptive-dyn/lcm-wins"
+      ~description:"Adaptive-dyn: LCM-mcc beats Stache (fine-grain copy-on-write vs full copy)"
+      ~paper:"~1.9x"
+      ~slower:("adaptive-dyn", "Stache+copy")
+      ~faster:("adaptive-dyn", "LCM-mcc")
+      ~ok:(fun m -> m > 1.2);
+    ratio_claim rows ~id:"threshold/mcc-wins"
+      ~description:"Threshold: LCM-mcc beats Stache (copies only ~2% of cells)"
+      ~paper:"~1.97x"
+      ~slower:("threshold", "Stache+copy")
+      ~faster:("threshold", "LCM-mcc")
+      ~ok:(fun m -> m > 1.2);
+    ratio_claim rows ~id:"threshold/scc-wins"
+      ~description:"Threshold: LCM-scc also beats Stache" ~paper:"~1.74x"
+      ~slower:("threshold", "Stache+copy")
+      ~faster:("threshold", "LCM-scc")
+      ~ok:(fun m -> m > 1.1);
+    ratio_claim rows ~id:"unstructured/lcm-wins"
+      ~description:"Unstructured: LCM-mcc beats Stache (irregular cross-processor edges)"
+      ~paper:"19-28%"
+      ~slower:("unstructured", "Stache+copy")
+      ~faster:("unstructured", "LCM-mcc")
+      ~ok:(fun m -> m > 1.0);
+    ratio_claim rows ~id:"unstructured/mcc-over-scc"
+      ~description:"Unstructured: LCM-mcc modestly beats LCM-scc" ~paper:"8%"
+      ~slower:("unstructured", "LCM-scc")
+      ~faster:("unstructured", "LCM-mcc")
+      ~ok:(fun m -> m > 1.0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_reduction machine =
+  let p = { Reduce_demo.n = 8192; per_add_work = 2 } in
+  let run system variant =
+    let rt = Config.make_runtime machine system ~schedule:Schedule.Static in
+    {
+      experiment = "reduction";
+      system = Reduce_demo.variant_name variant;
+      result = Reduce_demo.run rt variant p;
+    }
+  in
+  [
+    run Config.lcm_mcc `Rsm_reconcile;
+    run Config.stache `Manual_partials;
+    run Config.stache `Serialized;
+  ]
+
+let ablation_false_sharing machine =
+  let p = { False_sharing.blocks = 64; rounds = 20 } in
+  List.map
+    (fun system ->
+      let rt = Config.make_runtime machine system ~schedule:Schedule.Static in
+      {
+        experiment = "false-sharing";
+        system = system.Config.label;
+        result = False_sharing.run rt p;
+      })
+    [ Config.stache; Config.lcm_scc; Config.lcm_mcc ]
+
+let ablation_stale machine =
+  let p = { Nbody_stale.bodies = 512; iters = 12; work_per_body = 2 } in
+  List.map
+    (fun mode ->
+      let rt = Config.make_runtime machine Config.lcm_mcc ~schedule:Schedule.Static in
+      {
+        experiment = "nbody-stale";
+        system = Nbody_stale.mode_name mode;
+        result = Nbody_stale.run rt mode p;
+      })
+    [ `Fresh; `Stale 2; `Stale 4; `Stale 8 ]
+
+let ablation_block_reuse machine =
+  let p = { Stencil.n = 64; iters = 4; work_per_cell = 4 } in
+  List.concat_map
+    (fun wpb ->
+      let machine = { machine with Config.words_per_block = wpb } in
+      List.map
+        (fun system ->
+          let rt = Config.make_runtime machine system ~schedule:Schedule.Static in
+          {
+            experiment = Printf.sprintf "stencil wpb=%d" wpb;
+            system = system.Config.label;
+            result = Stencil.run rt p;
+          })
+        [ Config.lcm_scc; Config.lcm_mcc ])
+    [ 2; 4; 8; 16 ]
+
+let ablation_schedule machine =
+  let p = { Stencil.n = 96; iters = 6; work_per_cell = 4 } in
+  List.concat_map
+    (fun (sname, schedule) ->
+      List.map
+        (fun system ->
+          let rt = Config.make_runtime machine system ~schedule in
+          {
+            experiment = "stencil sched=" ^ sname;
+            system = system.Config.label;
+            result = Stencil.run rt p;
+          })
+        [ Config.stache; Config.lcm_mcc ])
+    [
+      ("static", Schedule.Static);
+      ("rotate", Schedule.Dynamic_rotate);
+      ("random", Schedule.Dynamic_random dyn_seed);
+    ]
+
+let ablation_topology machine =
+  (* interconnect sensitivity: hop latencies across a crossbar, a 2-D mesh
+     and the CM-5's fat tree *)
+  let p = { Stencil.n = 96; iters = 6; work_per_cell = 4 } in
+  List.concat_map
+    (fun (tname, topology) ->
+      let machine = { machine with Config.topology } in
+      List.map
+        (fun system ->
+          let rt =
+            Config.make_runtime machine system
+              ~schedule:(Schedule.Dynamic_random dyn_seed)
+          in
+          {
+            experiment = "stencil-dyn topo=" ^ tname;
+            system = system.Config.label;
+            result = Stencil.run rt p;
+          })
+        [ Config.stache; Config.lcm_mcc ])
+    [
+      ("crossbar", Lcm_net.Topology.Crossbar);
+      ("mesh8", Lcm_net.Topology.Mesh2d { cols = 8 });
+      ("fattree4", Lcm_net.Topology.Fat_tree { arity = 4 });
+    ]
+
+let ablation_scaling machine =
+  (* weak scaling: per-node work held constant (a 24-row band each) while
+     the machine grows; reconciliation and boundary traffic grow with P *)
+  List.concat_map
+    (fun nnodes ->
+      let machine = { machine with Config.nnodes } in
+      let p = { Stencil.n = 24 * nnodes; iters = 3; work_per_cell = 4 } in
+      List.map
+        (fun system ->
+          let rt = Config.make_runtime machine system ~schedule:Schedule.Static in
+          {
+            experiment = Printf.sprintf "stencil weak-scaling P=%d" nnodes;
+            system = system.Config.label;
+            result = Stencil.run rt p;
+          })
+        [ Config.stache; Config.lcm_mcc ])
+    [ 4; 8; 16; 32 ]
+
+let ablation_cost_sensitivity machine =
+  (* robustness: the headline comparisons should not depend on the exact
+     communication-cost constants — sweep them x0.5 / x1 / x2 *)
+  let p = { Stencil.n = 96; iters = 6; work_per_cell = 4 } in
+  List.concat_map
+    (fun scale ->
+      let machine =
+        { machine with Config.costs = Lcm_sim.Costs.scale machine.Config.costs scale }
+      in
+      List.concat_map
+        (fun (sname, schedule) ->
+          List.map
+            (fun system ->
+              let rt = Config.make_runtime machine system ~schedule in
+              {
+                experiment = Printf.sprintf "stencil-%s costs x%.1f" sname scale;
+                system = system.Config.label;
+                result = Stencil.run rt p;
+              })
+            [ Config.stache; Config.lcm_mcc ])
+        [ ("stat", Schedule.Static); ("dyn", Schedule.Dynamic_random dyn_seed) ])
+    [ 0.5; 1.0; 2.0 ]
+
+let ablation_detection machine =
+  (* cost of run-time semantic-violation detection (§7.2-7.3): off,
+     reconcile-time only, and strict (all read-only copies flushed at sync
+     points, catching actual races).  Threshold leaves ~98% of blocks
+     unmodified per phase, so strict mode's flush of their read-only copies
+     is visible — the paper's "loss in performance is less critical [since]
+     used only while debugging". *)
+  let p = { Threshold.n = 96; iters = 8; threshold = 0.5; work_per_cell = 4 } in
+  List.map
+    (fun (label, detect, strict) ->
+      let mach =
+        Lcm_tempest.Machine.create ~costs:machine.Config.costs
+          ~topology:machine.Config.topology ~seed:machine.Config.seed
+          ~nnodes:machine.Config.nnodes
+          ~words_per_block:machine.Config.words_per_block ()
+      in
+      let proto =
+        Lcm_core.Proto.install ~detect ~strict_detection:strict
+          ~policy:Lcm_core.Policy.lcm_mcc mach
+      in
+      let rt =
+        Lcm_cstar.Runtime.create proto ~strategy:Lcm_cstar.Runtime.Lcm_directives
+          ~schedule:Schedule.Static ()
+      in
+      {
+        experiment = "threshold detection";
+        system = label;
+        result = Threshold.run rt p;
+      })
+    [ ("off", false, false); ("reconcile-time", true, false); ("strict", true, true) ]
+
+let ablation_update machine =
+  (* invalidate- vs update-based reconciliation (Policy.lcm_mcc_update):
+     stencil consumers re-reference neighbour blocks every iteration, so
+     refreshing copies in place saves their re-fetches *)
+  let p = { Stencil.n = 96; iters = 6; work_per_cell = 4 } in
+  List.concat_map
+    (fun (sname, schedule) ->
+      List.map
+        (fun system ->
+          let rt = Config.make_runtime machine system ~schedule in
+          {
+            experiment = "stencil " ^ sname;
+            system = system.Config.label;
+            result = Stencil.run rt p;
+          })
+        [ Config.lcm_mcc; Config.lcm_mcc_update ])
+    [ ("static", Schedule.Static); ("dyn", Schedule.Dynamic_random dyn_seed) ]
+
+let ablation_barrier machine =
+  (* Reconciliation organised as a central coordinator vs a combining tree
+     (paper §5.1), at two machine sizes.  Many short phases make barrier
+     cost visible. *)
+  let p = { Stencil.n = 32; iters = 24; work_per_cell = 4 } in
+  List.concat_map
+    (fun nnodes ->
+      let machine = { machine with Config.nnodes } in
+      List.map
+        (fun style ->
+          let rt =
+            Config.make_runtime ~barrier:style machine Config.lcm_mcc
+              ~schedule:Schedule.Static
+          in
+          {
+            experiment = Printf.sprintf "stencil P=%d" nnodes;
+            system = "barrier " ^ Lcm_core.Barrier.to_string style;
+            result = Stencil.run rt p;
+          })
+        [ Lcm_core.Barrier.Constant; Lcm_core.Barrier.Flat; Lcm_core.Barrier.Tree 4 ])
+    [ 32; 128 ]
+
+let ablation_capacity machine =
+  (* The paper's "on a machine with a limited cache ... the first
+     [dynamic] version's performance is likely to be more typical": a
+     small hardware cache above node memory erodes Stache-stat's advantage
+     because its fast path (pure local hits) now pays miss penalties,
+     while LCM's time is dominated by protocol work either way. *)
+  let p = { Stencil.n = 96; iters = 6; work_per_cell = 4 } in
+  List.concat_map
+    (fun (label, hw_cache_blocks) ->
+      let machine = { machine with Config.hw_cache_blocks } in
+      List.map
+        (fun system ->
+          let rt = Config.make_runtime machine system ~schedule:Schedule.Static in
+          {
+            experiment = "stencil-stat hw-cache " ^ label;
+            system = system.Config.label;
+            result = Stencil.run rt p;
+          })
+        [ Config.stache; Config.lcm_mcc ])
+    [ ("none", None); ("64 blocks", Some 64); ("16 blocks", Some 16) ]

@@ -1,0 +1,96 @@
+(** The paper's evaluation, experiment by experiment.
+
+    Each function runs a set of (benchmark × memory-system) simulations and
+    returns rows the report layer renders.  Figure 2 is Stencil (static and
+    dynamic) under the three systems; Figure 3 is Adaptive (static and
+    dynamic), Threshold and Unstructured; Table 1's miss/clean-copy
+    counters come from the same runs.  The ablations cover the paper's
+    §7 extensions and the design choices DESIGN.md calls out. *)
+
+type scale = Tiny | Quick | Paper
+(** [Tiny] is for the test suite (seconds); [Quick] shrinks problem sizes
+    so the whole suite runs in about a minute; [Paper] uses the paper's
+    parameters (1024×1024 meshes etc. — tens of minutes of host time). *)
+
+type row = {
+  experiment : string;  (** e.g. ["stencil-stat"] *)
+  system : string;  (** e.g. ["LCM-mcc"] *)
+  result : Lcm_apps.Bench_result.t;
+}
+
+val figure2 : ?scale:scale -> Config.machine -> row list
+(** Stencil execution time: static and dynamic partitioning × LCM-scc,
+    LCM-mcc, Stache+copy. *)
+
+val figure3 : ?scale:scale -> Config.machine -> row list
+(** Adaptive (static & dynamic), Threshold, Unstructured × the three
+    systems. *)
+
+val group_by_experiment : row list -> (string * row list) list
+(** Rows grouped by experiment, preserving first-appearance order. *)
+
+val verify_agreement : row list -> (string * bool) list
+(** For each experiment, whether all systems produced the same checksum —
+    the differential guarantee behind every comparison. *)
+
+(** {1 Claim checks (paper §6.3 prose)} *)
+
+type claim = {
+  id : string;
+  description : string;
+  paper : string;  (** the paper's reported number, as prose *)
+  measured : float;  (** our measured ratio *)
+  holds : bool;  (** does the measured direction match the paper's? *)
+}
+
+val claims : row list -> claim list
+(** Evaluate every quantitative §6.3 claim against rows from {!figure2}
+    and {!figure3}. *)
+
+(** {1 Ablations} *)
+
+val ablation_reduction : Config.machine -> row list
+(** §7.1: RSM-reconciled vs hand-coded vs serialized global sum. *)
+
+val ablation_false_sharing : Config.machine -> row list
+(** §7.4: falsely-shared blocks under Stache vs LCM. *)
+
+val ablation_stale : Config.machine -> row list
+(** §7.5: N-body with fresh vs increasingly stale remote data. *)
+
+val ablation_block_reuse : Config.machine -> row list
+(** scc vs mcc as words-per-block (spatial reuse per block) varies — the
+    clean-copy-placement design choice. *)
+
+val ablation_schedule : Config.machine -> row list
+(** Stencil under static / rotating / random scheduling for LCM-mcc and
+    Stache — scheduling sensitivity. *)
+
+val ablation_topology : Config.machine -> row list
+(** Dynamic stencil across crossbar / 2-D mesh / fat-tree interconnects. *)
+
+val ablation_scaling : Config.machine -> row list
+(** Weak scaling: fixed per-node stencil band while the machine grows from
+    4 to 32 nodes. *)
+
+val ablation_cost_sensitivity : Config.machine -> row list
+(** Stencil comparisons under communication costs scaled ×0.5/×1/×2 —
+    checks that who-wins conclusions are robust to the cost constants. *)
+
+val ablation_detection : Config.machine -> row list
+(** Cost of run-time violation detection: off, reconcile-time only, and
+    strict (§7.2–7.3's "flush all read-only blocks" mode). *)
+
+val ablation_update : Config.machine -> row list
+(** Invalidate- vs update-based reconciliation (the other end of the RSM
+    reconcile-policy axis) on the stencil. *)
+
+val ablation_barrier : Config.machine -> row list
+(** Reconciliation barrier organised as a constant-cost network, a flat
+    central coordinator, or a combining tree (paper §5.1), at 8 and 32
+    nodes. *)
+
+val ablation_capacity : Config.machine -> row list
+(** Stencil-stat under Stache with an unbounded vs small cache — the
+    paper's "on a machine with a limited cache" remark (see EXPERIMENTS.md
+    for why this model shows no slowdown). *)

@@ -1,0 +1,145 @@
+open Lcm_apps
+module Tablefmt = Lcm_util.Tablefmt
+
+let kilo n =
+  if n >= 1000 then Printf.sprintf "%.1fk" (float_of_int n /. 1000.0)
+  else string_of_int n
+
+let execution_times ~title rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" title);
+  List.iter
+    (fun (experiment, rows) ->
+      let fastest =
+        List.fold_left
+          (fun acc (r : Experiments.row) -> min acc r.result.Bench_result.cycles)
+          max_int rows
+      in
+      Buffer.add_string buf (Printf.sprintf "-- %s --\n" experiment);
+      Buffer.add_string buf
+        (Tablefmt.render
+           ~header:[ "system"; "cycles"; "slowdown" ]
+           (List.map
+              (fun (r : Experiments.row) ->
+                [
+                  r.system;
+                  string_of_int r.result.Bench_result.cycles;
+                  Printf.sprintf "%.2fx"
+                    (float_of_int r.result.Bench_result.cycles
+                    /. float_of_int fastest);
+                ])
+              rows)))
+    (Experiments.group_by_experiment rows);
+  Buffer.contents buf
+
+let table1 rows =
+  let header =
+    [ "benchmark"; "system"; "misses"; "remote"; "clean copies"; "msgs" ]
+  in
+  let body =
+    List.map
+      (fun (r : Experiments.row) ->
+        [
+          r.experiment;
+          r.system;
+          kilo r.result.Bench_result.faults;
+          kilo r.result.Bench_result.remote_fetches;
+          kilo r.result.Bench_result.clean_copies;
+          kilo r.result.Bench_result.messages;
+        ])
+      rows
+  in
+  "== Table 1: cache misses and clean copies ==\n" ^ Tablefmt.render ~header body
+
+let agreement rows =
+  let checks = Experiments.verify_agreement rows in
+  "== Differential check: all systems compute identical results ==\n"
+  ^ Tablefmt.render
+      ~header:[ "experiment"; "agreement" ]
+      (List.map (fun (e, ok) -> [ e; (if ok then "OK" else "MISMATCH") ]) checks)
+
+let all_agree rows = List.for_all snd (Experiments.verify_agreement rows)
+
+let claims cs =
+  "== Paper claims (Section 6.3) ==\n"
+  ^ Tablefmt.render
+      ~align:[ Lcm_util.Tablefmt.Left; Left; Right; Right; Right ]
+      ~header:[ "claim"; "paper"; "measured"; "verdict" ]
+      (List.map
+         (fun (c : Experiments.claim) ->
+           [
+             c.description;
+             c.paper;
+             Printf.sprintf "%.2fx" c.measured;
+             (if c.holds then "HOLDS" else "DIFFERS");
+           ])
+         cs)
+
+let memory_usage rows =
+  let counter r name =
+    Option.value (List.assoc_opt name r.Experiments.result.Bench_result.counters)
+      ~default:0
+  in
+  "== Clean-copy memory usage (Section 5.1) ==\n"
+  ^ Tablefmt.render
+      ~header:[ "benchmark"; "system"; "created"; "peak alive"; "blocks reconciled" ]
+      (List.filter_map
+         (fun (r : Experiments.row) ->
+           if r.result.Bench_result.clean_copies = 0 then None
+           else
+             Some
+               [
+                 r.experiment;
+                 r.system;
+                 kilo (counter r "lcm.clean_copies");
+                 kilo (counter r "lcm.peak_clean_copies");
+                 kilo (counter r "lcm.reconciled_blocks");
+               ])
+         rows)
+
+let message_breakdown rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "== Message breakdown ==\n";
+  List.iter
+    (fun (r : Experiments.row) ->
+      let parts =
+        Bench_result.message_breakdown r.result
+        |> List.map (fun (tag, n) -> Printf.sprintf "%s=%s" tag (kilo n))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-16s %-14s %s\n" r.experiment r.system
+           (String.concat " " parts)))
+    rows;
+  Buffer.contents buf
+
+let to_csv rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "experiment,system,cycles,faults,remote_fetches,clean_copies,messages,checksum\n";
+  List.iter
+    (fun (r : Experiments.row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%.9g\n" r.experiment r.system
+           r.result.Bench_result.cycles r.result.Bench_result.faults
+           r.result.Bench_result.remote_fetches r.result.Bench_result.clean_copies
+           r.result.Bench_result.messages r.result.Bench_result.checksum))
+    rows;
+  Buffer.contents buf
+
+let generic ~title rows =
+  Printf.sprintf "== %s ==\n" title
+  ^ Tablefmt.render
+      ~header:[ "experiment"; "system"; "cycles"; "misses"; "remote"; "clean"; "msgs"; "checksum" ]
+      (List.map
+         (fun (r : Experiments.row) ->
+           [
+             r.experiment;
+             r.system;
+             string_of_int r.result.Bench_result.cycles;
+             kilo r.result.Bench_result.faults;
+             kilo r.result.Bench_result.remote_fetches;
+             kilo r.result.Bench_result.clean_copies;
+             kilo r.result.Bench_result.messages;
+             Printf.sprintf "%.5g" r.result.Bench_result.checksum;
+           ])
+         rows)

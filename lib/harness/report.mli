@@ -1,0 +1,41 @@
+(** Render experiment rows as the paper's figures and tables.
+
+    All output is plain text meant to be read next to the paper: execution
+    times with a slowdown column normalised to the fastest system per
+    experiment (the figures), a miss/clean-copy table (Table 1), the §6.3
+    claim checklist, and generic tables for ablations. *)
+
+val execution_times : title:string -> Experiments.row list -> string
+(** One block per experiment: per-system simulated cycles and relative
+    slowdown vs the fastest system (reproduces Figures 2/3 as numbers). *)
+
+val table1 : Experiments.row list -> string
+(** Cache misses (access faults), remote fetches and clean copies per
+    benchmark × system, in thousands — the paper's Table 1 with our
+    counters broken out. *)
+
+val agreement : Experiments.row list -> string
+(** The differential check: per experiment, whether all systems computed
+    identical results. *)
+
+val claims : Experiments.claim list -> string
+(** Paper-claim checklist: claim, the paper's number, our measured ratio,
+    verdict. *)
+
+val generic : title:string -> Experiments.row list -> string
+(** Cycles/faults/messages table for ablation row sets. *)
+
+val all_agree : Experiments.row list -> bool
+
+val memory_usage : Experiments.row list -> string
+(** Clean-copy memory accounting (paper §5.1): copies created vs the peak
+    simultaneously alive, per run. *)
+
+val message_breakdown : Experiments.row list -> string
+(** Per-message-class counts for each row — which protocol actions a
+    workload actually consists of. *)
+
+val to_csv : Experiments.row list -> string
+(** Machine-readable export: one line per (experiment, system) with
+    cycles, faults, remote fetches, clean copies, messages and checksum.
+    Header included. *)

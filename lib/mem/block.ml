@@ -1,0 +1,34 @@
+type t = Word.t array
+
+let make ~words = Array.make words Word.zero
+
+let copy = Array.copy
+
+let blit ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Block.blit: length mismatch";
+  Array.blit src 0 dst 0 (Array.length src)
+
+let equal a b = a = b
+
+let merge_masked ~src ~dst ~mask =
+  Lcm_util.Mask.iter mask (fun i -> dst.(i) <- src.(i))
+
+let combine_masked ~f ~src ~dst ~mask =
+  Lcm_util.Mask.iter mask (fun i -> dst.(i) <- f dst.(i) src.(i))
+
+let diff_mask ~clean ~dirty =
+  let mask = ref Lcm_util.Mask.empty in
+  for i = 0 to Array.length clean - 1 do
+    if clean.(i) <> dirty.(i) then mask := Lcm_util.Mask.set !mask i
+  done;
+  !mask
+
+let pp ppf b =
+  Format.fprintf ppf "[|";
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Word.pp ppf w)
+    b;
+  Format.fprintf ppf "|]"

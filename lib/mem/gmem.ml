@@ -1,0 +1,76 @@
+type addr = int
+type block = int
+
+type dist = On of int | Interleaved | Chunked
+
+type region = {
+  first_block : int;
+  nblocks : int;
+  dist : dist;
+}
+
+type t = {
+  nnodes : int;
+  words_per_block : int;
+  mutable regions : region list; (* most recent first *)
+  mutable next_block : int;
+}
+
+let create ~nnodes ~words_per_block =
+  if nnodes < 1 then invalid_arg "Gmem.create: nnodes must be >= 1";
+  if words_per_block < 1 || words_per_block > Lcm_util.Mask.max_words then
+    invalid_arg "Gmem.create: invalid words_per_block";
+  { nnodes; words_per_block; regions = []; next_block = 0 }
+
+let nnodes t = t.nnodes
+
+let words_per_block t = t.words_per_block
+
+let alloc t ~dist ~nwords =
+  if nwords <= 0 then invalid_arg "Gmem.alloc: nwords must be positive";
+  (match dist with
+  | On n when n < 0 || n >= t.nnodes -> invalid_arg "Gmem.alloc: node out of range"
+  | On _ | Interleaved | Chunked -> ());
+  let nblocks = (nwords + t.words_per_block - 1) / t.words_per_block in
+  let region = { first_block = t.next_block; nblocks; dist } in
+  t.regions <- region :: t.regions;
+  t.next_block <- t.next_block + nblocks;
+  region.first_block * t.words_per_block
+
+let region_of_block t b =
+  let in_region r = b >= r.first_block && b < r.first_block + r.nblocks in
+  match List.find_opt in_region t.regions with
+  | Some r -> r
+  | None -> raise Not_found
+
+let home_of_block t b =
+  let r = region_of_block t b in
+  let index = b - r.first_block in
+  match r.dist with
+  | On n -> n
+  | Interleaved -> index mod t.nnodes
+  | Chunked ->
+    (* Even contiguous split: node n owns blocks [n*q + min n rem, ...) where
+       the first [rem] nodes get one extra block. *)
+    let q = r.nblocks / t.nnodes and rem = r.nblocks mod t.nnodes in
+    if q = 0 then index mod t.nnodes
+    else
+      let boundary = (q + 1) * rem in
+      if index < boundary then index / (q + 1) else rem + ((index - boundary) / q)
+
+let block_of_addr t a = a / t.words_per_block
+
+let home_of_addr t a = home_of_block t (block_of_addr t a)
+
+let offset_in_block t a = a mod t.words_per_block
+
+let base_of_block t b = b * t.words_per_block
+
+let allocated_words t = t.next_block * t.words_per_block
+
+let region_blocks t base ~nwords =
+  if nwords <= 0 then []
+  else
+    let first = block_of_addr t base in
+    let last = block_of_addr t (base + nwords - 1) in
+    List.init (last - first + 1) (fun i -> first + i)

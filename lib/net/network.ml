@@ -1,0 +1,40 @@
+type t = {
+  engine : Lcm_sim.Engine.t;
+  costs : Lcm_sim.Costs.t;
+  stats : Lcm_util.Stats.t;
+  topology : Topology.t;
+  nnodes : int;
+  last_delivery : (int * int, int) Hashtbl.t; (* channel -> last arrival *)
+}
+
+let create ~engine ~costs ~stats ~topology ~nnodes =
+  { engine; costs; stats; topology; nnodes; last_delivery = Hashtbl.create 64 }
+
+let latency t ~src ~dst ~words =
+  let hops = Topology.hops t.topology ~src ~dst in
+  t.costs.Lcm_sim.Costs.msg_fixed
+  + (hops * t.costs.Lcm_sim.Costs.msg_per_hop)
+  + (words * t.costs.Lcm_sim.Costs.msg_per_word)
+
+let send t ~src ~dst ~words ?tag ~at k =
+  if src < 0 || src >= t.nnodes then invalid_arg "Network.send: src out of range";
+  if dst < 0 || dst >= t.nnodes then invalid_arg "Network.send: dst out of range";
+  Lcm_util.Stats.incr t.stats "net.msgs";
+  Lcm_util.Stats.add t.stats "net.words" words;
+  (match tag with
+  | Some tag -> Lcm_util.Stats.incr t.stats ("msg." ^ tag)
+  | None -> ());
+  let channel = (src, dst) in
+  let earliest =
+    match Hashtbl.find_opt t.last_delivery channel with
+    | Some last -> last + 1 (* strict FIFO: never deliver two at once *)
+    | None -> 0
+  in
+  let raw_arrival = at + latency t ~src ~dst ~words in
+  let arrival =
+    (* The engine cannot schedule into the past; a sender's local clock can
+       lag the engine when it reacts to an old event, so clamp. *)
+    max (max raw_arrival earliest) (Lcm_sim.Engine.now t.engine)
+  in
+  Hashtbl.replace t.last_delivery channel arrival;
+  Lcm_sim.Engine.schedule t.engine ~at:arrival (fun () -> k ~arrival)

@@ -1,0 +1,41 @@
+(** Point-to-point message transport between simulated nodes.
+
+    Messages are delivered as callbacks run at their arrival time on the
+    simulation engine.  Delivery preserves FIFO order per (src, dst)
+    channel — the property the coherence protocols rely on so that, e.g.,
+    a flush followed by a re-fetch from the same node reaches the home in
+    order.  There is no global ordering across channels.
+
+    Latency model: [msg_fixed + hops * msg_per_hop + words * msg_per_word]
+    cycles (see {!Lcm_sim.Costs}), plus an optional per-channel serial
+    occupancy that models link bandwidth contention. *)
+
+type t
+
+val create :
+  engine:Lcm_sim.Engine.t ->
+  costs:Lcm_sim.Costs.t ->
+  stats:Lcm_util.Stats.t ->
+  topology:Topology.t ->
+  nnodes:int ->
+  t
+
+val send :
+  t ->
+  src:int ->
+  dst:int ->
+  words:int ->
+  ?tag:string ->
+  at:int ->
+  (arrival:int -> unit) ->
+  unit
+(** [send n ~src ~dst ~words ~tag ~at k] injects a message of [words]
+    payload words at local time [at] (the sender's clock, which may be
+    ahead of the engine clock) and runs [k ~arrival] at the computed
+    arrival time.  [tag] labels the message class in statistics
+    (["msg.<tag>"]); every send also bumps ["net.msgs"] and
+    ["net.words"].
+    @raise Invalid_argument if [src] or [dst] is out of range. *)
+
+val latency : t -> src:int -> dst:int -> words:int -> int
+(** The uncontended latency the model assigns to such a message. *)

@@ -1,0 +1,25 @@
+(** Interconnect topologies and their hop counts.
+
+    The network's latency model charges a per-hop switch cost, so the
+    topology only needs to answer "how many hops from [src] to [dst]".
+    [Fat_tree ~arity] models the CM-5 data network the paper ran on: the
+    distance between two leaves is twice the height of their lowest common
+    ancestor in an [arity]-ary tree. *)
+
+type t =
+  | Crossbar  (** single switch: one hop between any two distinct nodes *)
+  | Mesh2d of { cols : int }
+      (** 2-D mesh with [cols] columns; hops = Manhattan distance *)
+  | Fat_tree of { arity : int }
+      (** CM-5-style fat tree with the given switch arity (CM-5: 4) *)
+
+val hops : t -> src:int -> dst:int -> int
+(** [hops topo ~src ~dst] is the number of switch traversals between two
+    nodes; 0 when [src = dst].
+    @raise Invalid_argument on negative node ids or non-positive
+    mesh/arity parameters. *)
+
+val of_string : string -> (t, string) result
+(** Parses ["crossbar"], ["mesh:<cols>"] or ["fattree:<arity>"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,69 @@
+type t = {
+  cpu_op : int;
+  compute_unit : int;
+  fault_trap : int;
+  handler_occupancy : int;
+  msg_fixed : int;
+  msg_per_hop : int;
+  msg_per_word : int;
+  block_install : int;
+  hw_miss : int;
+  local_copy : int;
+  barrier_base : int;
+  barrier_per_node : int;
+  sched_dequeue : int;
+  invocation_overhead : int;
+}
+
+let default =
+  {
+    cpu_op = 1;
+    compute_unit = 1;
+    fault_trap = 50;
+    handler_occupancy = 100;
+    msg_fixed = 100;
+    msg_per_hop = 8;
+    msg_per_word = 4;
+    block_install = 20;
+    hw_miss = 6;
+    local_copy = 50;
+    barrier_base = 200;
+    barrier_per_node = 10;
+    sched_dequeue = 150;
+    invocation_overhead = 20;
+  }
+
+let free =
+  {
+    cpu_op = 0;
+    compute_unit = 0;
+    fault_trap = 0;
+    handler_occupancy = 0;
+    msg_fixed = 0;
+    msg_per_hop = 0;
+    msg_per_word = 0;
+    block_install = 0;
+    hw_miss = 0;
+    local_copy = 0;
+    barrier_base = 0;
+    barrier_per_node = 0;
+    sched_dequeue = 0;
+    invocation_overhead = 0;
+  }
+
+let scale c k =
+  let s v = int_of_float (ceil (float_of_int v *. k)) in
+  {
+    c with
+    fault_trap = s c.fault_trap;
+    handler_occupancy = s c.handler_occupancy;
+    msg_fixed = s c.msg_fixed;
+    msg_per_hop = s c.msg_per_hop;
+    msg_per_word = s c.msg_per_word;
+    block_install = s c.block_install;
+    hw_miss = c.hw_miss;
+    local_copy = s c.local_copy;
+    barrier_base = s c.barrier_base;
+    barrier_per_node = s c.barrier_per_node;
+    sched_dequeue = s c.sched_dequeue;
+  }

@@ -1,0 +1,38 @@
+(** Cycle-cost model of the simulated machine.
+
+    All values are in CPU cycles of the simulated node processors.  The
+    defaults are flavoured after Blizzard-E on a 33 MHz CM-5: a fine-grain
+    access fault costs tens of cycles to detect and vector to a user-level
+    handler, a remote block fetch costs several hundred cycles end to end,
+    and a local hit costs one cycle.  Absolute values are not calibrated to
+    the original hardware — only the relative magnitudes matter for
+    reproducing the paper's comparisons (see DESIGN.md §1). *)
+
+type t = {
+  cpu_op : int;  (** cycles per simulated memory instruction that hits *)
+  compute_unit : int;  (** cycles charged per unit of pure compute work *)
+  fault_trap : int;  (** access-fault detection + dispatch to user handler *)
+  handler_occupancy : int;  (** protocol-handler time per received message *)
+  msg_fixed : int;  (** fixed per-message network interface overhead *)
+  msg_per_hop : int;  (** switch latency per network hop *)
+  msg_per_word : int;  (** serialisation cost per payload word *)
+  block_install : int;  (** install/tag a block received from the network *)
+  hw_miss : int;
+      (** extra cycles when an access misses the (optional) hardware cache
+          and falls through to node memory *)
+  local_copy : int;  (** snapshot or restore a block-sized local copy *)
+  barrier_base : int;  (** fixed barrier cost *)
+  barrier_per_node : int;  (** barrier cost component linear in nodes *)
+  sched_dequeue : int;  (** dynamic-scheduling shared-queue access *)
+  invocation_overhead : int;  (** start-up cost per parallel invocation *)
+}
+
+val default : t
+
+val free : t
+(** All costs zero — useful in unit tests that check protocol state
+    transitions without caring about timing. *)
+
+val scale : t -> float -> t
+(** [scale c k] multiplies every communication-related cost by [k] (cpu_op
+    and compute_unit are left unchanged).  Used by sensitivity ablations. *)

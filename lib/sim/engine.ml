@@ -1,0 +1,43 @@
+type t = {
+  queue : (unit -> unit) Lcm_util.Heap.t;
+  mutable now : int;
+  mutable processed : int;
+}
+
+let create () = { queue = Lcm_util.Heap.create (); now = 0; processed = 0 }
+
+let now e = e.now
+
+let schedule e ~at f =
+  if at < e.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at e.now);
+  Lcm_util.Heap.add e.queue ~key:at f
+
+let after e ~delay f =
+  let delay = max 0 delay in
+  schedule e ~at:(e.now + delay) f
+
+let step e =
+  match Lcm_util.Heap.pop e.queue with
+  | None -> false
+  | Some (t, f) ->
+    e.now <- t;
+    e.processed <- e.processed + 1;
+    f ();
+    true
+
+let run ?limit e =
+  let budget = match limit with None -> max_int | Some n -> n in
+  let rec loop remaining =
+    if remaining = 0 then
+      failwith
+        (Printf.sprintf "Engine.run: event limit exhausted at t=%d (%d pending)"
+           e.now (Lcm_util.Heap.length e.queue))
+    else if step e then loop (remaining - 1)
+  in
+  loop budget
+
+let pending e = Lcm_util.Heap.length e.queue
+
+let events_processed e = e.processed

@@ -1,0 +1,38 @@
+(** Discrete-event simulation core.
+
+    The engine owns the simulated clock and a queue of timestamped events.
+    Every cross-node interaction in the simulator — message delivery,
+    barrier release, scheduled callbacks — flows through this queue, which
+    makes runs fully deterministic: events at equal times fire in the order
+    they were scheduled. *)
+
+type t
+
+val create : unit -> t
+(** A fresh engine with the clock at cycle 0 and no pending events. *)
+
+val now : t -> int
+(** Current simulated time, in cycles. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> unit
+(** [schedule e ~at f] runs [f] when the clock reaches [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val after : t -> delay:int -> (unit -> unit) -> unit
+(** [after e ~delay f] is [schedule e ~at:(now e + delay) f].
+    A negative [delay] is treated as 0. *)
+
+val step : t -> bool
+(** Process the single earliest pending event, advancing the clock to its
+    timestamp.  Returns [false] when no event is pending. *)
+
+val run : ?limit:int -> t -> unit
+(** [run e] processes events until the queue drains.  [limit] bounds the
+    number of events processed (default: unlimited); hitting it raises
+    [Failure], which flags runaway simulations in tests. *)
+
+val pending : t -> int
+(** Number of events waiting in the queue. *)
+
+val events_processed : t -> int
+(** Total events processed since creation. *)

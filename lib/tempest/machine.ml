@@ -1,0 +1,391 @@
+type line = {
+  mutable data : Lcm_mem.Block.t;
+  mutable tag : Tag.t;
+  mutable dirty : Lcm_util.Mask.t;
+  mutable local_clean : Lcm_mem.Block.t option;
+  mutable last_use : int;
+  is_home_line : bool;
+}
+
+type node = {
+  node_id : int;
+  mutable node_clock : int;
+  mutable handler_free : int;
+  lines : (int, line) Hashtbl.t;
+  mutable access_stamp : int;
+  hw_cache : int array option;
+      (* optional direct-mapped hardware cache above node memory: slot i
+         holds the block number cached there (-1 = empty); a mismatch adds
+         the hw-miss penalty to the access *)
+  mutable node_machine : t option; (* back-pointer, set once at creation *)
+}
+
+and t = {
+  m_engine : Lcm_sim.Engine.t;
+  m_network : Lcm_net.Network.t;
+  m_gmem : Lcm_mem.Gmem.t;
+  m_costs : Lcm_sim.Costs.t;
+  m_stats : Lcm_util.Stats.t;
+  m_rng : Lcm_util.Rng.t;
+  m_nodes : node array;
+  masters : (int, Lcm_mem.Block.t) Hashtbl.t;
+  capacity_blocks : int option;
+  mutable m_epoch : int;
+  mutable m_phase : [ `Sequential | `Parallel ];
+  mutable m_active_fibers : int;
+  mutable read_fault : node -> addr:int -> retry:(unit -> unit) -> unit;
+  mutable write_fault : node -> addr:int -> retry:(unit -> unit) -> unit;
+  mutable on_directive : node -> Memeff.dir -> retry:(unit -> unit) -> unit;
+  mutable on_evict : node -> int -> line -> unit;
+  mutable trace : Trace.t option;
+}
+
+let no_handler _ = failwith "Machine: no protocol handler registered"
+
+let create ?(costs = Lcm_sim.Costs.default)
+    ?(topology = Lcm_net.Topology.Fat_tree { arity = 4 }) ?(seed = 42)
+    ?capacity_blocks ?hw_cache_blocks ~nnodes ~words_per_block () =
+  let engine = Lcm_sim.Engine.create () in
+  let stats = Lcm_util.Stats.create () in
+  let network =
+    Lcm_net.Network.create ~engine ~costs ~stats ~topology ~nnodes
+  in
+  let gmem = Lcm_mem.Gmem.create ~nnodes ~words_per_block in
+  (match hw_cache_blocks with
+  | Some n when n <= 0 ->
+    invalid_arg "Machine.create: hw_cache_blocks must be positive"
+  | Some _ | None -> ());
+  let nodes =
+    Array.init nnodes (fun i ->
+        {
+          node_id = i;
+          node_clock = 0;
+          handler_free = 0;
+          lines = Hashtbl.create 512;
+          access_stamp = 0;
+          hw_cache = Option.map (fun n -> Array.make n (-1)) hw_cache_blocks;
+          node_machine = None;
+        })
+  in
+  let m =
+    {
+      m_engine = engine;
+      m_network = network;
+      m_gmem = gmem;
+      m_costs = costs;
+      m_stats = stats;
+      m_rng = Lcm_util.Rng.create ~seed;
+      m_nodes = nodes;
+      masters = Hashtbl.create 4096;
+      capacity_blocks;
+      m_epoch = 0;
+      m_phase = `Sequential;
+      m_active_fibers = 0;
+      read_fault = (fun _ ~addr:_ ~retry:_ -> no_handler ());
+      write_fault = (fun _ ~addr:_ ~retry:_ -> no_handler ());
+      on_directive = (fun _ _ ~retry:_ -> no_handler ());
+      on_evict = (fun _ _ _ -> no_handler ());
+      trace = None;
+    }
+  in
+  Array.iter (fun n -> n.node_machine <- Some m) nodes;
+  m
+
+let engine t = t.m_engine
+let network t = t.m_network
+let gmem t = t.m_gmem
+let costs t = t.m_costs
+let stats t = t.m_stats
+let rng t = t.m_rng
+let nnodes t = Array.length t.m_nodes
+let node t i = t.m_nodes.(i)
+let nodes t = t.m_nodes
+
+let epoch t = t.m_epoch
+let incr_epoch t = t.m_epoch <- t.m_epoch + 1
+
+let phase t = t.m_phase
+let set_phase t p = t.m_phase <- p
+
+let id n = n.node_id
+let clock n = n.node_clock
+let set_clock n c = n.node_clock <- c
+let advance_clock n d = n.node_clock <- n.node_clock + d
+
+let machine n =
+  match n.node_machine with
+  | Some m -> m
+  | None -> assert false
+
+let find_line n b = Hashtbl.find_opt n.lines b
+
+let touch n line =
+  n.access_stamp <- n.access_stamp + 1;
+  line.last_use <- n.access_stamp
+
+(* Direct-mapped hardware-cache check: charges the miss penalty and
+   installs the block on a mismatch.  No-op when the machine has no
+   hardware cache configured. *)
+let hw_access t n b =
+  match n.hw_cache with
+  | None -> ()
+  | Some slots ->
+    let slot = b mod Array.length slots in
+    if slots.(slot) <> b then begin
+      slots.(slot) <- b;
+      n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.hw_miss;
+      Lcm_util.Stats.incr t.m_stats "cache.hw_misses"
+    end
+
+(* Track the number of live per-node clean copies (LCM-mcc snapshots) so
+   the paper's §5.1 memory-usage discussion can be quantified; the gauge
+   decrements whenever a line holding one disappears. *)
+let note_clean_copy_gone t (line : line) =
+  if line.local_clean <> None then
+    Lcm_util.Stats.add t.m_stats "lcm.live_clean_copies" (-1)
+
+let evict_one t n =
+  (* Linear scan for the least-recently-used evictable line.  Only runs
+     when a finite capacity is configured, where tables stay small. *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun b line ->
+      if not line.is_home_line then
+        match !victim with
+        | Some (_, best) when best.last_use <= line.last_use -> ()
+        | Some _ | None -> victim := Some (b, line))
+    n.lines;
+  match !victim with
+  | None -> () (* nothing evictable: over-capacity with home lines only *)
+  | Some (b, line) ->
+    Lcm_util.Stats.incr t.m_stats "cache.evictions";
+    t.on_evict n b line;
+    note_clean_copy_gone t line;
+    Hashtbl.remove n.lines b
+
+let install_line n b ~data ~tag =
+  let t = machine n in
+  (match Hashtbl.find_opt n.lines b with
+  | Some old -> note_clean_copy_gone t old
+  | None -> (
+    match t.capacity_blocks with
+    | Some cap when Hashtbl.length n.lines >= cap -> evict_one t n
+    | Some _ | None -> ()));
+  let is_home_line = Lcm_mem.Gmem.home_of_block t.m_gmem b = n.node_id in
+  let line =
+    {
+      data;
+      tag;
+      dirty = Lcm_util.Mask.empty;
+      local_clean = None;
+      last_use = 0;
+      is_home_line;
+    }
+  in
+  touch n line;
+  Hashtbl.replace n.lines b line;
+  line
+
+let drop_line n b =
+  (match Hashtbl.find_opt n.lines b with
+  | Some line -> note_clean_copy_gone (machine n) line
+  | None -> ());
+  Hashtbl.remove n.lines b
+
+let iter_lines n f = Hashtbl.iter f n.lines
+
+let lines_snapshot n =
+  Hashtbl.fold (fun b line acc -> (b, line) :: acc) n.lines []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let master t b =
+  match Hashtbl.find_opt t.masters b with
+  | Some data -> data
+  | None ->
+    let data = Lcm_mem.Block.make ~words:(Lcm_mem.Gmem.words_per_block t.m_gmem) in
+    Hashtbl.add t.masters b data;
+    let home = t.m_nodes.(Lcm_mem.Gmem.home_of_block t.m_gmem b) in
+    (* The home's backing line aliases the master copy and starts writable:
+       memory is born coherent and home-owned. *)
+    (match Hashtbl.find_opt home.lines b with
+    | Some _ -> ()
+    | None -> ignore (install_line home b ~data ~tag:Tag.Writable));
+    data
+
+let enable_trace ?(capacity = 256) t = t.trace <- Some (Trace.create ~capacity)
+
+let trace_dump t = match t.trace with Some tr -> Trace.dump tr | None -> []
+
+let tracef t ~time fmt =
+  Printf.ksprintf
+    (fun s ->
+      match t.trace with Some tr -> Trace.record tr ~time s | None -> ())
+    fmt
+
+let set_handlers t ~read_fault ~write_fault ~directive =
+  t.read_fault <- read_fault;
+  t.write_fault <- write_fault;
+  t.on_directive <- directive
+
+let set_evict_handler t f = t.on_evict <- f
+
+let send t ~src ~dst ~words ~tag ~at k =
+  if t.trace <> None then tracef t ~time:at "msg %s %d->%d (%dw)" tag src dst words;
+  Lcm_net.Network.send t.m_network ~src ~dst ~words ~tag ~at
+    (fun ~arrival ->
+      let dnode = t.m_nodes.(dst) in
+      let start = max arrival dnode.handler_free in
+      let finish = start + t.m_costs.Lcm_sim.Costs.handler_occupancy in
+      dnode.handler_free <- finish;
+      Lcm_util.Stats.incr t.m_stats "proto.handler_runs";
+      k dnode ~now:finish)
+
+let resume n ~now ~cost retry =
+  n.node_clock <- max n.node_clock now + cost;
+  retry ()
+
+(* ------------------------------------------------------------------ *)
+(* The memory access path.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec do_load t n addr (k : int -> unit) =
+  let b = Lcm_mem.Gmem.block_of_addr t.m_gmem addr in
+  let off = Lcm_mem.Gmem.offset_in_block t.m_gmem addr in
+  (* Home blocks materialise lazily so that first-touch at home hits. *)
+  if Lcm_mem.Gmem.home_of_block t.m_gmem b = n.node_id then
+    ignore (master t b);
+  match Hashtbl.find_opt n.lines b with
+  | Some line when Tag.readable line.tag ->
+    touch n line;
+    hw_access t n b;
+    k line.data.(off)
+  | Some _ | None ->
+    Lcm_util.Stats.incr t.m_stats "fault.read";
+    if t.trace <> None then
+      tracef t ~time:n.node_clock "read fault node %d addr %d (block %d)"
+        n.node_id addr b;
+    n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.fault_trap;
+    t.read_fault n ~addr ~retry:(fun () -> do_load t n addr k)
+
+let rec do_store t n addr v (k : unit -> unit) =
+  let b = Lcm_mem.Gmem.block_of_addr t.m_gmem addr in
+  let off = Lcm_mem.Gmem.offset_in_block t.m_gmem addr in
+  if Lcm_mem.Gmem.home_of_block t.m_gmem b = n.node_id then
+    ignore (master t b);
+  match Hashtbl.find_opt n.lines b with
+  | Some line when Tag.writable line.tag ->
+    touch n line;
+    hw_access t n b;
+    line.data.(off) <- v;
+    (match line.tag with
+    | Tag.Lcm_modified -> line.dirty <- Lcm_util.Mask.set line.dirty off
+    | Tag.Invalid | Tag.Read_only | Tag.Writable -> ());
+    k ()
+  | Some _ | None ->
+    Lcm_util.Stats.incr t.m_stats "fault.write";
+    if t.trace <> None then
+      tracef t ~time:n.node_clock "write fault node %d addr %d (block %d)"
+        n.node_id addr b;
+    n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.fault_trap;
+    t.write_fault n ~addr ~retry:(fun () -> do_store t n addr v k)
+
+(* Atomic fetch-and-op: once the line is locally writable the update is a
+   single indivisible step. *)
+let rec do_rmw t n addr f (k : int -> unit) =
+  let b = Lcm_mem.Gmem.block_of_addr t.m_gmem addr in
+  let off = Lcm_mem.Gmem.offset_in_block t.m_gmem addr in
+  if Lcm_mem.Gmem.home_of_block t.m_gmem b = n.node_id then
+    ignore (master t b);
+  match Hashtbl.find_opt n.lines b with
+  | Some line when Tag.writable line.tag ->
+    touch n line;
+    hw_access t n b;
+    let old = line.data.(off) in
+    line.data.(off) <- f old;
+    (match line.tag with
+    | Tag.Lcm_modified -> line.dirty <- Lcm_util.Mask.set line.dirty off
+    | Tag.Invalid | Tag.Read_only | Tag.Writable -> ());
+    k old
+  | Some _ | None ->
+    Lcm_util.Stats.incr t.m_stats "fault.write";
+    n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.fault_trap;
+    t.write_fault n ~addr ~retry:(fun () -> do_rmw t n addr f k)
+
+let active_fibers t = t.m_active_fibers
+
+let spawn t n ?(on_done = fun () -> ()) f =
+  t.m_active_fibers <- t.m_active_fibers + 1;
+  let cpu_op = t.m_costs.Lcm_sim.Costs.cpu_op in
+  let compute_unit = t.m_costs.Lcm_sim.Costs.compute_unit in
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc =
+        (fun () ->
+          t.m_active_fibers <- t.m_active_fibers - 1;
+          on_done ());
+      exnc = raise;
+      effc =
+        (fun (type c) (eff : c Effect.t) ->
+          match eff with
+          | Memeff.Load addr ->
+            Some
+              (fun (k : (c, unit) continuation) ->
+                n.node_clock <- n.node_clock + cpu_op;
+                do_load t n addr (fun v -> continue k v))
+          | Memeff.Store (addr, v) ->
+            Some
+              (fun (k : (c, unit) continuation) ->
+                n.node_clock <- n.node_clock + cpu_op;
+                do_store t n addr v (fun () -> continue k ()))
+          | Memeff.Rmw (addr, f) ->
+            Some
+              (fun (k : (c, unit) continuation) ->
+                n.node_clock <- n.node_clock + (2 * cpu_op);
+                do_rmw t n addr f (fun old -> continue k old))
+          | Memeff.Work units ->
+            Some
+              (fun (k : (c, unit) continuation) ->
+                n.node_clock <- n.node_clock + (units * compute_unit);
+                continue k ())
+          | Memeff.Yield ->
+            Some
+              (fun (k : (c, unit) continuation) ->
+                let at = max n.node_clock (Lcm_sim.Engine.now t.m_engine) in
+                Lcm_sim.Engine.schedule t.m_engine ~at (fun () ->
+                    n.node_clock <- max n.node_clock at;
+                    continue k ()))
+          | Memeff.Directive d ->
+            Some
+              (fun (k : (c, unit) continuation) ->
+                t.on_directive n d ~retry:(fun () -> continue k ()))
+          | _ -> None);
+    }
+
+let run_to_quiescence ?limit t =
+  Lcm_sim.Engine.run ?limit t.m_engine;
+  if t.m_active_fibers > 0 then begin
+    let tail =
+      match t.trace with
+      | None ->
+        "\n(enable_trace the machine to capture the event tail)"
+      | Some tr ->
+        "\nlast events:\n  " ^ String.concat "\n  " (Trace.dump tr)
+    in
+    failwith
+      (Printf.sprintf
+         "Machine.run_to_quiescence: deadlock — %d fiber(s) still suspended \
+          at t=%d%s"
+         t.m_active_fibers
+         (Lcm_sim.Engine.now t.m_engine)
+         tail)
+  end
+
+let max_clock t =
+  Array.fold_left (fun acc n -> max acc n.node_clock) 0 t.m_nodes
+
+let set_all_clocks t c = Array.iter (fun n -> n.node_clock <- c) t.m_nodes
+
+let barrier_cost t =
+  t.m_costs.Lcm_sim.Costs.barrier_base
+  + (nnodes t * t.m_costs.Lcm_sim.Costs.barrier_per_node)

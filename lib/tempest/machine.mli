@@ -1,0 +1,165 @@
+(** The simulated multiprocessor: nodes, their block tables, fiber
+    execution, and Tempest-style fault dispatch.
+
+    A {!t} bundles the event engine, network, global address space and an
+    array of nodes.  Each node has:
+
+    - a CPU clock ([clock]), advanced by the computation it runs;
+    - a protocol processor whose occupancy ([handler_free]) serializes
+      incoming protocol messages (see DESIGN.md §3);
+    - a table of cache {!line}s holding tagged block copies — at the home
+      node the line for an owned block aliases the block's master copy.
+
+    Computation runs as fibers (OCaml effect handlers).  Loads and stores
+    check the local tag: a hit resumes immediately; a violation charges the
+    fault-trap cost and calls the protocol hook registered with
+    {!set_handlers}, passing a [retry] thunk that re-executes the access
+    once the protocol has installed an acceptable copy. *)
+
+type line = {
+  mutable data : Lcm_mem.Block.t;  (** current local contents *)
+  mutable tag : Tag.t;
+  mutable dirty : Lcm_util.Mask.t;  (** words stored-to while [Lcm_modified] *)
+  mutable local_clean : Lcm_mem.Block.t option;
+      (** LCM-mcc per-node clean copy snapshot *)
+  mutable last_use : int;  (** LRU stamp, maintained by the access path *)
+  is_home_line : bool;  (** home backing store: never evicted *)
+}
+
+type node
+
+type t
+
+val create :
+  ?costs:Lcm_sim.Costs.t ->
+  ?topology:Lcm_net.Topology.t ->
+  ?seed:int ->
+  ?capacity_blocks:int ->
+  ?hw_cache_blocks:int ->
+  nnodes:int ->
+  words_per_block:int ->
+  unit ->
+  t
+(** [create ~nnodes ~words_per_block ()] builds a machine.  [topology]
+    defaults to the CM-5 fat tree of arity 4; [capacity_blocks] bounds each
+    node's cache in blocks (default: unbounded, Stache-style main-memory
+    cache).  [hw_cache_blocks] adds a direct-mapped per-node hardware cache
+    of that many block slots above node memory: accesses that miss it pay
+    {!Lcm_sim.Costs.t.hw_miss} extra cycles (default: no hardware cache —
+    every local access costs one cycle). *)
+
+(** {1 Machine accessors} *)
+
+val engine : t -> Lcm_sim.Engine.t
+val network : t -> Lcm_net.Network.t
+val gmem : t -> Lcm_mem.Gmem.t
+val costs : t -> Lcm_sim.Costs.t
+val stats : t -> Lcm_util.Stats.t
+val rng : t -> Lcm_util.Rng.t
+val nnodes : t -> int
+val node : t -> int -> node
+val nodes : t -> node array
+
+val epoch : t -> int
+val incr_epoch : t -> unit
+
+val phase : t -> [ `Sequential | `Parallel ]
+val set_phase : t -> [ `Sequential | `Parallel ] -> unit
+
+(** {1 Node accessors} *)
+
+val id : node -> int
+val clock : node -> int
+val set_clock : node -> int -> unit
+val advance_clock : node -> int -> unit
+val machine : node -> t
+
+(** {1 Block tables (protocol side)} *)
+
+val master : t -> Lcm_mem.Gmem.block -> Lcm_mem.Block.t
+(** [master t b] is the master copy of block [b], created zero-filled on
+    first use.  Also installs the home node's writable backing line if not
+    present. *)
+
+val find_line : node -> Lcm_mem.Gmem.block -> line option
+
+val install_line :
+  node -> Lcm_mem.Gmem.block -> data:Lcm_mem.Block.t -> tag:Tag.t -> line
+(** Install (or overwrite) a cached copy.  May trigger an LRU eviction via
+    the hook registered with {!set_evict_handler} when the node's capacity
+    is bounded. *)
+
+val drop_line : node -> Lcm_mem.Gmem.block -> unit
+
+val iter_lines : node -> (Lcm_mem.Gmem.block -> line -> unit) -> unit
+
+val lines_snapshot : node -> (Lcm_mem.Gmem.block * line) list
+(** Sorted by block number — used where deterministic order matters
+    (flushes, reconciliation). *)
+
+(** {1 Protocol hooks} *)
+
+val set_handlers :
+  t ->
+  read_fault:(node -> addr:int -> retry:(unit -> unit) -> unit) ->
+  write_fault:(node -> addr:int -> retry:(unit -> unit) -> unit) ->
+  directive:(node -> Memeff.dir -> retry:(unit -> unit) -> unit) ->
+  unit
+
+val set_evict_handler : t -> (node -> Lcm_mem.Gmem.block -> line -> unit) -> unit
+(** Called when a line is about to be evicted by capacity pressure; the
+    protocol must write back / notify home as needed.  The line is removed
+    from the table after the handler returns. *)
+
+(** {1 Messaging} *)
+
+val send :
+  t ->
+  src:int ->
+  dst:int ->
+  words:int ->
+  tag:string ->
+  at:int ->
+  (node -> now:int -> unit) ->
+  unit
+(** [send t ~src ~dst ~words ~tag ~at k] transmits a protocol message.  [k]
+    runs on the destination's protocol processor; [now] is the time its
+    handler occupancy completes, i.e. the timestamp any reply should carry. *)
+
+val resume : node -> now:int -> cost:int -> (unit -> unit) -> unit
+(** [resume n ~now ~cost retry] returns control to a suspended fiber: sets
+    the node clock to [max clock now + cost] and runs [retry]. *)
+
+(** {1 Fibers} *)
+
+val spawn : t -> node -> ?on_done:(unit -> unit) -> (unit -> unit) -> unit
+(** [spawn t n f] runs [f] as a fiber on node [n], immediately, until its
+    first suspension.  [on_done] fires when the fiber finishes. *)
+
+val active_fibers : t -> int
+
+val run_to_quiescence : ?limit:int -> t -> unit
+(** Drain the event queue.  @raise Failure if fibers remain suspended after
+    the queue empties (protocol deadlock) or [limit] events are exceeded. *)
+
+val max_clock : t -> int
+(** Maximum node CPU clock — the phase completion time. *)
+
+val set_all_clocks : t -> int -> unit
+
+val barrier_cost : t -> int
+(** [barrier_base + nnodes * barrier_per_node] from the cost model. *)
+
+(** {1 Tracing} *)
+
+val enable_trace : ?capacity:int -> t -> unit
+(** Start recording faults and messages into a ring of [capacity] (default
+    256) events; a deadlock failure then dumps the tail. *)
+
+val trace_dump : t -> string list
+(** The retained trace, oldest first ([[]] when tracing is off). *)
+
+val tracef :
+  t -> time:int -> ('a, unit, string, unit) format4 -> 'a
+(** Record a custom event (no-op when tracing is off); protocol layers use
+    this to annotate their transitions. *)

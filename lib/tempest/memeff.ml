@@ -1,0 +1,23 @@
+type dir = ..
+
+type dir += Mark_modification of int | Flush_copies
+
+type _ Effect.t +=
+  | Load : int -> int Effect.t
+  | Store : int * int -> unit Effect.t
+  | Rmw : int * (int -> int) -> int Effect.t
+  | Work : int -> unit Effect.t
+  | Yield : unit Effect.t
+  | Directive : dir -> unit Effect.t
+
+let load addr = Effect.perform (Load addr)
+
+let store addr w = Effect.perform (Store (addr, w))
+
+let rmw addr f = Effect.perform (Rmw (addr, f))
+
+let work n = Effect.perform (Work n)
+
+let yield () = Effect.perform Yield
+
+let directive d = Effect.perform (Directive d)

@@ -1,0 +1,24 @@
+type t = {
+  events : (int * string) array;
+  capacity : int;
+  mutable next : int;  (* total recorded; next slot = next mod capacity *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { events = Array.make capacity (0, ""); capacity; next = 0 }
+
+let record t ~time event =
+  t.events.(t.next mod t.capacity) <- (time, event);
+  t.next <- t.next + 1
+
+let recorded t = t.next
+
+let dump t =
+  let n = min t.next t.capacity in
+  let first = t.next - n in
+  List.init n (fun i ->
+      let time, event = t.events.((first + i) mod t.capacity) in
+      Printf.sprintf "[t=%d] %s" time event)
+
+let clear t = t.next <- 0

@@ -1,0 +1,23 @@
+(** Bounded event trace for post-mortem debugging.
+
+    When enabled on a {!Machine.t}, the access-fault, message and fiber
+    events stream into a fixed-capacity ring; a deadlocked simulation dumps
+    the tail so protocol bugs (a lost retry, a never-acked request) can be
+    read off directly.  Disabled by default — recording costs a string
+    allocation per event. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val record : t -> time:int -> string -> unit
+(** Append an event, evicting the oldest when full. *)
+
+val recorded : t -> int
+(** Total events ever recorded (including evicted ones). *)
+
+val dump : t -> string list
+(** The retained events, oldest first, each as ["\[t=<time>\] <event>"]. *)
+
+val clear : t -> unit

@@ -1,0 +1,82 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+(* [before a b] decides whether entry [a] must pop before entry [b]:
+   smaller key first, insertion order breaking ties. *)
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.arr in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* The dummy element is never read: slots >= size are dead. *)
+  let dummy = h.arr.(0) in
+  let arr = Array.make new_cap dummy in
+  Array.blit h.arr 0 arr 0 h.size;
+  h.arr <- arr
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.arr.(i) h.arr.(parent) then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && before h.arr.(l) h.arr.(!smallest) then smallest := l;
+  if r < h.size && before h.arr.(r) h.arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(!smallest);
+    h.arr.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h ~key value =
+  let entry = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.size = 0 && Array.length h.arr = 0 then h.arr <- Array.make 16 entry;
+  if h.size = Array.length h.arr then grow h;
+  h.arr.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let min_key h = if h.size = 0 then None else Some h.arr.(0).key
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.arr.(0) <- h.arr.(h.size);
+      sift_down h 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let clear h =
+  h.size <- 0;
+  h.arr <- [||]
+
+let iter_unordered h f =
+  for i = 0 to h.size - 1 do
+    let e = h.arr.(i) in
+    f ~key:e.key e.value
+  done

@@ -1,0 +1,36 @@
+(** Binary min-heap keyed by integer priorities, with stable FIFO order
+    among equal keys.
+
+    Used as the event queue of the discrete-event simulator: events scheduled
+    for the same simulated time are delivered in insertion order, which keeps
+    simulations deterministic. *)
+
+type 'a t
+(** A mutable min-heap holding values of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty heap. *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently in [h]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add h ~key v] inserts [v] with priority [key].  Smaller keys pop
+    first; among equal keys, values pop in the order they were added. *)
+
+val min_key : 'a t -> int option
+(** [min_key h] is the smallest key in [h], if any. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop h] removes and returns the minimum-key element, or [None] if the
+    heap is empty. *)
+
+val clear : 'a t -> unit
+(** [clear h] removes every element. *)
+
+val iter_unordered : 'a t -> (key:int -> 'a -> unit) -> unit
+(** [iter_unordered h f] applies [f] to every element in unspecified order,
+    without modifying the heap. *)

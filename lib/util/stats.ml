@@ -1,0 +1,83 @@
+type sample = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  samples : (string, sample) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; samples = Hashtbl.create 16 }
+
+let counter_ref s name =
+  match Hashtbl.find_opt s.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add s.counters name r;
+    r
+
+let incr s name =
+  let r = counter_ref s name in
+  incr r
+
+let add s name n =
+  let r = counter_ref s name in
+  r := !r + n
+
+let get s name = match Hashtbl.find_opt s.counters name with Some r -> !r | None -> 0
+
+let set_max s name v =
+  let r = counter_ref s name in
+  if v > !r then r := v
+
+let sample_rec s name =
+  match Hashtbl.find_opt s.samples name with
+  | Some x -> x
+  | None ->
+    let x = { count = 0; sum = 0.0; min = infinity; max = neg_infinity } in
+    Hashtbl.add s.samples name x;
+    x
+
+let observe s name x =
+  let r = sample_rec s name in
+  r.count <- r.count + 1;
+  r.sum <- r.sum +. x;
+  if x < r.min then r.min <- x;
+  if x > r.max then r.max <- x
+
+let sample_count s name =
+  match Hashtbl.find_opt s.samples name with Some r -> r.count | None -> 0
+
+let sample_sum s name =
+  match Hashtbl.find_opt s.samples name with Some r -> r.sum | None -> 0.0
+
+let sample_mean s name =
+  match Hashtbl.find_opt s.samples name with
+  | Some r when r.count > 0 -> r.sum /. float_of_int r.count
+  | Some _ | None -> 0.0
+
+let counters s =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) s.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into ~dst src =
+  Hashtbl.iter (fun name r -> add dst name !r) src.counters;
+  Hashtbl.iter
+    (fun name r ->
+      let d = sample_rec dst name in
+      d.count <- d.count + r.count;
+      d.sum <- d.sum +. r.sum;
+      if r.min < d.min then d.min <- r.min;
+      if r.max > d.max then d.max <- r.max)
+    src.samples
+
+let reset s =
+  Hashtbl.reset s.counters;
+  Hashtbl.reset s.samples
+
+let pp ppf s =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@." name v) (counters s)

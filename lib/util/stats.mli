@@ -1,0 +1,42 @@
+(** Named integer counters and scalar observations for simulation metrics.
+
+    A {!t} is a registry local to one simulation run; protocols, the
+    network and the runtime all bump counters through it, and the harness
+    reads them out to build the paper's tables. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** [incr s name] adds 1 to counter [name], creating it at 0 if needed. *)
+
+val add : t -> string -> int -> unit
+(** [add s name n] adds [n] to counter [name]. *)
+
+val get : t -> string -> int
+(** [get s name] is the current value of [name] (0 if never touched). *)
+
+val set_max : t -> string -> int -> unit
+(** [set_max s name v] raises counter [name] to [v] if [v] is larger. *)
+
+val observe : t -> string -> float -> unit
+(** [observe s name x] records scalar sample [x] under [name] (count, sum,
+    min, max retained). *)
+
+val sample_count : t -> string -> int
+val sample_sum : t -> string -> float
+val sample_mean : t -> string -> float
+(** Mean of observations under a name; 0 when empty. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst src] adds every counter and every sample of [src] into
+    [dst]. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render all counters, one per line, sorted by name. *)

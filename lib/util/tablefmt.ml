@@ -1,0 +1,54 @@
+type align = Left | Right
+
+let normalise pad_cell ncols row =
+  let len = List.length row in
+  if len = ncols then row
+  else if len > ncols then List.filteri (fun i _ -> i < ncols) row
+  else row @ List.init (ncols - len) (fun _ -> pad_cell)
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let rows = List.map (normalise "" ncols) rows in
+  let aligns =
+    match align with
+    | Some a -> normalise Right ncols a
+    | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths =
+    let update w row = List.map2 (fun w cell -> max w (String.length cell)) w row in
+    List.fold_left update (List.map String.length header) rows
+  in
+  let pad align width cell =
+    let n = width - String.length cell in
+    if n <= 0 then cell
+    else
+      match align with
+      | Left -> cell ^ String.make n ' '
+      | Right -> String.make n ' ' ^ cell
+  in
+  let line ch =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths) ^ "+"
+  in
+  let row_str cells =
+    let padded =
+      List.map2 (fun (a, w) c -> pad a w c) (List.combine aligns widths) cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (row_str header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (row_str r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)

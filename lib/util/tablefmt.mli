@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, boxed ASCII tables similar in spirit to the paper's
+    Table 1, so the harness output can be eyeballed next to the paper. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out [rows] under [header] with columns padded
+    to the widest cell.  [align] gives per-column alignment (default: first
+    column left, the rest right).  Rows shorter than the header are padded
+    with empty cells; longer rows are truncated. *)
+
+val print :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  unit
+(** [print] is [render] followed by [print_string]. *)

@@ -1,0 +1,259 @@
+(* Tests for the experiment harness: configuration, row bookkeeping, claim
+   evaluation and report rendering. *)
+
+open Lcm_harness
+module Bench_result = Lcm_apps.Bench_result
+
+let mk_result ?(cycles = 1000) ?(checksum = 1.0) name =
+  Bench_result.make ~name ~cycles ~checksum ~stats:(Lcm_util.Stats.create ())
+
+let row experiment system ?(cycles = 1000) ?(checksum = 1.0) () =
+  {
+    Experiments.experiment;
+    system;
+    result = mk_result ~cycles ~checksum (experiment ^ "/" ^ system);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_system_parse () =
+  List.iter
+    (fun (s, expected) ->
+      match Config.system_of_string s with
+      | Ok sys -> Alcotest.(check string) s expected sys.Config.label
+      | Error e -> Alcotest.fail e)
+    [
+      ("stache", "Stache+copy");
+      ("scc", "LCM-scc");
+      ("mcc", "LCM-mcc");
+      ("LCM-MCC", "LCM-mcc");
+    ];
+  Alcotest.(check bool) "junk rejected" true
+    (match Config.system_of_string "msi" with Error _ -> true | Ok _ -> false)
+
+let test_systems_order () =
+  Alcotest.(check (list string)) "paper order"
+    [ "LCM-scc"; "LCM-mcc"; "Stache+copy" ]
+    (List.map (fun s -> s.Config.label) Config.systems)
+
+let test_default_machine_is_cm5_shaped () =
+  let m = Config.default_machine in
+  Alcotest.(check int) "32 nodes" 32 m.Config.nnodes;
+  Alcotest.(check int) "8-word blocks" 8 m.Config.words_per_block;
+  Alcotest.(check bool) "fat tree" true
+    (m.Config.topology = Lcm_net.Topology.Fat_tree { arity = 4 })
+
+let test_make_runtime_wires_strategy () =
+  let m = { Config.default_machine with Config.nnodes = 4 } in
+  let rt = Config.make_runtime m Config.stache ~schedule:Lcm_cstar.Schedule.Static in
+  Alcotest.(check bool) "explicit copy" true
+    (Lcm_cstar.Runtime.strategy rt = Lcm_cstar.Runtime.Explicit_copy);
+  let rt = Config.make_runtime m Config.lcm_scc ~schedule:Lcm_cstar.Schedule.Static in
+  Alcotest.(check bool) "lcm" true
+    (Lcm_cstar.Runtime.strategy rt = Lcm_cstar.Runtime.Lcm_directives)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments bookkeeping                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_group_by_preserves_order () =
+  let rows =
+    [ row "b" "x" (); row "a" "x" (); row "b" "y" (); row "a" "y" () ]
+  in
+  let groups = Experiments.group_by_experiment rows in
+  Alcotest.(check (list string)) "first-appearance order" [ "b"; "a" ]
+    (List.map fst groups);
+  Alcotest.(check int) "b has 2 rows" 2 (List.length (List.assoc "b" groups))
+
+let test_agreement_detects_mismatch () =
+  let rows =
+    [
+      row "good" "s1" ~checksum:5.0 ();
+      row "good" "s2" ~checksum:5.0 ();
+      row "bad" "s1" ~checksum:5.0 ();
+      row "bad" "s2" ~checksum:9.0 ();
+    ]
+  in
+  let checks = Experiments.verify_agreement rows in
+  Alcotest.(check bool) "good agrees" true (List.assoc "good" checks);
+  Alcotest.(check bool) "bad flagged" false (List.assoc "bad" checks);
+  Alcotest.(check bool) "all_agree false" false (Report.all_agree rows)
+
+let synthetic_rows =
+  (* cycles chosen so every §6.3 claim direction holds *)
+  [
+    row "stencil-stat" "Stache+copy" ~cycles:100 ();
+    row "stencil-stat" "LCM-mcc" ~cycles:500 ();
+    row "stencil-stat" "LCM-scc" ~cycles:2000 ();
+    row "stencil-dyn" "Stache+copy" ~cycles:1000 ();
+    row "stencil-dyn" "LCM-mcc" ~cycles:980 ();
+    row "stencil-dyn" "LCM-scc" ~cycles:2500 ();
+    row "adaptive-stat" "Stache+copy" ~cycles:1000 ();
+    row "adaptive-stat" "LCM-mcc" ~cycles:1130 ();
+    row "adaptive-stat" "LCM-scc" ~cycles:1120 ();
+    row "adaptive-dyn" "Stache+copy" ~cycles:1900 ();
+    row "adaptive-dyn" "LCM-mcc" ~cycles:1000 ();
+    row "adaptive-dyn" "LCM-scc" ~cycles:1010 ();
+    row "threshold" "Stache+copy" ~cycles:1970 ();
+    row "threshold" "LCM-mcc" ~cycles:1000 ();
+    row "threshold" "LCM-scc" ~cycles:1130 ();
+    row "unstructured" "Stache+copy" ~cycles:1250 ();
+    row "unstructured" "LCM-mcc" ~cycles:1000 ();
+    row "unstructured" "LCM-scc" ~cycles:1080 ();
+  ]
+
+let test_claims_all_hold_on_paper_numbers () =
+  let cs = Experiments.claims synthetic_rows in
+  Alcotest.(check int) "nine claims" 9 (List.length cs);
+  List.iter
+    (fun (c : Experiments.claim) ->
+      Alcotest.(check bool) c.Experiments.id true c.Experiments.holds)
+    cs
+
+let test_claims_detect_inversion () =
+  (* make Stache lose stencil-stat: the first claim must fail *)
+  let rows =
+    List.map
+      (fun (r : Experiments.row) ->
+        if r.experiment = "stencil-stat" && r.system = "Stache+copy" then
+          row "stencil-stat" "Stache+copy" ~cycles:99999 ()
+        else r)
+      synthetic_rows
+  in
+  let c = List.hd (Experiments.claims rows) in
+  Alcotest.(check bool) "inverted claim fails" false c.Experiments.holds
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_execution_times_render () =
+  let out = Report.execution_times ~title:"T" synthetic_rows in
+  Alcotest.(check bool) "has title" true (contains out "== T ==");
+  Alcotest.(check bool) "has slowdown column" true (contains out "slowdown");
+  Alcotest.(check bool) "fastest is 1.00x" true (contains out "1.00x")
+
+let test_table1_render () =
+  let out = Report.table1 synthetic_rows in
+  Alcotest.(check bool) "kilo formatting" true (contains out "misses")
+
+let test_claims_render () =
+  let out = Report.claims (Experiments.claims synthetic_rows) in
+  Alcotest.(check bool) "verdict column" true (contains out "HOLDS")
+
+let test_csv_export () =
+  let out = Report.to_csv (List.filteri (fun i _ -> i < 2) synthetic_rows) in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check bool) "header" true
+    (contains (List.hd lines) "experiment,system,cycles");
+  Alcotest.(check bool) "row content" true
+    (contains out "stencil-stat,Stache+copy,100")
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end (tiny machine)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bench_result_close () =
+  let a = mk_result ~checksum:100.0 "a" and b = mk_result ~checksum:100.000001 "b" in
+  Alcotest.(check bool) "close" true (Bench_result.close a b);
+  let c = mk_result ~checksum:101.0 "c" in
+  Alcotest.(check bool) "not close" false (Bench_result.close a c)
+
+let test_figure2_pipeline_tiny () =
+  (* the exact bench pipeline at tiny scale: rows complete, systems agree,
+     claims computable, CSV renders *)
+  let machine = { Config.default_machine with Config.nnodes = 8 } in
+  let rows = Experiments.figure2 ~scale:Experiments.Tiny machine in
+  Alcotest.(check int) "6 rows" 6 (List.length rows);
+  Alcotest.(check bool) "systems agree" true (Report.all_agree rows);
+  let csv = Report.to_csv rows in
+  Alcotest.(check int) "csv lines" 7
+    (List.length (String.split_on_char '\n' (String.trim csv)))
+
+let test_figure3_pipeline_tiny () =
+  let machine = { Config.default_machine with Config.nnodes = 8 } in
+  let rows = Experiments.figure3 ~scale:Experiments.Tiny machine in
+  Alcotest.(check int) "12 rows" 12 (List.length rows);
+  Alcotest.(check bool) "systems agree" true (Report.all_agree rows);
+  (* all nine claims are computable over figure2+figure3 rows *)
+  let all = Experiments.figure2 ~scale:Experiments.Tiny machine @ rows in
+  List.iter
+    (fun (c : Experiments.claim) ->
+      Alcotest.(check bool) (c.Experiments.id ^ " finite") true
+        (Float.is_finite c.Experiments.measured))
+    (Experiments.claims all)
+
+let test_runs_are_bit_deterministic () =
+  (* identical config => identical simulated time, identical counters *)
+  let run () =
+    let m = { Config.default_machine with Config.nnodes = 8 } in
+    let rt =
+      Config.make_runtime m Config.lcm_mcc
+        ~schedule:(Lcm_cstar.Schedule.Dynamic_random 9)
+    in
+    Lcm_apps.Stencil.run rt { Lcm_apps.Stencil.n = 32; iters = 3; work_per_cell = 4 }
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "cycles identical" a.Bench_result.cycles b.Bench_result.cycles;
+  Alcotest.(check (float 0.0)) "checksums identical" a.Bench_result.checksum
+    b.Bench_result.checksum;
+  List.iter2
+    (fun (ka, va) (kb, vb) ->
+      Alcotest.(check string) "counter name" ka kb;
+      Alcotest.(check int) ("counter " ^ ka) va vb)
+    a.Bench_result.counters b.Bench_result.counters
+
+let test_ablation_barrier_shapes () =
+  (* flat must cost at least as much as tree at the larger machine *)
+  let rows = Experiments.ablation_barrier { Config.default_machine with Config.nnodes = 32 } in
+  let find exp sys =
+    (List.find
+       (fun (r : Experiments.row) -> r.experiment = exp && r.system = sys)
+       rows)
+      .result
+      .Bench_result.cycles
+  in
+  Alcotest.(check bool) "tree <= flat at P=128" true
+    (find "stencil P=128" "barrier tree:4" <= find "stencil P=128" "barrier flat")
+
+let () =
+  Alcotest.run "lcm_harness"
+    [
+      ( "config",
+        [
+          ("system parse", `Quick, test_system_parse);
+          ("systems order", `Quick, test_systems_order);
+          ("default machine", `Quick, test_default_machine_is_cm5_shaped);
+          ("runtime wiring", `Quick, test_make_runtime_wires_strategy);
+        ] );
+      ( "experiments",
+        [
+          ("group_by order", `Quick, test_group_by_preserves_order);
+          ("agreement mismatch", `Quick, test_agreement_detects_mismatch);
+          ("claims hold on paper numbers", `Quick, test_claims_all_hold_on_paper_numbers);
+          ("claims detect inversion", `Quick, test_claims_detect_inversion);
+        ] );
+      ( "report",
+        [
+          ("execution times", `Quick, test_execution_times_render);
+          ("table1", `Quick, test_table1_render);
+          ("claims", `Quick, test_claims_render);
+          ("csv", `Quick, test_csv_export);
+          ("bench_result close", `Quick, test_bench_result_close);
+        ] );
+      ( "end-to-end",
+        [
+          ("barrier ablation shape", `Slow, test_ablation_barrier_shapes);
+          ("bit determinism", `Quick, test_runs_are_bit_deterministic);
+          ("figure 2 pipeline (tiny)", `Slow, test_figure2_pipeline_tiny);
+          ("figure 3 pipeline (tiny)", `Slow, test_figure3_pipeline_tiny);
+        ] );
+    ]

@@ -1,0 +1,187 @@
+(* Tests for topologies and the network transport. *)
+
+open Lcm_net
+
+let test_crossbar_hops () =
+  Alcotest.(check int) "self" 0 (Topology.hops Crossbar ~src:3 ~dst:3);
+  Alcotest.(check int) "other" 1 (Topology.hops Crossbar ~src:0 ~dst:31)
+
+let test_mesh_hops () =
+  let t = Topology.Mesh2d { cols = 4 } in
+  (* node = row*4 + col *)
+  Alcotest.(check int) "adjacent" 1 (Topology.hops t ~src:0 ~dst:1);
+  Alcotest.(check int) "diagonal" 2 (Topology.hops t ~src:0 ~dst:5);
+  Alcotest.(check int) "far corner" 6 (Topology.hops t ~src:0 ~dst:15)
+
+let test_fattree_hops () =
+  let t = Topology.Fat_tree { arity = 4 } in
+  Alcotest.(check int) "same leaf group" 2 (Topology.hops t ~src:0 ~dst:3);
+  Alcotest.(check int) "next group" 4 (Topology.hops t ~src:0 ~dst:4);
+  Alcotest.(check int) "across 32 nodes" 6 (Topology.hops t ~src:0 ~dst:31)
+
+let test_fattree_symmetric () =
+  let t = Topology.Fat_tree { arity = 4 } in
+  for src = 0 to 15 do
+    for dst = 0 to 15 do
+      Alcotest.(check int) "symmetric"
+        (Topology.hops t ~src ~dst)
+        (Topology.hops t ~src:dst ~dst:src)
+    done
+  done
+
+let test_topology_parse () =
+  Alcotest.(check bool) "crossbar" true (Topology.of_string "crossbar" = Ok Crossbar);
+  Alcotest.(check bool) "mesh" true
+    (Topology.of_string "mesh:8" = Ok (Mesh2d { cols = 8 }));
+  Alcotest.(check bool) "fattree" true
+    (Topology.of_string "FatTree:4" = Ok (Fat_tree { arity = 4 }));
+  Alcotest.(check bool) "garbage" true
+    (match Topology.of_string "ring" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "bad mesh" true
+    (match Topology.of_string "mesh:0" with Error _ -> true | Ok _ -> false)
+
+let test_topology_roundtrip () =
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (Topology.to_string t) true
+        (Topology.of_string (Topology.to_string t) = Ok t))
+    [ Topology.Crossbar; Mesh2d { cols = 8 }; Fat_tree { arity = 4 } ]
+
+let mk_net () =
+  let engine = Lcm_sim.Engine.create () in
+  let stats = Lcm_util.Stats.create () in
+  let net =
+    Network.create ~engine ~costs:Lcm_sim.Costs.default ~stats
+      ~topology:Topology.Crossbar ~nnodes:4
+  in
+  (engine, stats, net)
+
+let test_network_latency_model () =
+  let _, _, net = mk_net () in
+  let c = Lcm_sim.Costs.default in
+  Alcotest.(check int) "latency formula"
+    (c.Lcm_sim.Costs.msg_fixed + c.Lcm_sim.Costs.msg_per_hop
+   + (8 * c.Lcm_sim.Costs.msg_per_word))
+    (Network.latency net ~src:0 ~dst:1 ~words:8)
+
+let test_network_delivery () =
+  let engine, stats, net = mk_net () in
+  let arrived = ref (-1) in
+  Network.send net ~src:0 ~dst:1 ~words:8 ~tag:"t" ~at:100 (fun ~arrival ->
+      arrived := arrival);
+  Lcm_sim.Engine.run engine;
+  Alcotest.(check int) "arrival time" (100 + Network.latency net ~src:0 ~dst:1 ~words:8)
+    !arrived;
+  Alcotest.(check int) "msg counted" 1 (Lcm_util.Stats.get stats "net.msgs");
+  Alcotest.(check int) "tag counted" 1 (Lcm_util.Stats.get stats "msg.t");
+  Alcotest.(check int) "words counted" 8 (Lcm_util.Stats.get stats "net.words")
+
+let test_network_fifo_per_channel () =
+  let engine, _, net = mk_net () in
+  let log = ref [] in
+  (* Second message is smaller (lower latency) but must not overtake. *)
+  Network.send net ~src:0 ~dst:1 ~words:32 ~tag:"big" ~at:0 (fun ~arrival:_ ->
+      log := "big" :: !log);
+  Network.send net ~src:0 ~dst:1 ~words:0 ~tag:"small" ~at:1 (fun ~arrival:_ ->
+      log := "small" :: !log);
+  Lcm_sim.Engine.run engine;
+  Alcotest.(check (list string)) "fifo" [ "big"; "small" ] (List.rev !log)
+
+let test_network_distinct_channels_independent () =
+  let engine, _, net = mk_net () in
+  let log = ref [] in
+  Network.send net ~src:0 ~dst:1 ~words:32 ~tag:"slow" ~at:0 (fun ~arrival:_ ->
+      log := "slow" :: !log);
+  Network.send net ~src:2 ~dst:3 ~words:0 ~tag:"fast" ~at:0 (fun ~arrival:_ ->
+      log := "fast" :: !log);
+  Lcm_sim.Engine.run engine;
+  Alcotest.(check (list string)) "no cross-channel ordering" [ "fast"; "slow" ]
+    (List.rev !log)
+
+let test_network_bad_node () =
+  let _, _, net = mk_net () in
+  Alcotest.check_raises "dst range" (Invalid_argument "Network.send: dst out of range")
+    (fun () -> Network.send net ~src:0 ~dst:4 ~words:0 ~at:0 (fun ~arrival:_ -> ()))
+
+let test_network_clamps_to_engine_now () =
+  let engine, _, net = mk_net () in
+  Lcm_sim.Engine.schedule engine ~at:10_000 (fun () ->
+      (* a handler reacting to an old message sends "in the past" *)
+      Network.send net ~src:0 ~dst:1 ~words:0 ~tag:"late" ~at:0 (fun ~arrival ->
+          Alcotest.(check bool) "not before now" true (arrival >= 10_000)));
+  Lcm_sim.Engine.run engine
+
+let prop_network_delivers_everything_fifo =
+  (* random message batches: every message delivered exactly once, and
+     per-channel delivery order matches send order *)
+  QCheck.Test.make ~name:"all messages delivered, FIFO per channel" ~count:60
+    QCheck.(list (triple (int_bound 3) (int_bound 3) (int_bound 40)))
+    (fun msgs ->
+      let engine = Lcm_sim.Engine.create () in
+      let stats = Lcm_util.Stats.create () in
+      let net =
+        Network.create ~engine ~costs:Lcm_sim.Costs.default ~stats
+          ~topology:Topology.Crossbar ~nnodes:4
+      in
+      let delivered = Hashtbl.create 16 in
+      List.iteri
+        (fun seq (src, dst, words) ->
+          Network.send net ~src ~dst ~words ~tag:"p" ~at:0 (fun ~arrival:_ ->
+              let chan = (src, dst) in
+              let prev = Option.value (Hashtbl.find_opt delivered chan) ~default:[] in
+              Hashtbl.replace delivered chan (seq :: prev)))
+        msgs;
+      Lcm_sim.Engine.run engine;
+      let total = Hashtbl.fold (fun _ l acc -> acc + List.length l) delivered 0 in
+      total = List.length msgs
+      && Hashtbl.fold
+           (fun _ l acc ->
+             acc
+             && (* seqs per channel must be increasing once un-reversed *)
+             let rec increasing = function
+               | a :: (b :: _ as rest) -> a < b && increasing rest
+               | [ _ ] | [] -> true
+             in
+             increasing (List.rev l))
+           delivered true)
+
+let prop_fattree_hops_bounded =
+  QCheck.Test.make ~name:"fat tree hops bounded by 2*height" ~count:200
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (src, dst) ->
+      let h = Topology.hops (Fat_tree { arity = 4 }) ~src ~dst in
+      h >= 0 && h <= 8 && (h = 0) = (src = dst))
+
+let prop_mesh_triangle =
+  QCheck.Test.make ~name:"mesh triangle inequality" ~count:200
+    QCheck.(triple (int_bound 63) (int_bound 63) (int_bound 63))
+    (fun (a, b, c) ->
+      let t = Topology.Mesh2d { cols = 8 } in
+      Topology.hops t ~src:a ~dst:c
+      <= Topology.hops t ~src:a ~dst:b + Topology.hops t ~src:b ~dst:c)
+
+let () =
+  Alcotest.run "lcm_net"
+    [
+      ( "topology",
+        [
+          ("crossbar", `Quick, test_crossbar_hops);
+          ("mesh", `Quick, test_mesh_hops);
+          ("fattree", `Quick, test_fattree_hops);
+          ("fattree symmetric", `Quick, test_fattree_symmetric);
+          ("parse", `Quick, test_topology_parse);
+          ("roundtrip", `Quick, test_topology_roundtrip);
+          QCheck_alcotest.to_alcotest prop_fattree_hops_bounded;
+          QCheck_alcotest.to_alcotest prop_mesh_triangle;
+        ] );
+      ( "network",
+        [
+          ("latency model", `Quick, test_network_latency_model);
+          ("delivery", `Quick, test_network_delivery);
+          ("fifo per channel", `Quick, test_network_fifo_per_channel);
+          ("channels independent", `Quick, test_network_distinct_channels_independent);
+          ("bad node", `Quick, test_network_bad_node);
+          ("clamps to now", `Quick, test_network_clamps_to_engine_now);
+          QCheck_alcotest.to_alcotest prop_network_delivers_everything_fifo;
+        ] );
+    ]

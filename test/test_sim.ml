@@ -1,0 +1,133 @@
+(* Tests for the discrete-event engine and cost model. *)
+
+open Lcm_sim
+
+let test_engine_empty () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "no step" false (Engine.step e);
+  Alcotest.(check int) "now 0" 0 (Engine.now e)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:10 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~at:5 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~at:10 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time then fifo order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 10 (Engine.now e)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:10 (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: at=5 is before now=10")
+    (fun () -> Engine.schedule e ~at:5 (fun () -> ()))
+
+let test_engine_cascading () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Engine.after e ~delay:3 (fun () ->
+          incr hits;
+          chain (n - 1))
+  in
+  chain 5;
+  Engine.run e;
+  Alcotest.(check int) "all fired" 5 !hits;
+  Alcotest.(check int) "time accumulates" 15 (Engine.now e);
+  Alcotest.(check int) "processed" 5 (Engine.events_processed e)
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.after e ~delay:(-10) (fun () -> fired := true);
+  Engine.run e;
+  Alcotest.(check bool) "fired at now" true !fired
+
+let test_engine_limit () =
+  let e = Engine.create () in
+  let rec forever () = Engine.after e ~delay:1 forever in
+  forever ();
+  Alcotest.(check bool) "limit trips" true
+    (try
+       Engine.run ~limit:100 e;
+       false
+     with Failure _ -> true)
+
+let test_engine_pending () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:1 (fun () -> ());
+  Engine.schedule e ~at:2 (fun () -> ());
+  Alcotest.(check int) "pending" 2 (Engine.pending e);
+  ignore (Engine.step e);
+  Alcotest.(check int) "pending after step" 1 (Engine.pending e)
+
+let test_costs_default_sane () =
+  let c = Costs.default in
+  Alcotest.(check bool) "remote >> local" true
+    (c.Costs.msg_fixed + c.Costs.handler_occupancy > 50 * c.Costs.cpu_op)
+
+let test_costs_free () =
+  Alcotest.(check int) "free fault" 0 Costs.free.Costs.fault_trap
+
+let test_costs_scale () =
+  let c = Costs.scale Costs.default 2.0 in
+  Alcotest.(check int) "msg doubled" (2 * Costs.default.Costs.msg_fixed) c.Costs.msg_fixed;
+  Alcotest.(check int) "cpu_op unchanged" Costs.default.Costs.cpu_op c.Costs.cpu_op
+
+let prop_events_fire_in_time_order =
+  QCheck.Test.make ~name:"events fire in nondecreasing time order" ~count:100
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter (fun t -> Engine.schedule e ~at:t (fun () -> fired := t :: !fired)) times;
+      Engine.run e;
+      let order = List.rev !fired in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | [ _ ] | [] -> true
+      in
+      nondecreasing order && List.length order = List.length times)
+
+let prop_engine_now_never_decreases =
+  QCheck.Test.make ~name:"clock monotone under cascading schedules" ~count:50
+    QCheck.(list (int_bound 50))
+    (fun delays ->
+      let e = Engine.create () in
+      let ok = ref true in
+      let last = ref 0 in
+      List.iter
+        (fun d ->
+          Engine.after e ~delay:d (fun () ->
+              if Engine.now e < !last then ok := false;
+              last := Engine.now e))
+        delays;
+      Engine.run e;
+      !ok)
+
+let () =
+  Alcotest.run "lcm_sim"
+    [
+      ( "engine",
+        [
+          ("empty", `Quick, test_engine_empty);
+          ("ordering", `Quick, test_engine_ordering);
+          ("past rejected", `Quick, test_engine_past_rejected);
+          ("cascading", `Quick, test_engine_cascading);
+          ("negative delay", `Quick, test_engine_negative_delay_clamped);
+          ("event limit", `Quick, test_engine_limit);
+          ("pending", `Quick, test_engine_pending);
+        ] );
+      ( "costs",
+        [
+          ("default sane", `Quick, test_costs_default_sane);
+          ("free", `Quick, test_costs_free);
+          ("scale", `Quick, test_costs_scale);
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_events_fire_in_time_order; prop_engine_now_never_decreases ] );
+    ]

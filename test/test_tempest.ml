@@ -1,0 +1,476 @@
+(* Tests for the Tempest layer: tags, the machine, fibers, fault dispatch.
+
+   These use a deliberately trivial test protocol — on any fault, fetch the
+   master copy from home and install it writable — to exercise the machinery
+   without the real coherence protocols (tested in test_core). *)
+
+open Lcm_tempest
+
+let test_tag_permissions () =
+  Alcotest.(check bool) "invalid not readable" false (Tag.readable Tag.Invalid);
+  Alcotest.(check bool) "ro readable" true (Tag.readable Tag.Read_only);
+  Alcotest.(check bool) "ro not writable" false (Tag.writable Tag.Read_only);
+  Alcotest.(check bool) "rw writable" true (Tag.writable Tag.Writable);
+  Alcotest.(check bool) "lcm writable" true (Tag.writable Tag.Lcm_modified);
+  Alcotest.(check string) "pp" "ReadOnly" (Tag.to_string Tag.Read_only)
+
+(* A minimal protocol: requester sends a request to home, home replies with a
+   copy of the master, requester installs it writable and retries.  Writes
+   are never sent home — the test protocol is incoherent on purpose. *)
+let install_test_protocol m =
+  let gmem = Machine.gmem m in
+  let costs = Machine.costs m in
+  let fetch node ~addr ~retry =
+    let b = Lcm_mem.Gmem.block_of_addr gmem addr in
+    let home = Lcm_mem.Gmem.home_of_block gmem b in
+    let src = Machine.id node in
+    Machine.send m ~src ~dst:home ~words:1 ~tag:"req" ~at:(Machine.clock node)
+      (fun _home_node ~now ->
+        let data = Lcm_mem.Block.copy (Machine.master m b) in
+        Machine.send m ~src:home ~dst:src
+          ~words:(Lcm_mem.Gmem.words_per_block gmem)
+          ~tag:"rep" ~at:now
+          (fun requester ~now ->
+            ignore (Machine.install_line requester b ~data ~tag:Tag.Writable);
+            Machine.resume requester ~now ~cost:costs.Lcm_sim.Costs.block_install
+              retry))
+  in
+  Machine.set_handlers m ~read_fault:fetch ~write_fault:fetch
+    ~directive:(fun _ _ ~retry -> retry ())
+
+let mk ?capacity_blocks ?(nnodes = 4) () =
+  let m =
+    Machine.create ?capacity_blocks ~nnodes ~words_per_block:8
+      ~topology:Lcm_net.Topology.Crossbar ()
+  in
+  install_test_protocol m;
+  m
+
+let test_fiber_completes_without_memory () =
+  let m = mk () in
+  let done_ = ref false in
+  Machine.spawn m (Machine.node m 0) ~on_done:(fun () -> done_ := true) (fun () ->
+      Memeff.work 100);
+  Machine.run_to_quiescence m;
+  Alcotest.(check bool) "done" true !done_;
+  Alcotest.(check int) "work charged" 100 (Machine.clock (Machine.node m 0));
+  Alcotest.(check int) "no active fibers" 0 (Machine.active_fibers m)
+
+let test_local_home_access_hits () =
+  let m = mk () in
+  let gmem = Machine.gmem m in
+  let a = Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 0) ~nwords:8 in
+  let seen = ref (-1) in
+  Machine.spawn m (Machine.node m 0) (fun () ->
+      Memeff.store a 42;
+      seen := Memeff.load a);
+  Machine.run_to_quiescence m;
+  Alcotest.(check int) "readback" 42 !seen;
+  Alcotest.(check int) "no faults" 0
+    (Lcm_util.Stats.get (Machine.stats m) "fault.read"
+    + Lcm_util.Stats.get (Machine.stats m) "fault.write");
+  (* Home line aliases the master copy. *)
+  let b = Lcm_mem.Gmem.block_of_addr gmem a in
+  Alcotest.(check int) "master updated" 42 (Machine.master m b).(0)
+
+let test_remote_access_faults_and_suspends () =
+  let m = mk () in
+  let gmem = Machine.gmem m in
+  let a = Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 1) ~nwords:8 in
+  (Machine.master m (Lcm_mem.Gmem.block_of_addr gmem a)).(2) <- 7;
+  let seen = ref (-1) in
+  Machine.spawn m (Machine.node m 0) (fun () -> seen := Memeff.load (a + 2));
+  Alcotest.(check int) "suspended" 1 (Machine.active_fibers m);
+  Machine.run_to_quiescence m;
+  Alcotest.(check int) "value fetched" 7 !seen;
+  Alcotest.(check int) "one read fault" 1
+    (Lcm_util.Stats.get (Machine.stats m) "fault.read");
+  Alcotest.(check bool) "time advanced past trap+network" true
+    (Machine.clock (Machine.node m 0) > 100)
+
+let test_second_access_hits () =
+  let m = mk () in
+  let gmem = Machine.gmem m in
+  let a = Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 1) ~nwords:8 in
+  Machine.spawn m (Machine.node m 0) (fun () ->
+      ignore (Memeff.load a);
+      ignore (Memeff.load (a + 1)));
+  Machine.run_to_quiescence m;
+  Alcotest.(check int) "only one fault for two loads" 1
+    (Lcm_util.Stats.get (Machine.stats m) "fault.read")
+
+let test_store_sets_dirty_mask_on_lcm_line () =
+  let m = mk () in
+  let gmem = Machine.gmem m in
+  let a = Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 0) ~nwords:8 in
+  let b = Lcm_mem.Gmem.block_of_addr gmem a in
+  let node = Machine.node m 1 in
+  ignore
+    (Machine.install_line node b
+       ~data:(Lcm_mem.Block.make ~words:8)
+       ~tag:Tag.Lcm_modified);
+  Machine.spawn m node (fun () ->
+      Memeff.store (a + 3) 9;
+      Memeff.store (a + 5) 9);
+  Machine.run_to_quiescence m;
+  match Machine.find_line node b with
+  | None -> Alcotest.fail "line vanished"
+  | Some line ->
+    Alcotest.(check (list int)) "dirty words" [ 3; 5 ]
+      (Lcm_util.Mask.to_list line.Machine.dirty)
+
+let test_plain_writable_store_does_not_track_dirty () =
+  let m = mk () in
+  let gmem = Machine.gmem m in
+  let a = Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 0) ~nwords:8 in
+  Machine.spawn m (Machine.node m 0) (fun () -> Memeff.store a 1);
+  Machine.run_to_quiescence m;
+  let b = Lcm_mem.Gmem.block_of_addr gmem a in
+  match Machine.find_line (Machine.node m 0) b with
+  | None -> Alcotest.fail "no line"
+  | Some line ->
+    Alcotest.(check (list int)) "no dirty bits" []
+      (Lcm_util.Mask.to_list line.Machine.dirty)
+
+let test_many_fibers_interleave () =
+  let m = mk () in
+  let gmem = Machine.gmem m in
+  let a = Lcm_mem.Gmem.alloc gmem ~dist:Lcm_mem.Gmem.Interleaved ~nwords:(8 * 8) in
+  let total = ref 0 in
+  for i = 0 to 3 do
+    Machine.spawn m (Machine.node m i) (fun () ->
+        (* every node touches every block *)
+        for blk = 0 to 7 do
+          ignore (Memeff.load (a + (8 * blk)))
+        done;
+        incr total)
+  done;
+  Machine.run_to_quiescence m;
+  Alcotest.(check int) "all fibers finished" 4 !total
+
+let test_directive_dispatch () =
+  let m = mk () in
+  let hits = ref [] in
+  Machine.set_handlers m
+    ~read_fault:(fun _ ~addr:_ ~retry -> retry ())
+    ~write_fault:(fun _ ~addr:_ ~retry -> retry ())
+    ~directive:(fun node d ~retry ->
+      (match d with
+      | Memeff.Mark_modification a -> hits := ("mark", Machine.id node, a) :: !hits
+      | Memeff.Flush_copies -> hits := ("flush", Machine.id node, -1) :: !hits
+      | _ -> ());
+      retry ());
+  Machine.spawn m (Machine.node m 2) (fun () ->
+      Memeff.directive (Memeff.Mark_modification 40);
+      Memeff.directive Memeff.Flush_copies);
+  Machine.run_to_quiescence m;
+  Alcotest.(check int) "two directives" 2 (List.length !hits);
+  Alcotest.(check bool) "mark seen" true (List.mem ("mark", 2, 40) !hits)
+
+let test_capacity_eviction () =
+  let m = mk ~capacity_blocks:2 () in
+  let evicted = ref [] in
+  Machine.set_evict_handler m (fun _node b _line -> evicted := b :: !evicted);
+  let gmem = Machine.gmem m in
+  (* all blocks homed on node 1; node 0 caches them under capacity 2 *)
+  let a = Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 1) ~nwords:(8 * 4) in
+  Machine.spawn m (Machine.node m 0) (fun () ->
+      for blk = 0 to 3 do
+        ignore (Memeff.load (a + (8 * blk)))
+      done);
+  Machine.run_to_quiescence m;
+  Alcotest.(check int) "two evictions" 2 (List.length !evicted);
+  Alcotest.(check int) "lru order" 0 (List.nth (List.rev !evicted) 0);
+  Alcotest.(check int) "eviction stat" 2
+    (Lcm_util.Stats.get (Machine.stats m) "cache.evictions")
+
+let test_home_lines_not_evicted () =
+  let m = mk ~capacity_blocks:1 () in
+  Machine.set_evict_handler m (fun _ _ _ -> ());
+  let gmem = Machine.gmem m in
+  let local = Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 0) ~nwords:(8 * 3) in
+  Machine.spawn m (Machine.node m 0) (fun () ->
+      for blk = 0 to 2 do
+        Memeff.store (local + (8 * blk)) blk
+      done;
+      (* all three home blocks must still hit *)
+      for blk = 0 to 2 do
+        ignore (Memeff.load (local + (8 * blk)))
+      done);
+  Machine.run_to_quiescence m;
+  Alcotest.(check int) "no faults on home data" 0
+    (Lcm_util.Stats.get (Machine.stats m) "fault.read")
+
+let test_deadlock_detected () =
+  let m =
+    Machine.create ~nnodes:2 ~words_per_block:8 ~topology:Lcm_net.Topology.Crossbar ()
+  in
+  (* a protocol that never resumes *)
+  Machine.set_handlers m
+    ~read_fault:(fun _ ~addr:_ ~retry:_ -> ())
+    ~write_fault:(fun _ ~addr:_ ~retry:_ -> ())
+    ~directive:(fun _ _ ~retry -> retry ());
+  let gmem = Machine.gmem m in
+  let a = Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 1) ~nwords:8 in
+  Machine.spawn m (Machine.node m 0) (fun () -> ignore (Memeff.load a));
+  Alcotest.(check bool) "deadlock reported" true
+    (try
+       Machine.run_to_quiescence m;
+       false
+     with Failure _ -> true)
+
+let test_rmw_atomic_local () =
+  let m = mk () in
+  let a = Lcm_mem.Gmem.alloc (Machine.gmem m) ~dist:(Lcm_mem.Gmem.On 0) ~nwords:8 in
+  let old = ref (-1) in
+  Machine.spawn m (Machine.node m 0) (fun () ->
+      Memeff.store a 10;
+      old := Memeff.rmw a (fun v -> v + 5));
+  Machine.run_to_quiescence m;
+  Alcotest.(check int) "returns old value" 10 !old;
+  let b = Lcm_mem.Gmem.block_of_addr (Machine.gmem m) a in
+  Alcotest.(check int) "applied" 15 (Machine.master m b).(0)
+
+let test_rmw_faults_when_not_writable () =
+  let m = mk () in
+  let a = Lcm_mem.Gmem.alloc (Machine.gmem m) ~dist:(Lcm_mem.Gmem.On 1) ~nwords:8 in
+  Machine.spawn m (Machine.node m 0) (fun () -> ignore (Memeff.rmw a (fun v -> v + 1)));
+  Machine.run_to_quiescence m;
+  Alcotest.(check int) "write fault raised" 1
+    (Lcm_util.Stats.get (Machine.stats m) "fault.write")
+
+let test_rmw_sets_dirty_on_lcm_line () =
+  let m = mk () in
+  let gmem = Machine.gmem m in
+  let a = Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 0) ~nwords:8 in
+  let b = Lcm_mem.Gmem.block_of_addr gmem a in
+  let node = Machine.node m 1 in
+  ignore
+    (Machine.install_line node b ~data:(Lcm_mem.Block.make ~words:8)
+       ~tag:Tag.Lcm_modified);
+  Machine.spawn m node (fun () -> ignore (Memeff.rmw (a + 2) (fun v -> v + 1)));
+  Machine.run_to_quiescence m;
+  match Machine.find_line node b with
+  | Some line ->
+    Alcotest.(check (list int)) "dirty bit" [ 2 ]
+      (Lcm_util.Mask.to_list line.Machine.dirty)
+  | None -> Alcotest.fail "line vanished"
+
+let test_yield_interleaves_by_time () =
+  (* two fibers that only yield and work: events interleave in simulated
+     time order, so the log alternates according to their work sizes *)
+  let m = mk () in
+  let log = ref [] in
+  let fiber name work =
+    fun () ->
+      for _ = 1 to 3 do
+        Memeff.yield ();
+        Memeff.work work;
+        log := name :: !log
+      done
+  in
+  Machine.spawn m (Machine.node m 0) (fiber "slow" 100);
+  Machine.spawn m (Machine.node m 1) (fiber "fast" 10);
+  Machine.run_to_quiescence m;
+  (* deterministic: slow's 1st step runs at its t=0 resumption (FIFO before
+     fast's), then fast's three steps (t=10,20,30) all precede slow's
+     later steps at t=100 and t=200 *)
+  Alcotest.(check (list string)) "time-ordered interleave"
+    [ "slow"; "fast"; "fast"; "fast"; "slow"; "slow" ]
+    (List.rev !log)
+
+let test_epoch_and_phase () =
+  let m = mk () in
+  Alcotest.(check int) "epoch 0" 0 (Machine.epoch m);
+  Machine.incr_epoch m;
+  Alcotest.(check int) "epoch 1" 1 (Machine.epoch m);
+  Alcotest.(check bool) "sequential" true (Machine.phase m = `Sequential);
+  Machine.set_phase m `Parallel;
+  Alcotest.(check bool) "parallel" true (Machine.phase m = `Parallel)
+
+let test_clock_utilities () =
+  let m = mk () in
+  Machine.set_clock (Machine.node m 1) 500;
+  Machine.advance_clock (Machine.node m 1) 20;
+  Alcotest.(check int) "max clock" 520 (Machine.max_clock m);
+  Machine.set_all_clocks m 1000;
+  Alcotest.(check int) "sync" 1000 (Machine.clock (Machine.node m 3));
+  Alcotest.(check bool) "barrier cost positive" true (Machine.barrier_cost m > 0)
+
+let test_handler_occupancy_serializes () =
+  (* two messages arriving together at one node: the second handler's
+     completion time reflects the first's occupancy *)
+  let m = mk () in
+  let times = ref [] in
+  Machine.send m ~src:0 ~dst:2 ~words:0 ~tag:"a" ~at:0 (fun _ ~now ->
+      times := now :: !times);
+  Machine.send m ~src:1 ~dst:2 ~words:0 ~tag:"b" ~at:0 (fun _ ~now ->
+      times := now :: !times);
+  Machine.run_to_quiescence m;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    let occ = (Machine.costs m).Lcm_sim.Costs.handler_occupancy in
+    Alcotest.(check bool)
+      (Printf.sprintf "serialized (%d then %d)" t1 t2)
+      true
+      (t2 >= t1 + occ)
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_resume_clock_semantics () =
+  let m = mk () in
+  let node = Machine.node m 1 in
+  Machine.set_clock node 50;
+  Machine.resume node ~now:200 ~cost:7 (fun () -> ());
+  Alcotest.(check int) "clock jumps to event time + cost" 207 (Machine.clock node);
+  Machine.resume node ~now:100 ~cost:3 (fun () -> ());
+  (* an old event cannot move the clock backwards *)
+  Alcotest.(check int) "monotone" 210 (Machine.clock node)
+
+let test_hw_cache_charges_misses () =
+  let run hw =
+    let m =
+      Machine.create ?hw_cache_blocks:hw ~nnodes:2 ~words_per_block:8
+        ~topology:Lcm_net.Topology.Crossbar ()
+    in
+    install_test_protocol m;
+    let a = Lcm_mem.Gmem.alloc (Machine.gmem m) ~dist:(Lcm_mem.Gmem.On 0) ~nwords:(8 * 4) in
+    Machine.spawn m (Machine.node m 0) (fun () ->
+        (* two sweeps over 4 blocks: all hit node memory, but a 2-slot
+           direct-mapped hw cache misses every block on both sweeps *)
+        for sweep = 1 to 2 do
+          ignore sweep;
+          for blk = 0 to 3 do
+            ignore (Memeff.load (a + (8 * blk)))
+          done
+        done);
+    Machine.run_to_quiescence m;
+    ( Machine.clock (Machine.node m 0),
+      Lcm_util.Stats.get (Machine.stats m) "cache.hw_misses" )
+  in
+  let base_clock, base_misses = run None in
+  let small_clock, small_misses = run (Some 2) in
+  let big_clock, big_misses = run (Some 64) in
+  Alcotest.(check int) "no hw cache: no misses" 0 base_misses;
+  Alcotest.(check int) "2-slot: 8 conflict misses" 8 small_misses;
+  Alcotest.(check int) "64-slot: 4 cold misses" 4 big_misses;
+  Alcotest.(check bool) "misses cost cycles" true (small_clock > base_clock);
+  Alcotest.(check bool) "bigger cache cheaper" true (big_clock < small_clock)
+
+let test_hw_cache_validation () =
+  Alcotest.(check bool) "zero rejected" true
+    (try
+       ignore
+         (Machine.create ~hw_cache_blocks:0 ~nnodes:2 ~words_per_block:8 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_ring () =
+  let tr = Lcm_tempest.Trace.create ~capacity:3 in
+  List.iteri (fun i e -> Lcm_tempest.Trace.record tr ~time:(10 * i) e)
+    [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check int) "recorded total" 4 (Lcm_tempest.Trace.recorded tr);
+  Alcotest.(check (list string)) "keeps newest, oldest first"
+    [ "[t=10] b"; "[t=20] c"; "[t=30] d" ]
+    (Lcm_tempest.Trace.dump tr);
+  Lcm_tempest.Trace.clear tr;
+  Alcotest.(check (list string)) "cleared" [] (Lcm_tempest.Trace.dump tr);
+  Alcotest.(check bool) "bad capacity" true
+    (try
+       ignore (Lcm_tempest.Trace.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_machine_trace_captures_events () =
+  let m = mk () in
+  Machine.enable_trace ~capacity:16 m;
+  let a = Lcm_mem.Gmem.alloc (Machine.gmem m) ~dist:(Lcm_mem.Gmem.On 1) ~nwords:8 in
+  Machine.spawn m (Machine.node m 0) (fun () -> ignore (Memeff.load a));
+  Machine.run_to_quiescence m;
+  let events = Machine.trace_dump m in
+  Alcotest.(check bool) "fault recorded" true
+    (List.exists (fun e -> String.length e > 0 &&
+        (let has sub =
+           let nl = String.length sub and hl = String.length e in
+           let rec go i = i + nl <= hl && (String.sub e i nl = sub || go (i + 1)) in
+           go 0
+         in
+         has "read fault")) events);
+  Alcotest.(check bool) "message recorded" true
+    (List.exists (fun e ->
+         let has sub =
+           let nl = String.length sub and hl = String.length e in
+           let rec go i = i + nl <= hl && (String.sub e i nl = sub || go (i + 1)) in
+           go 0
+         in
+         has "msg req") events)
+
+let test_deadlock_reports_trace () =
+  let m =
+    Machine.create ~nnodes:2 ~words_per_block:8 ~topology:Lcm_net.Topology.Crossbar ()
+  in
+  Machine.enable_trace m;
+  Machine.set_handlers m
+    ~read_fault:(fun _ ~addr:_ ~retry:_ -> ())
+    ~write_fault:(fun _ ~addr:_ ~retry:_ -> ())
+    ~directive:(fun _ _ ~retry -> retry ());
+  let a = Lcm_mem.Gmem.alloc (Machine.gmem m) ~dist:(Lcm_mem.Gmem.On 1) ~nwords:8 in
+  Machine.spawn m (Machine.node m 0) (fun () -> ignore (Memeff.load a));
+  Alcotest.(check bool) "failure message has events" true
+    (try
+       Machine.run_to_quiescence m;
+       false
+     with Failure msg ->
+       let has sub =
+         let nl = String.length sub and hl = String.length msg in
+         let rec go i = i + nl <= hl && (String.sub msg i nl = sub || go (i + 1)) in
+         go 0
+       in
+       has "last events" && has "read fault")
+
+let test_lines_snapshot_sorted () =
+  let m = mk () in
+  let gmem = Machine.gmem m in
+  ignore (Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 1) ~nwords:(8 * 10));
+  let node = Machine.node m 0 in
+  List.iter
+    (fun b ->
+      ignore
+        (Machine.install_line node b ~data:(Lcm_mem.Block.make ~words:8)
+           ~tag:Tag.Read_only))
+    [ 9; 2; 5 ];
+  Alcotest.(check (list int)) "sorted" [ 2; 5; 9 ]
+    (List.map fst (Machine.lines_snapshot node))
+
+let () =
+  Alcotest.run "lcm_tempest"
+    [
+      ("tag", [ ("permissions", `Quick, test_tag_permissions) ]);
+      ( "machine",
+        [
+          ("fiber completes", `Quick, test_fiber_completes_without_memory);
+          ("home access hits", `Quick, test_local_home_access_hits);
+          ("remote faults+suspends", `Quick, test_remote_access_faults_and_suspends);
+          ("second access hits", `Quick, test_second_access_hits);
+          ("lcm dirty mask", `Quick, test_store_sets_dirty_mask_on_lcm_line);
+          ("plain store untracked", `Quick, test_plain_writable_store_does_not_track_dirty);
+          ("fibers interleave", `Quick, test_many_fibers_interleave);
+          ("directive dispatch", `Quick, test_directive_dispatch);
+          ("capacity eviction", `Quick, test_capacity_eviction);
+          ("home lines pinned", `Quick, test_home_lines_not_evicted);
+          ("deadlock detected", `Quick, test_deadlock_detected);
+          ("rmw atomic local", `Quick, test_rmw_atomic_local);
+          ("rmw faults", `Quick, test_rmw_faults_when_not_writable);
+          ("rmw dirty bit", `Quick, test_rmw_sets_dirty_on_lcm_line);
+          ("yield interleaves by time", `Quick, test_yield_interleaves_by_time);
+          ("epoch and phase", `Quick, test_epoch_and_phase);
+          ("clock utilities", `Quick, test_clock_utilities);
+          ("lines snapshot sorted", `Quick, test_lines_snapshot_sorted);
+          ("handler occupancy", `Quick, test_handler_occupancy_serializes);
+          ("resume clock semantics", `Quick, test_resume_clock_semantics);
+          ("hw cache misses", `Quick, test_hw_cache_charges_misses);
+          ("hw cache validation", `Quick, test_hw_cache_validation);
+          ("trace ring", `Quick, test_trace_ring);
+          ("machine trace", `Quick, test_machine_trace_captures_events);
+          ("deadlock reports trace", `Quick, test_deadlock_reports_trace);
+        ] );
+    ]

@@ -1,0 +1,322 @@
+(* Unit and property tests for Lcm_util: heap, rng, mask, stats, tablefmt. *)
+
+open Lcm_util
+
+let check = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option (pair int int))) "pop empty" None (Heap.pop h);
+  Alcotest.(check (option int)) "min_key empty" None (Heap.min_key h)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.add h ~key:k k) [ 5; 3; 9; 1; 7; 3 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (k, _) ->
+      out := k :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 3; 5; 7; 9 ] (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iteri (fun i tag -> Heap.add h ~key:(i mod 2) tag) [ "a"; "b"; "c"; "d"; "e" ];
+  (* keys: a=0 b=1 c=0 d=1 e=0; expect a c e (key 0, FIFO) then b d *)
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  let out =
+    let rec take n = if n = 0 then [] else let v = pop () in v :: take (n - 1) in
+    take 5
+  in
+  Alcotest.(check (list string)) "fifo among equals" [ "a"; "c"; "e"; "b"; "d" ] out
+
+let test_heap_clear_and_reuse () =
+  let h = Heap.create () in
+  Heap.add h ~key:1 "x";
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Heap.add h ~key:2 "y";
+  Alcotest.(check (option (pair int string))) "reuse" (Some (2, "y")) (Heap.pop h)
+
+let test_heap_iter_unordered () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.add h ~key:k k) [ 4; 2; 8 ];
+  let sum = ref 0 in
+  Heap.iter_unordered h (fun ~key _ -> sum := !sum + key);
+  check "iter sum" 14 !sum;
+  check "length preserved" 3 (Heap.length h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.add h ~key:k ()) keys;
+      let rec drain acc =
+        match Heap.pop h with Some (k, ()) -> drain (k :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:6 in
+  let b = Rng.split a in
+  (* The split stream must not mirror the parent. *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 5)
+
+let test_rng_int_distribution () =
+  (* Coarse uniformity check: each of 8 buckets within 3x of expectation. *)
+  let r = Rng.create ~seed:8 in
+  let buckets = Array.make 8 0 in
+  let n = 8000 in
+  for _ = 1 to n do
+    let i = Rng.int r 8 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "bucket sane" true (c > 300 && c < 3000))
+    buckets
+
+(* ------------------------------------------------------------------ *)
+(* Mask                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_mask_basics () =
+  let m = Mask.of_list [ 0; 3; 7 ] in
+  Alcotest.(check bool) "mem 3" true (Mask.mem m 3);
+  Alcotest.(check bool) "not mem 4" false (Mask.mem m 4);
+  check "cardinal" 3 (Mask.cardinal m);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 3; 7 ] (Mask.to_list m)
+
+let test_mask_full () =
+  check "full 8 cardinal" 8 (Mask.cardinal (Mask.full 8));
+  check "full 0" 0 (Mask.cardinal (Mask.full 0));
+  Alcotest.check_raises "full too big" (Invalid_argument "Mask.full") (fun () ->
+      ignore (Mask.full 63))
+
+let test_mask_set_ops () =
+  let a = Mask.of_list [ 1; 2; 3 ] and b = Mask.of_list [ 3; 4 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Mask.to_list (Mask.union a b));
+  Alcotest.(check (list int)) "inter" [ 3 ] (Mask.to_list (Mask.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 2 ] (Mask.to_list (Mask.diff a b));
+  Alcotest.(check bool) "overlaps" true (Mask.overlaps a b);
+  Alcotest.(check bool) "no overlap" false (Mask.overlaps a (Mask.of_list [ 5 ]))
+
+let test_mask_bounds () =
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Mask: word index out of range") (fun () ->
+      ignore (Mask.singleton (-1)));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Mask: word index out of range") (fun () ->
+      ignore (Mask.set Mask.empty 62))
+
+let test_mask_pp () =
+  let s = Format.asprintf "%a" Mask.pp (Mask.of_list [ 0; 2 ]) in
+  Alcotest.(check string) "render" "{0,2}" s
+
+let prop_mask_roundtrip =
+  let gen = QCheck.(list_of_size (Gen.int_bound 10) (int_bound 61)) in
+  QCheck.Test.make ~name:"mask of_list/to_list roundtrip" ~count:200 gen (fun is ->
+      let sorted = List.sort_uniq compare is in
+      Mask.to_list (Mask.of_list is) = sorted)
+
+let prop_mask_union_cardinal =
+  let gen = QCheck.(pair (list (int_bound 61)) (list (int_bound 61))) in
+  QCheck.Test.make ~name:"inclusion-exclusion" ~count:200 gen (fun (a, b) ->
+      let ma = Mask.of_list a and mb = Mask.of_list b in
+      Mask.cardinal (Mask.union ma mb) + Mask.cardinal (Mask.inter ma mb)
+      = Mask.cardinal ma + Mask.cardinal mb)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  check "unset is 0" 0 (Stats.get s "x");
+  Stats.incr s "x";
+  Stats.add s "x" 4;
+  check "incr+add" 5 (Stats.get s "x");
+  Stats.set_max s "m" 10;
+  Stats.set_max s "m" 3;
+  check "set_max keeps max" 10 (Stats.get s "m")
+
+let test_stats_samples () =
+  let s = Stats.create () in
+  Stats.observe s "lat" 2.0;
+  Stats.observe s "lat" 4.0;
+  check "count" 2 (Stats.sample_count s "lat");
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.sample_mean s "lat");
+  Alcotest.(check (float 1e-9)) "sum" 6.0 (Stats.sample_sum s "lat");
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Stats.sample_mean s "none")
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a "x" 2;
+  Stats.add b "x" 3;
+  Stats.add b "y" 1;
+  Stats.observe b "s" 5.0;
+  Stats.merge_into ~dst:a b;
+  check "merged x" 5 (Stats.get a "x");
+  check "merged y" 1 (Stats.get a "y");
+  check "merged sample" 1 (Stats.sample_count a "s")
+
+let test_stats_counters_sorted () =
+  let s = Stats.create () in
+  Stats.incr s "b";
+  Stats.incr s "a";
+  Alcotest.(check (list string)) "sorted names" [ "a"; "b" ]
+    (List.map fst (Stats.counters s))
+
+let test_stats_reset () =
+  let s = Stats.create () in
+  Stats.incr s "x";
+  Stats.reset s;
+  check "reset" 0 (Stats.get s "x")
+
+(* ------------------------------------------------------------------ *)
+(* Tablefmt                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let out =
+    Tablefmt.render ~header:[ "name"; "v" ] [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  Alcotest.(check bool) "contains header" true
+    (String.length out > 0
+    &&
+    let lines = String.split_on_char '\n' out in
+    List.exists (fun l -> l = "| name  |  v |") lines)
+
+let test_table_explicit_alignment () =
+  let out =
+    Tablefmt.render
+      ~align:[ Tablefmt.Right; Tablefmt.Left ]
+      ~header:[ "n"; "name" ]
+      [ [ "1"; "a" ]; [ "22"; "bb" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "right-aligned first column" true
+    (List.exists (fun l -> l = "|  1 | a    |") lines)
+
+let test_table_empty_rows () =
+  let out = Tablefmt.render ~header:[ "a"; "b" ] [] in
+  Alcotest.(check bool) "renders header only" true (String.length out > 0)
+
+let test_stats_sample_min_max_defaults () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count empty" 0 (Stats.sample_count s "x");
+  Stats.observe s "x" (-3.5);
+  Alcotest.(check (float 0.0)) "negative sum" (-3.5) (Stats.sample_sum s "x")
+
+let test_heap_many_duplicate_keys () =
+  let h = Heap.create () in
+  for i = 0 to 99 do
+    Heap.add h ~key:7 i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "stable across 100 equal keys"
+    (List.init 100 Fun.id) (List.rev !out)
+
+let test_table_ragged_rows () =
+  let out = Tablefmt.render ~header:[ "a"; "b"; "c" ] [ [ "1" ]; [ "1"; "2"; "3"; "4" ] ] in
+  (* Must not raise; all rows padded/truncated to 3 columns. *)
+  List.iter
+    (fun l ->
+      if String.length l > 0 && l.[0] = '|' then
+        Alcotest.(check int) "3 separators"
+          4
+          (List.length (String.split_on_char '|' l) - 1))
+    (String.split_on_char '\n' out)
+
+let suite =
+  [
+    ("heap empty", `Quick, test_heap_empty);
+    ("heap ordering", `Quick, test_heap_ordering);
+    ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("heap clear and reuse", `Quick, test_heap_clear_and_reuse);
+    ("heap iter_unordered", `Quick, test_heap_iter_unordered);
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng float bounds", `Quick, test_rng_float_bounds);
+    ("rng copy independent", `Quick, test_rng_copy_independent);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng distribution", `Quick, test_rng_int_distribution);
+    ("mask basics", `Quick, test_mask_basics);
+    ("mask full", `Quick, test_mask_full);
+    ("mask set ops", `Quick, test_mask_set_ops);
+    ("mask bounds", `Quick, test_mask_bounds);
+    ("mask pp", `Quick, test_mask_pp);
+    ("stats counters", `Quick, test_stats_counters);
+    ("stats samples", `Quick, test_stats_samples);
+    ("stats merge", `Quick, test_stats_merge);
+    ("stats sorted", `Quick, test_stats_counters_sorted);
+    ("stats reset", `Quick, test_stats_reset);
+    ("table render", `Quick, test_table_render);
+    ("table ragged", `Quick, test_table_ragged_rows);
+    ("table explicit align", `Quick, test_table_explicit_alignment);
+    ("table empty rows", `Quick, test_table_empty_rows);
+    ("stats sample defaults", `Quick, test_stats_sample_min_max_defaults);
+    ("heap 100 equal keys", `Quick, test_heap_many_duplicate_keys);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_heap_sorted; prop_mask_roundtrip; prop_mask_union_cardinal ]
+
+let () = Alcotest.run "lcm_util" [ ("util", suite) ]
