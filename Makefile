@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-paper doc clean examples
+.PHONY: all build test bench bench-paper doc clean examples trace-smoke
 
 all: build
 
@@ -16,6 +16,13 @@ bench:
 
 bench-paper:
 	dune exec bench/main.exe -- --paper --no-micro 2>&1 | tee bench_output_paper.txt
+
+# Run a small traced stencil and check the emitted Chrome trace JSON
+# parses and is non-empty.
+trace-smoke:
+	dune exec bin/lcm_sim.exe -- stencil --protocol lcm-mcc --nodes 8 \
+	  --size 32 --iters 2 --trace-out /tmp/lcm_trace_smoke.json
+	dune exec bin/lcm_sim.exe -- trace-validate /tmp/lcm_trace_smoke.json
 
 examples:
 	@for e in quickstart compiler_demo adaptive_mesh reductions race_detection stale_data dynamic_list; do \

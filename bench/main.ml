@@ -119,6 +119,27 @@ let () =
     (Report.generic ~title:"stencil-stat under finite caches"
        (Experiments.ablation_capacity machine));
 
+  section "Tracing sample (structured observability)";
+  (let rt =
+     Config.make_runtime
+       { machine with Config.nnodes = 8 }
+       Config.lcm_mcc ~schedule:Lcm_cstar.Schedule.Static
+   in
+   Lcm_tempest.Machine.enable_trace ~capacity:65536 (Lcm_cstar.Runtime.machine rt);
+   Lcm_cstar.Runtime.enable_phase_log rt;
+   let r =
+     Lcm_apps.Stencil.run rt { Lcm_apps.Stencil.n = 32; iters = 3; work_per_cell = 4 }
+   in
+   let events = Lcm_tempest.Machine.trace_events (Lcm_cstar.Runtime.machine rt) in
+   let path = "lcm_trace_sample.json" in
+   Traceview.export_file ~path events;
+   Printf.printf "stencil 32x32 x3 under lcm-mcc: %d cycles\n"
+     r.Lcm_apps.Bench_result.cycles;
+   Printf.printf "%d trace events -> %s (open in chrome://tracing / Perfetto)\n"
+     (List.length events) path;
+   print_string
+     (Phases.render (Phases.of_log (Lcm_cstar.Runtime.phase_log rt))));
+
   if not (Report.all_agree rows) then begin
     prerr_endline "FATAL: protocols disagreed on results";
     exit 1

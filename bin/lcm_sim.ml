@@ -26,8 +26,9 @@ let topology_conv =
   Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Lcm_net.Topology.to_string t))
 
 let system_arg =
-  Arg.(value & opt system_conv Config.lcm_mcc & info [ "system"; "p" ] ~docv:"SYSTEM"
-         ~doc:"Memory system: stache, lcm-scc or lcm-mcc.")
+  Arg.(value & opt system_conv Config.lcm_mcc
+       & info [ "system"; "protocol"; "p" ] ~docv:"SYSTEM"
+           ~doc:"Memory system: stache, lcm-scc or lcm-mcc.")
 
 let schedule_arg =
   Arg.(value & opt schedule_conv Lcm_cstar.Schedule.Static
@@ -63,6 +64,37 @@ let barrier_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Dump all simulation counters.")
 
+let trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Record a protocol event trace and print the tail.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the recorded trace as Chrome trace_event JSON to \
+                 $(docv) — open in chrome://tracing or Perfetto.  Implies \
+                 $(b,--trace).")
+
+let trace_cap_arg =
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok n
+      | Some _ -> Error (`Msg "trace capacity must be positive")
+      | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt positive_int 262144
+       & info [ "trace-cap" ] ~docv:"N"
+           ~doc:"Trace ring capacity; once full, the oldest events are \
+                 evicted.")
+
+let phases_arg =
+  Arg.(value & flag
+       & info [ "phases" ] ~doc:"Print a per-parallel-phase metrics table.")
+
 let paper_arg =
   Arg.(value & flag & info [ "paper-scale" ] ~doc:"Use the paper's problem sizes.")
 
@@ -82,16 +114,48 @@ let report rt dump_stats (r : Bench_result.t) =
   if dump_stats then
     Format.printf "%a" Lcm_util.Stats.pp (Lcm_cstar.Runtime.stats rt)
 
+(* Arm tracing/phase logging before a run; [finish_observability] reports
+   or exports what was captured afterwards. *)
+let setup_observability rt ~trace ~trace_out ~trace_cap ~phases =
+  if trace || trace_out <> None then
+    Lcm_tempest.Machine.enable_trace ~capacity:trace_cap
+      (Lcm_cstar.Runtime.machine rt);
+  if phases then Lcm_cstar.Runtime.enable_phase_log rt
+
+let finish_observability rt ~trace ~trace_out ~phases =
+  (if trace || trace_out <> None then
+     let events = Lcm_tempest.Machine.trace_events (Lcm_cstar.Runtime.machine rt) in
+     let recorded = List.length events in
+     match trace_out with
+     | Some path ->
+       Traceview.export_file ~path events;
+       Printf.printf "trace: %d events -> %s\n" recorded path
+     | None ->
+       let tail =
+         let dumped = Lcm_tempest.Machine.trace_dump (Lcm_cstar.Runtime.machine rt) in
+         let len = List.length dumped in
+         if len <= 20 then dumped
+         else List.filteri (fun i _ -> i >= len - 20) dumped
+       in
+       Printf.printf "trace: %d events retained; tail:\n" recorded;
+       List.iter (fun l -> Printf.printf "  %s\n" l) tail);
+  if phases then
+    print_string (Phases.render (Phases.of_log (Lcm_cstar.Runtime.phase_log rt)))
+
 let simple_bench name ~default_size ~default_iters ~run_fn =
-  let run system schedule nodes topology capacity barrier size iters stats paper =
+  let run system schedule nodes topology capacity barrier size iters stats paper
+      trace trace_out trace_cap phases =
     let rt = make_runtime ~barrier system schedule nodes topology capacity in
-    report rt stats (run_fn rt ~size ~iters ~paper)
+    setup_observability rt ~trace ~trace_out ~trace_cap ~phases;
+    report rt stats (run_fn rt ~size ~iters ~paper);
+    finish_observability rt ~trace ~trace_out ~phases
   in
   let term =
     Term.(
       const run $ system_arg $ schedule_arg $ nodes_arg $ topology_arg
       $ capacity_arg $ barrier_arg $ size_arg default_size
-      $ iters_arg default_iters $ stats_arg $ paper_arg)
+      $ iters_arg default_iters $ stats_arg $ paper_arg $ trace_arg
+      $ trace_out_arg $ trace_cap_arg $ phases_arg)
   in
   Cmd.v (Cmd.info name ~doc:(Printf.sprintf "Run the %s benchmark." name)) term
 
@@ -215,8 +279,10 @@ let synthetic_cmd =
     Arg.(value & opt float 0.75
          & info [ "reads" ] ~docv:"FRACTION" ~doc:"Fraction of ops that read.")
   in
-  let run system schedule nodes topology sharing reads size iters stats =
+  let run system schedule nodes topology sharing reads size iters stats trace
+      trace_out trace_cap phases =
     let rt = make_runtime system schedule nodes topology None in
+    setup_observability rt ~trace ~trace_out ~trace_cap ~phases;
     let p =
       {
         Synthetic.default with
@@ -226,13 +292,15 @@ let synthetic_cmd =
         read_fraction = reads;
       }
     in
-    report rt stats (Synthetic.run rt p)
+    report rt stats (Synthetic.run rt p);
+    finish_observability rt ~trace ~trace_out ~phases
   in
   Cmd.v
     (Cmd.info "synthetic" ~doc:"Configurable synthetic sharing workload.")
     Term.(
       const run $ system_arg $ schedule_arg $ nodes_arg $ topology_arg
-      $ sharing_arg $ reads_arg $ size_arg 8 $ iters_arg 4 $ stats_arg)
+      $ sharing_arg $ reads_arg $ size_arg 8 $ iters_arg 4 $ stats_arg
+      $ trace_arg $ trace_out_arg $ trace_cap_arg $ phases_arg)
 
 let info_cmd =
   let run () =
@@ -266,6 +334,25 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Print the default machine and cost model.")
     Term.(const run $ const ())
 
+let trace_validate_cmd =
+  let file_arg =
+    Arg.(required
+         & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Trace JSON file to validate.")
+  in
+  let run file =
+    match Traceview.validate_file file with
+    | Ok n ->
+      Printf.printf "%s: valid Chrome trace, %d events\n" file n;
+      `Ok ()
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+  in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:"Check that a --trace-out file is well-formed (parses as JSON, \
+             non-empty traceEvents, monotone timestamps).")
+    Term.(ret (const run $ file_arg))
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -287,5 +374,6 @@ let () =
             false_sharing_cmd;
             nbody_cmd;
             synthetic_cmd;
+            trace_validate_cmd;
             info_cmd;
           ]))

@@ -7,6 +7,7 @@ type t = {
   clean_copies : int;
   messages : int;
   counters : (string * int) list;
+  gauges : (string * int) list;
 }
 
 let make ~name ~cycles ~checksum ~stats =
@@ -22,6 +23,7 @@ let make ~name ~cycles ~checksum ~stats =
     clean_copies = get "lcm.clean_copies" + get "lcm.snapshot_refreshes";
     messages = get "net.msgs";
     counters = Lcm_util.Stats.counters stats;
+    gauges = Lcm_util.Stats.gauges stats;
   }
 
 let message_breakdown t =

@@ -13,6 +13,8 @@ type t = {
   clean_copies : int;  (** LCM clean copies created (0 for Stache) *)
   messages : int;  (** total network messages *)
   counters : (string * int) list;  (** every counter of the run, sorted *)
+  gauges : (string * int) list;
+      (** high-water-mark gauges (e.g. ["lcm.peak_clean_copies"]), sorted *)
 }
 
 val message_breakdown : t -> (string * int) list

@@ -490,8 +490,18 @@ let try_finish_reconcile t ~now:_ =
         ~join_times:r.done_times
     in
     let release = max barrier_release r.last_ack_time in
+    (* Per-node wait: each node idles from when it finished its own work
+       (done_times) until the collective release. *)
+    Array.iter
+      (fun done_t ->
+        Stats.add (stats t) "lcm.barrier_wait_cycles" (release - done_t))
+      r.done_times;
     Machine.set_all_clocks t.mach release;
     Machine.incr_epoch t.mach;
+    Machine.trace_emit t.mach ~time:release
+      (Machine.Trace.Barrier_release { nnodes = Machine.nnodes t.mach });
+    Machine.trace_emit t.mach ~time:release
+      (Machine.Trace.Epoch_advance { epoch = Machine.epoch t.mach });
     Machine.set_phase t.mach `Sequential
   | Some _ | None -> ()
 
@@ -547,6 +557,8 @@ let rec home_recv_flush t b data mask ~from ~epoch ~now =
           r.join_time <- max r.join_time now;
           r.join_times.(nid) <- now;
           r.done_times.(nid) <- max r.done_times.(nid) now;
+          Machine.trace_emit t.mach ~time:now
+            (Machine.Trace.Barrier_enter { node = nid });
           if r.joined = Machine.nnodes t.mach then start_sweep t ~now
         | None -> ()
       end)
@@ -746,7 +758,9 @@ let reconcile t =
       r.joined <- r.joined + 1;
       r.join_time <- max r.join_time (Machine.clock node);
       r.join_times.(i) <- Machine.clock node;
-      r.done_times.(i) <- max r.done_times.(i) (Machine.clock node)
+      r.done_times.(i) <- max r.done_times.(i) (Machine.clock node);
+      Machine.trace_emit t.mach ~time:(Machine.clock node)
+        (Machine.Trace.Barrier_enter { node = i })
     end
   done;
   if r.joined = nnodes then
@@ -767,19 +781,27 @@ let begin_parallel t =
 (* ------------------------------------------------------------------ *)
 
 let directive t node d ~retry =
+  let note name =
+    Machine.trace_emit t.mach ~time:(Machine.clock node)
+      (Machine.Trace.Directive { node = Machine.id node; name })
+  in
   match d with
   | Memeff.Mark_modification addr ->
+    note "mark_modification";
     if Policy.is_lcm t.pol then mark t node ~addr ~retry
     else retry () (* Stache: C** code compiled for LCM run unchanged *)
   | Memeff.Flush_copies ->
+    note "flush_copies";
     if Policy.is_lcm t.pol then flush_node t node;
     retry ()
   | Stale.Pin_stale addr ->
+    note "pin_stale";
     let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
     Hashtbl.replace t.stale_pins.(Machine.id node) b ();
     Stats.incr (stats t) "stale.pins";
     retry ()
   | Stale.Refresh addr ->
+    note "refresh";
     let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
     let nid = Machine.id node in
     Hashtbl.remove t.stale_pins.(nid) b;

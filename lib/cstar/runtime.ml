@@ -4,19 +4,40 @@ module Memeff = Lcm_tempest.Memeff
 
 type strategy = Lcm_directives | Explicit_copy
 
+type phase_snapshot = {
+  label : string;
+  started : int;
+  finished : int;
+  before : (string * int) list;
+  after : (string * int) list;
+}
+
 type t = {
   proto : Proto.t;
   strategy : strategy;
   schedule : Schedule.t;
   flush_between : bool;
   chunks_per_node : int;
+  mutable phase_log : phase_snapshot list; (* newest first *)
+  mutable log_phases : bool;
 }
 
 let create proto ~strategy ~schedule ?(flush_between = true)
     ?(chunks_per_node = 1) () =
   if chunks_per_node <= 0 then
     invalid_arg "Runtime.create: chunks_per_node must be positive";
-  { proto; strategy; schedule; flush_between; chunks_per_node }
+  {
+    proto;
+    strategy;
+    schedule;
+    flush_between;
+    chunks_per_node;
+    phase_log = [];
+    log_phases = false;
+  }
+
+let enable_phase_log t = t.log_phases <- true
+let phase_log t = List.rev t.phase_log
 
 let proto t = t.proto
 let machine t = Proto.machine t.proto
@@ -50,6 +71,7 @@ let parallel_apply t ?(iter = 0) ?(reducers = []) ?flush_between ?schedule ~n
   let nnodes = Machine.nnodes mach in
   let costs = Machine.costs mach in
   let started = Machine.max_clock mach in
+  let before = if t.log_phases then Lcm_util.Stats.counters (stats t) else [] in
   Proto.begin_parallel t.proto;
   let schedule = Option.value schedule ~default:t.schedule in
   let nchunks = max 1 (min n (nnodes * t.chunks_per_node)) in
@@ -90,7 +112,15 @@ let parallel_apply t ?(iter = 0) ?(reducers = []) ?flush_between ?schedule ~n
   Lcm_util.Stats.incr (stats t) "cstar.parallel_calls";
   Lcm_util.Stats.add (stats t) "cstar.invocations" n;
   Lcm_util.Stats.observe (stats t) "cstar.phase_cycles"
-    (float_of_int (finished - started))
+    (float_of_int (finished - started));
+  if t.log_phases then begin
+    let label =
+      Printf.sprintf "parallel#%d"
+        (Lcm_util.Stats.get (stats t) "cstar.parallel_calls")
+    in
+    let after = Lcm_util.Stats.counters (stats t) in
+    t.phase_log <- { label; started; finished; before; after } :: t.phase_log
+  end
 
 let parallel_apply_2d t ?iter ?reducers ?flush_between ?schedule ~rows ~cols
     body =

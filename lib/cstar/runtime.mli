@@ -87,3 +87,21 @@ val elapsed : t -> int
 (** Current simulated time: the maximum node clock. *)
 
 val stats : t -> Lcm_util.Stats.t
+
+(** {1 Per-phase metrics} *)
+
+type phase_snapshot = {
+  label : string;  (** ["parallel#N"], N counting from 1 *)
+  started : int;  (** max node clock when the parallel call began *)
+  finished : int;  (** max node clock after reconciliation *)
+  before : (string * int) list;  (** counter values at phase start *)
+  after : (string * int) list;  (** counter values at phase end *)
+}
+
+val enable_phase_log : t -> unit
+(** Start capturing a {!phase_snapshot} around every {!parallel_apply};
+    off by default (snapshotting copies every counter twice per phase). *)
+
+val phase_log : t -> phase_snapshot list
+(** Captured snapshots, oldest first ([[]] when logging is off).  Feed to
+    {!Lcm_harness.Phases} for per-phase deltas and rendering. *)

@@ -1,0 +1,47 @@
+module Runtime = Lcm_cstar.Runtime
+module Tablefmt = Lcm_util.Tablefmt
+
+type row = {
+  label : string;
+  cycles : int;
+  deltas : (string * int) list; (* counter increments during the phase *)
+}
+
+let counter row name = Option.value (List.assoc_opt name row.deltas) ~default:0
+
+let of_snapshot (s : Runtime.phase_snapshot) =
+  let before name =
+    Option.value (List.assoc_opt name s.Runtime.before) ~default:0
+  in
+  let deltas =
+    List.filter_map
+      (fun (name, v) ->
+        let d = v - before name in
+        if d <> 0 then Some (name, d) else None)
+      s.Runtime.after
+  in
+  {
+    label = s.Runtime.label;
+    cycles = s.Runtime.finished - s.Runtime.started;
+    deltas;
+  }
+
+let of_log log = List.map of_snapshot log
+
+let render rows =
+  let cell row name = string_of_int (counter row name) in
+  Tablefmt.render
+    ~header:
+      [ "phase"; "cycles"; "misses"; "remote"; "msgs"; "flushed"; "barrier wait" ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           string_of_int r.cycles;
+           string_of_int (counter r "fault.read" + counter r "fault.write");
+           cell r "proto.fetch_remote";
+           cell r "net.msgs";
+           cell r "lcm.flush_blocks";
+           cell r "lcm.barrier_wait_cycles";
+         ])
+       rows)

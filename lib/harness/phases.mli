@@ -1,0 +1,25 @@
+(** Per-phase metric deltas from a runtime phase log.
+
+    {!Lcm_cstar.Runtime.enable_phase_log} captures every counter before
+    and after each [parallel_apply]; this module turns those snapshots
+    into per-phase increments and renders them as a table, giving a
+    phase-resolved view of where an application's misses, messages and
+    barrier wait go. *)
+
+type row = {
+  label : string;  (** ["parallel#N"] *)
+  cycles : int;  (** phase duration, including reconciliation *)
+  deltas : (string * int) list;
+      (** counters that changed during the phase, with their increment *)
+}
+
+val counter : row -> string -> int
+(** A counter's increment during the phase (0 when unchanged). *)
+
+val of_snapshot : Lcm_cstar.Runtime.phase_snapshot -> row
+
+val of_log : Lcm_cstar.Runtime.phase_snapshot list -> row list
+
+val render : row list -> string
+(** A table of phase, cycles, misses (read+write faults), remote fetches,
+    messages, flushed blocks and barrier-wait cycles. *)

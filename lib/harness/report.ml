@@ -80,6 +80,10 @@ let memory_usage rows =
     Option.value (List.assoc_opt name r.Experiments.result.Bench_result.counters)
       ~default:0
   in
+  let gauge r name =
+    Option.value (List.assoc_opt name r.Experiments.result.Bench_result.gauges)
+      ~default:0
+  in
   "== Clean-copy memory usage (Section 5.1) ==\n"
   ^ Tablefmt.render
       ~header:[ "benchmark"; "system"; "created"; "peak alive"; "blocks reconciled" ]
@@ -92,7 +96,7 @@ let memory_usage rows =
                  r.experiment;
                  r.system;
                  kilo (counter r "lcm.clean_copies");
-                 kilo (counter r "lcm.peak_clean_copies");
+                 kilo (gauge r "lcm.peak_clean_copies");
                  kilo (counter r "lcm.reconciled_blocks");
                ])
          rows)

@@ -4,17 +4,33 @@ type t = {
   stats : Lcm_util.Stats.t;
   topology : Topology.t;
   nnodes : int;
-  last_delivery : (int * int, int) Hashtbl.t; (* channel -> last arrival *)
+  channel_free : (int * int, int) Hashtbl.t;
+      (* channel -> time the link is free again: the previous message's
+         arrival plus its transmission time *)
+  mutable trace : Lcm_sim.Trace.t option;
 }
 
 let create ~engine ~costs ~stats ~topology ~nnodes =
-  { engine; costs; stats; topology; nnodes; last_delivery = Hashtbl.create 64 }
+  {
+    engine;
+    costs;
+    stats;
+    topology;
+    nnodes;
+    channel_free = Hashtbl.create 64;
+    trace = None;
+  }
+
+let set_trace t trace = t.trace <- trace
 
 let latency t ~src ~dst ~words =
   let hops = Topology.hops t.topology ~src ~dst in
   t.costs.Lcm_sim.Costs.msg_fixed
   + (hops * t.costs.Lcm_sim.Costs.msg_per_hop)
   + (words * t.costs.Lcm_sim.Costs.msg_per_word)
+
+let transmission_time t ~words =
+  max 1 (words * t.costs.Lcm_sim.Costs.msg_per_word)
 
 let send t ~src ~dst ~words ?tag ~at k =
   if src < 0 || src >= t.nnodes then invalid_arg "Network.send: src out of range";
@@ -24,10 +40,19 @@ let send t ~src ~dst ~words ?tag ~at k =
   (match tag with
   | Some tag -> Lcm_util.Stats.incr t.stats ("msg." ^ tag)
   | None -> ());
+  let tag_name = Option.value tag ~default:"-" in
+  (match t.trace with
+  | Some tr ->
+    Lcm_sim.Trace.emit tr ~time:at
+      (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst; words })
+  | None -> ());
   let channel = (src, dst) in
   let earliest =
-    match Hashtbl.find_opt t.last_delivery channel with
-    | Some last -> last + 1 (* strict FIFO: never deliver two at once *)
+    (* FIFO with bandwidth: the channel stays occupied for the previous
+       message's transmission time, so back-to-back messages arrive spaced
+       by at least the earlier message's size — not a fixed 1 cycle. *)
+    match Hashtbl.find_opt t.channel_free channel with
+    | Some free -> free
     | None -> 0
   in
   let raw_arrival = at + latency t ~src ~dst ~words in
@@ -36,5 +61,11 @@ let send t ~src ~dst ~words ?tag ~at k =
        lag the engine when it reacts to an old event, so clamp. *)
     max (max raw_arrival earliest) (Lcm_sim.Engine.now t.engine)
   in
-  Hashtbl.replace t.last_delivery channel arrival;
-  Lcm_sim.Engine.schedule t.engine ~at:arrival (fun () -> k ~arrival)
+  Hashtbl.replace t.channel_free channel (arrival + transmission_time t ~words);
+  Lcm_sim.Engine.schedule t.engine ~at:arrival (fun () ->
+      (match t.trace with
+      | Some tr ->
+        Lcm_sim.Trace.emit tr ~time:arrival
+          (Lcm_sim.Trace.Msg_recv { tag = tag_name; src; dst; words })
+      | None -> ());
+      k ~arrival)

@@ -7,8 +7,11 @@
     order.  There is no global ordering across channels.
 
     Latency model: [msg_fixed + hops * msg_per_hop + words * msg_per_word]
-    cycles (see {!Lcm_sim.Costs}), plus an optional per-channel serial
-    occupancy that models link bandwidth contention. *)
+    cycles (see {!Lcm_sim.Costs}).  Bandwidth model: a channel remains
+    occupied for each message's {!transmission_time}, so consecutive
+    messages on one channel arrive spaced by at least the earlier
+    message's transmission time — back-to-back large messages serialize by
+    size, not by a fixed cycle. *)
 
 type t
 
@@ -19,6 +22,11 @@ val create :
   topology:Topology.t ->
   nnodes:int ->
   t
+
+val set_trace : t -> Lcm_sim.Trace.t option -> unit
+(** Attach (or detach) a trace ring; when set, every send emits
+    {!Lcm_sim.Trace.Msg_send} at injection and {!Lcm_sim.Trace.Msg_recv}
+    at arrival. *)
 
 val send :
   t ->
@@ -39,3 +47,7 @@ val send :
 
 val latency : t -> src:int -> dst:int -> words:int -> int
 (** The uncontended latency the model assigns to such a message. *)
+
+val transmission_time : t -> words:int -> int
+(** [max 1 (words * msg_per_word)] — how long a message of [words] keeps
+    its channel occupied after its own arrival. *)

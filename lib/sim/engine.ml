@@ -30,10 +30,15 @@ let step e =
 let run ?limit e =
   let budget = match limit with None -> max_int | Some n -> n in
   let rec loop remaining =
-    if remaining = 0 then
-      failwith
-        (Printf.sprintf "Engine.run: event limit exhausted at t=%d (%d pending)"
-           e.now (Lcm_util.Heap.length e.queue))
+    if remaining = 0 then begin
+      (* An exhausted budget over an already-empty queue is a completed
+         run, not a failure — only pending work makes the limit an error. *)
+      if Lcm_util.Heap.length e.queue > 0 then
+        failwith
+          (Printf.sprintf
+             "Engine.run: event limit exhausted at t=%d (%d pending)" e.now
+             (Lcm_util.Heap.length e.queue))
+    end
     else if step e then loop (remaining - 1)
   in
   loop budget

@@ -28,8 +28,10 @@ val step : t -> bool
 
 val run : ?limit:int -> t -> unit
 (** [run e] processes events until the queue drains.  [limit] bounds the
-    number of events processed (default: unlimited); hitting it raises
-    [Failure], which flags runaway simulations in tests. *)
+    number of events processed (default: unlimited); exhausting it while
+    events remain pending raises [Failure], which flags runaway
+    simulations in tests.  A budget that runs out exactly as the queue
+    empties (including [~limit:0] on an idle engine) returns normally. *)
 
 val pending : t -> int
 (** Number of events waiting in the queue. *)

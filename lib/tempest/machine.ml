@@ -1,3 +1,5 @@
+module Trace = Lcm_sim.Trace
+
 type line = {
   mutable data : Lcm_mem.Block.t;
   mutable tag : Tag.t;
@@ -212,9 +214,18 @@ let master t b =
     | None -> ignore (install_line home b ~data ~tag:Tag.Writable));
     data
 
-let enable_trace ?(capacity = 256) t = t.trace <- Some (Trace.create ~capacity)
+let enable_trace ?(capacity = 256) t =
+  let tr = Trace.create ~capacity in
+  t.trace <- Some tr;
+  Lcm_net.Network.set_trace t.m_network (Some tr)
 
 let trace_dump t = match t.trace with Some tr -> Trace.dump tr | None -> []
+
+let trace_events t =
+  match t.trace with Some tr -> Trace.events tr | None -> []
+
+let trace_emit t ~time ev =
+  match t.trace with Some tr -> Trace.emit tr ~time ev | None -> ()
 
 let tracef t ~time fmt =
   Printf.ksprintf
@@ -230,7 +241,8 @@ let set_handlers t ~read_fault ~write_fault ~directive =
 let set_evict_handler t f = t.on_evict <- f
 
 let send t ~src ~dst ~words ~tag ~at k =
-  if t.trace <> None then tracef t ~time:at "msg %s %d->%d (%dw)" tag src dst words;
+  (* The network layer records Msg_send/Msg_recv; this layer records the
+     protocol-processor occupancy interval the message induces. *)
   Lcm_net.Network.send t.m_network ~src ~dst ~words ~tag ~at
     (fun ~arrival ->
       let dnode = t.m_nodes.(dst) in
@@ -238,6 +250,7 @@ let send t ~src ~dst ~words ~tag ~at k =
       let finish = start + t.m_costs.Lcm_sim.Costs.handler_occupancy in
       dnode.handler_free <- finish;
       Lcm_util.Stats.incr t.m_stats "proto.handler_runs";
+      trace_emit t ~time:start (Trace.Handler { node = dst; finish });
       k dnode ~now:finish)
 
 let resume n ~now ~cost retry =
@@ -261,9 +274,8 @@ let rec do_load t n addr (k : int -> unit) =
     k line.data.(off)
   | Some _ | None ->
     Lcm_util.Stats.incr t.m_stats "fault.read";
-    if t.trace <> None then
-      tracef t ~time:n.node_clock "read fault node %d addr %d (block %d)"
-        n.node_id addr b;
+    trace_emit t ~time:n.node_clock
+      (Trace.Fault { kind = Trace.Read; node = n.node_id; addr; block = b });
     n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.fault_trap;
     t.read_fault n ~addr ~retry:(fun () -> do_load t n addr k)
 
@@ -283,9 +295,8 @@ let rec do_store t n addr v (k : unit -> unit) =
     k ()
   | Some _ | None ->
     Lcm_util.Stats.incr t.m_stats "fault.write";
-    if t.trace <> None then
-      tracef t ~time:n.node_clock "write fault node %d addr %d (block %d)"
-        n.node_id addr b;
+    trace_emit t ~time:n.node_clock
+      (Trace.Fault { kind = Trace.Write; node = n.node_id; addr; block = b });
     n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.fault_trap;
     t.write_fault n ~addr ~retry:(fun () -> do_store t n addr v k)
 
@@ -308,6 +319,8 @@ let rec do_rmw t n addr f (k : int -> unit) =
     k old
   | Some _ | None ->
     Lcm_util.Stats.incr t.m_stats "fault.write";
+    trace_emit t ~time:n.node_clock
+      (Trace.Fault { kind = Trace.Write; node = n.node_id; addr; block = b });
     n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.fault_trap;
     t.write_fault n ~addr ~retry:(fun () -> do_rmw t n addr f k)
 

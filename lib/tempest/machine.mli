@@ -152,14 +152,26 @@ val barrier_cost : t -> int
 
 (** {1 Tracing} *)
 
+module Trace = Lcm_sim.Trace
+
 val enable_trace : ?capacity:int -> t -> unit
-(** Start recording faults and messages into a ring of [capacity] (default
-    256) events; a deadlock failure then dumps the tail. *)
+(** Start recording typed protocol events (faults, message send/receive,
+    handler occupancy, barriers, directives) into a ring of [capacity]
+    (default 256) events; also attaches the ring to the network so message
+    events are captured, and a deadlock failure dumps the tail. *)
 
 val trace_dump : t -> string list
-(** The retained trace, oldest first ([[]] when tracing is off). *)
+(** The retained trace rendered as strings, oldest first ([[]] when
+    tracing is off). *)
+
+val trace_events : t -> (int * Lcm_sim.Trace.event) list
+(** The retained typed events with their timestamps, oldest first ([[]]
+    when tracing is off).  Feed to {!Lcm_harness.Traceview} for export. *)
+
+val trace_emit : t -> time:int -> Lcm_sim.Trace.event -> unit
+(** Record a typed event (no-op when tracing is off); protocol layers use
+    this to annotate barriers, directives and epochs. *)
 
 val tracef :
   t -> time:int -> ('a, unit, string, unit) format4 -> 'a
-(** Record a custom event (no-op when tracing is off); protocol layers use
-    this to annotate their transitions. *)
+(** Record a free-form note event (no-op when tracing is off). *)

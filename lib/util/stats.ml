@@ -7,18 +7,26 @@ type sample = {
 
 type t = {
   counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
   samples : (string, sample) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 64; samples = Hashtbl.create 16 }
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    samples = Hashtbl.create 16;
+  }
 
-let counter_ref s name =
-  match Hashtbl.find_opt s.counters name with
+let ref_in table name =
+  match Hashtbl.find_opt table name with
   | Some r -> r
   | None ->
     let r = ref 0 in
-    Hashtbl.add s.counters name r;
+    Hashtbl.add table name r;
     r
+
+let counter_ref s name = ref_in s.counters name
 
 let incr s name =
   let r = counter_ref s name in
@@ -30,9 +38,15 @@ let add s name n =
 
 let get s name = match Hashtbl.find_opt s.counters name with Some r -> !r | None -> 0
 
+(* Gauges live in their own table: a gauge is a high-water mark, not an
+   accumulation, so merging runs must take the max — summing would report
+   impossible peaks (see merge_into). *)
 let set_max s name v =
-  let r = counter_ref s name in
+  let r = ref_in s.gauges name in
   if v > !r then r := v
+
+let gauge s name =
+  match Hashtbl.find_opt s.gauges name with Some r -> !r | None -> 0
 
 let sample_rec s name =
   match Hashtbl.find_opt s.samples name with
@@ -60,12 +74,17 @@ let sample_mean s name =
   | Some r when r.count > 0 -> r.sum /. float_of_int r.count
   | Some _ | None -> 0.0
 
-let counters s =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) s.counters []
+let sorted_bindings table =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters s = sorted_bindings s.counters
+
+let gauges s = sorted_bindings s.gauges
 
 let merge_into ~dst src =
   Hashtbl.iter (fun name r -> add dst name !r) src.counters;
+  Hashtbl.iter (fun name r -> set_max dst name !r) src.gauges;
   Hashtbl.iter
     (fun name r ->
       let d = sample_rec dst name in
@@ -77,7 +96,11 @@ let merge_into ~dst src =
 
 let reset s =
   Hashtbl.reset s.counters;
+  Hashtbl.reset s.gauges;
   Hashtbl.reset s.samples
 
 let pp ppf s =
-  List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@." name v) (counters s)
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@." name v) (counters s);
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%s = %d (gauge)@." name v)
+    (gauges s)

@@ -1,8 +1,12 @@
-(** Named integer counters and scalar observations for simulation metrics.
+(** Named integer counters, max-gauges and scalar observations for
+    simulation metrics.
 
     A {!t} is a registry local to one simulation run; protocols, the
     network and the runtime all bump counters through it, and the harness
-    reads them out to build the paper's tables. *)
+    reads them out to build the paper's tables.  Counters accumulate by
+    addition; {e gauges} are high-water marks written with {!set_max} and
+    kept in a separate table so that merging two registries takes their
+    [max] instead of (nonsensically) summing peaks. *)
 
 type t
 
@@ -15,10 +19,14 @@ val add : t -> string -> int -> unit
 (** [add s name n] adds [n] to counter [name]. *)
 
 val get : t -> string -> int
-(** [get s name] is the current value of [name] (0 if never touched). *)
+(** [get s name] is the current value of counter [name] (0 if never
+    touched).  Gauges are read with {!gauge}. *)
 
 val set_max : t -> string -> int -> unit
-(** [set_max s name v] raises counter [name] to [v] if [v] is larger. *)
+(** [set_max s name v] raises gauge [name] to [v] if [v] is larger. *)
+
+val gauge : t -> string -> int
+(** [gauge s name] is the current value of gauge [name] (0 if never set). *)
 
 val observe : t -> string -> float -> unit
 (** [observe s name x] records scalar sample [x] under [name] (count, sum,
@@ -30,13 +38,17 @@ val sample_mean : t -> string -> float
 (** Mean of observations under a name; 0 when empty. *)
 
 val counters : t -> (string * int) list
-(** All counters, sorted by name. *)
+(** All counters, sorted by name (gauges excluded — see {!gauges}). *)
+
+val gauges : t -> (string * int) list
+(** All gauges, sorted by name. *)
 
 val merge_into : dst:t -> t -> unit
-(** [merge_into ~dst src] adds every counter and every sample of [src] into
-    [dst]. *)
+(** [merge_into ~dst src] adds every counter and every sample of [src]
+    into [dst], and raises each of [dst]'s gauges to [src]'s value where
+    larger. *)
 
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit
-(** Render all counters, one per line, sorted by name. *)
+(** Render all counters then all gauges, one per line, sorted by name. *)

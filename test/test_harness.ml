@@ -224,6 +224,123 @@ let test_ablation_barrier_shapes () =
   Alcotest.(check bool) "tree <= flat at P=128" true
     (find "stencil P=128" "barrier tree:4" <= find "stencil P=128" "barrier flat")
 
+(* ------------------------------------------------------------------ *)
+(* Traceview: Chrome trace export and the mini JSON reader             *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Lcm_sim.Trace
+
+let traced_stencil_events () =
+  let rt =
+    Config.make_runtime
+      { Config.default_machine with Config.nnodes = 4 }
+      Config.lcm_mcc ~schedule:Lcm_cstar.Schedule.Static
+  in
+  Lcm_tempest.Machine.enable_trace ~capacity:65536
+    (Lcm_cstar.Runtime.machine rt);
+  ignore
+    (Lcm_apps.Stencil.run rt { Lcm_apps.Stencil.n = 12; iters = 2; work_per_cell = 2 });
+  Lcm_tempest.Machine.trace_events (Lcm_cstar.Runtime.machine rt)
+
+let test_trace_export_valid () =
+  let events = traced_stencil_events () in
+  Alcotest.(check bool) "events captured" true (events <> []);
+  let json = Traceview.to_chrome_json events in
+  match Traceview.validate_chrome json with
+  | Ok n -> Alcotest.(check int) "all events exported" (List.length events) n
+  | Error e -> Alcotest.fail ("export did not validate: " ^ e)
+
+let test_trace_export_contents () =
+  let json = Traceview.to_chrome_json (traced_stencil_events ()) in
+  let has sub =
+    let nl = String.length sub and hl = String.length json in
+    let rec go i = i + nl <= hl && (String.sub json i nl = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "message events" true (has "\"name\":\"send ");
+  Alcotest.(check bool) "fault events" true (has "\"name\":\"read fault\"");
+  Alcotest.(check bool) "barrier events" true (has "\"name\":\"barrier release\"");
+  Alcotest.(check bool) "handler slices" true (has "\"ph\":\"X\"");
+  Alcotest.(check bool) "epoch counter" true (has "\"ph\":\"C\"")
+
+let test_trace_export_sorted_and_escaped () =
+  (* Emission order is not time order; strings need escaping. *)
+  let events =
+    [
+      (20, Trace.Barrier_release { nnodes = 2 });
+      (5, Trace.Note "quote \" and backslash \\ and\nnewline");
+      (20, Trace.Epoch_advance { epoch = 1 });
+    ]
+  in
+  let json = Traceview.to_chrome_json events in
+  match Traceview.validate_chrome json with
+  | Ok n -> Alcotest.(check int) "3 events, monotone after sort" 3 n
+  | Error e -> Alcotest.fail e
+
+let test_json_parser () =
+  (match Traceview.parse "{\"a\": [1, 2.5, \"x\\n\"], \"b\": {\"c\": true, \"d\": null}}" with
+  | Ok doc -> (
+    match Traceview.member "a" doc with
+    | Some (Traceview.Arr [ Traceview.Num 1.0; Traceview.Num 2.5; Traceview.Str "x\n" ]) -> ()
+    | _ -> Alcotest.fail "array member mis-parsed")
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Traceview.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" bad))
+    [ ""; "{"; "{\"a\":}"; "[1, ]"; "tru"; "{\"a\":1} garbage"; "\"unterminated" ]
+
+let test_validate_rejects_non_traces () =
+  List.iter
+    (fun (text, why) ->
+      match Traceview.validate_chrome text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted " ^ why))
+    [
+      ("not json", "garbage");
+      ("{}", "missing traceEvents");
+      ("{\"traceEvents\":[]}", "empty traceEvents");
+      ("{\"traceEvents\":[{\"name\":\"a\"}]}", "event without ph/ts");
+      ( "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"i\",\"ts\":5},{\"name\":\"b\",\"ph\":\"i\",\"ts\":1}]}",
+        "non-monotone timestamps" );
+    ]
+
+let test_phase_log_deltas () =
+  let rt =
+    Config.make_runtime
+      { Config.default_machine with Config.nnodes = 4 }
+      Config.lcm_mcc ~schedule:Lcm_cstar.Schedule.Static
+  in
+  Lcm_cstar.Runtime.enable_phase_log rt;
+  ignore
+    (Lcm_apps.Stencil.run rt { Lcm_apps.Stencil.n = 12; iters = 3; work_per_cell = 2 });
+  let rows = Phases.of_log (Lcm_cstar.Runtime.phase_log rt) in
+  Alcotest.(check bool) "one row per parallel call" true (List.length rows >= 3);
+  List.iter
+    (fun (r : Phases.row) ->
+      Alcotest.(check bool) "positive phase duration" true (r.Phases.cycles > 0);
+      Alcotest.(check bool) "non-negative deltas" true
+        (List.for_all (fun (_, d) -> d >= 0) r.Phases.deltas))
+    rows;
+  let labels = List.map (fun (r : Phases.row) -> r.Phases.label) rows in
+  Alcotest.(check bool) "labels numbered from 1" true
+    (List.mem "parallel#1" labels);
+  let table = Phases.render rows in
+  Alcotest.(check bool) "render has header" true
+    (String.length table > 0
+    && List.exists
+         (fun l ->
+           String.length l > 0 && String.sub l 0 1 = "|"
+           &&
+           let has sub =
+             let nl = String.length sub and hl = String.length l in
+             let rec go i = i + nl <= hl && (String.sub l i nl = sub || go (i + 1)) in
+             go 0
+           in
+           has "phase" && has "barrier wait")
+         (String.split_on_char '\n' table))
+
 let () =
   Alcotest.run "lcm_harness"
     [
@@ -249,6 +366,16 @@ let () =
           ("csv", `Quick, test_csv_export);
           ("bench_result close", `Quick, test_bench_result_close);
         ] );
+      ( "traceview",
+        [
+          ("export validates", `Quick, test_trace_export_valid);
+          ("export contents", `Quick, test_trace_export_contents);
+          ("sorting and escaping", `Quick, test_trace_export_sorted_and_escaped);
+          ("json parser", `Quick, test_json_parser);
+          ("validator rejects", `Quick, test_validate_rejects_non_traces);
+        ] );
+      ( "phases",
+        [ ("phase log deltas", `Quick, test_phase_log_deltas) ] );
       ( "end-to-end",
         [
           ("barrier ablation shape", `Slow, test_ablation_barrier_shapes);

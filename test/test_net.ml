@@ -111,6 +111,57 @@ let test_network_clamps_to_engine_now () =
           Alcotest.(check bool) "not before now" true (arrival >= 10_000)));
   Lcm_sim.Engine.run engine
 
+let test_network_bandwidth_serializes () =
+  (* Two equal-size back-to-back messages: the second must arrive at least
+     the first message's transmission time later, not a fixed 1 cycle. *)
+  let engine, _, net = mk_net () in
+  let arrivals = ref [] in
+  Network.send net ~src:0 ~dst:1 ~words:8 ~tag:"a" ~at:0 (fun ~arrival ->
+      arrivals := arrival :: !arrivals);
+  Network.send net ~src:0 ~dst:1 ~words:8 ~tag:"b" ~at:0 (fun ~arrival ->
+      arrivals := arrival :: !arrivals);
+  Lcm_sim.Engine.run engine;
+  match List.rev !arrivals with
+  | [ a1; a2 ] ->
+    Alcotest.(check int) "spaced by transmission time"
+      (a1 + Network.transmission_time net ~words:8)
+      a2
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let prop_network_channel_occupancy =
+  (* On any channel, message k+1 arrives no earlier than message k's
+     arrival plus message k's transmission time (words * msg_per_word,
+     min 1) — FIFO order falls out of the spacing. *)
+  QCheck.Test.make ~name:"per-channel arrivals spaced by transmission time"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (triple (int_bound 3) (int_bound 3) (int_bound 40)))
+    (fun msgs ->
+      let engine = Lcm_sim.Engine.create () in
+      let stats = Lcm_util.Stats.create () in
+      let net =
+        Network.create ~engine ~costs:Lcm_sim.Costs.default ~stats
+          ~topology:Topology.Crossbar ~nnodes:4
+      in
+      let log = Hashtbl.create 16 in
+      List.iter
+        (fun (src, dst, words) ->
+          Network.send net ~src ~dst ~words ~tag:"p" ~at:0 (fun ~arrival ->
+              let chan = (src, dst) in
+              let prev = Option.value (Hashtbl.find_opt log chan) ~default:[] in
+              Hashtbl.replace log chan ((arrival, words) :: prev)))
+        msgs;
+      Lcm_sim.Engine.run engine;
+      Hashtbl.fold
+        (fun _ l acc ->
+          let rec spaced = function
+            | (a1, w1) :: ((a2, _) :: _ as rest) ->
+              a2 >= a1 + Network.transmission_time net ~words:w1
+              && spaced rest
+            | [ _ ] | [] -> true
+          in
+          acc && spaced (List.rev l))
+        log true)
+
 let prop_network_delivers_everything_fifo =
   (* random message batches: every message delivered exactly once, and
      per-channel delivery order matches send order *)
@@ -179,9 +230,11 @@ let () =
           ("latency model", `Quick, test_network_latency_model);
           ("delivery", `Quick, test_network_delivery);
           ("fifo per channel", `Quick, test_network_fifo_per_channel);
+          ("bandwidth serializes", `Quick, test_network_bandwidth_serializes);
           ("channels independent", `Quick, test_network_distinct_channels_independent);
           ("bad node", `Quick, test_network_bad_node);
           ("clamps to now", `Quick, test_network_clamps_to_engine_now);
+          QCheck_alcotest.to_alcotest prop_network_channel_occupancy;
           QCheck_alcotest.to_alcotest prop_network_delivers_everything_fifo;
         ] );
     ]

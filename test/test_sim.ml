@@ -56,6 +56,52 @@ let test_engine_limit () =
        false
      with Failure _ -> true)
 
+let test_engine_limit_exact () =
+  (* A budget that runs out exactly as the queue drains is a completed
+     run, not a failure. *)
+  let e = Engine.create () in
+  Engine.run ~limit:0 e;
+  Alcotest.(check int) "limit 0 on idle engine" 0 (Engine.events_processed e);
+  Engine.schedule e ~at:1 (fun () -> ());
+  Engine.schedule e ~at:2 (fun () -> ());
+  Engine.run ~limit:2 e;
+  Alcotest.(check int) "exact budget drains" 2 (Engine.events_processed e);
+  Engine.schedule e ~at:3 (fun () -> ());
+  Alcotest.(check bool) "limit 0 with pending work trips" true
+    (try
+       Engine.run ~limit:0 e;
+       false
+     with Failure _ -> true)
+
+let test_trace_typed_events () =
+  let tr = Trace.create ~capacity:8 in
+  Trace.emit tr ~time:5 (Trace.Msg_send { tag = "get"; src = 0; dst = 1; words = 8 });
+  Trace.emit tr ~time:9
+    (Trace.Fault { kind = Trace.Read; node = 1; addr = 64; block = 8 });
+  Trace.emit tr ~time:12 (Trace.Barrier_release { nnodes = 4 });
+  Alcotest.(check int) "recorded" 3 (Trace.recorded tr);
+  (match Trace.events tr with
+  | [ (5, Trace.Msg_send { tag = "get"; _ }); (9, Trace.Fault _); (12, _) ] -> ()
+  | _ -> Alcotest.fail "unexpected event list");
+  Alcotest.(check (list string)) "render matches legacy formats"
+    [
+      "[t=5] msg get 0->1 (8w)";
+      "[t=9] read fault node 1 addr 64 (block 8)";
+      "[t=12] barrier release (4 nodes)";
+    ]
+    (Trace.dump tr)
+
+let test_trace_wraparound_typed () =
+  let tr = Trace.create ~capacity:2 in
+  List.iteri
+    (fun i name -> Trace.emit tr ~time:i (Trace.Directive { node = 0; name }))
+    [ "a"; "b"; "c" ];
+  Alcotest.(check int) "all recorded" 3 (Trace.recorded tr);
+  (match Trace.events tr with
+  | [ (1, Trace.Directive { name = "b"; _ }); (2, Trace.Directive { name = "c"; _ }) ]
+    -> ()
+  | _ -> Alcotest.fail "ring must keep the newest events, oldest first")
+
 let test_engine_pending () =
   let e = Engine.create () in
   Engine.schedule e ~at:1 (fun () -> ());
@@ -119,7 +165,13 @@ let () =
           ("cascading", `Quick, test_engine_cascading);
           ("negative delay", `Quick, test_engine_negative_delay_clamped);
           ("event limit", `Quick, test_engine_limit);
+          ("event limit exact", `Quick, test_engine_limit_exact);
           ("pending", `Quick, test_engine_pending);
+        ] );
+      ( "trace",
+        [
+          ("typed events", `Quick, test_trace_typed_events);
+          ("wraparound", `Quick, test_trace_wraparound_typed);
         ] );
       ( "costs",
         [

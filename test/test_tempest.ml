@@ -365,18 +365,18 @@ let test_hw_cache_validation () =
      with Invalid_argument _ -> true)
 
 let test_trace_ring () =
-  let tr = Lcm_tempest.Trace.create ~capacity:3 in
-  List.iteri (fun i e -> Lcm_tempest.Trace.record tr ~time:(10 * i) e)
+  let tr = Lcm_sim.Trace.create ~capacity:3 in
+  List.iteri (fun i e -> Lcm_sim.Trace.record tr ~time:(10 * i) e)
     [ "a"; "b"; "c"; "d" ];
-  Alcotest.(check int) "recorded total" 4 (Lcm_tempest.Trace.recorded tr);
+  Alcotest.(check int) "recorded total" 4 (Lcm_sim.Trace.recorded tr);
   Alcotest.(check (list string)) "keeps newest, oldest first"
     [ "[t=10] b"; "[t=20] c"; "[t=30] d" ]
-    (Lcm_tempest.Trace.dump tr);
-  Lcm_tempest.Trace.clear tr;
-  Alcotest.(check (list string)) "cleared" [] (Lcm_tempest.Trace.dump tr);
+    (Lcm_sim.Trace.dump tr);
+  Lcm_sim.Trace.clear tr;
+  Alcotest.(check (list string)) "cleared" [] (Lcm_sim.Trace.dump tr);
   Alcotest.(check bool) "bad capacity" true
     (try
-       ignore (Lcm_tempest.Trace.create ~capacity:0);
+       ignore (Lcm_sim.Trace.create ~capacity:0);
        false
      with Invalid_argument _ -> true)
 

@@ -187,7 +187,10 @@ let test_stats_counters () =
   check "incr+add" 5 (Stats.get s "x");
   Stats.set_max s "m" 10;
   Stats.set_max s "m" 3;
-  check "set_max keeps max" 10 (Stats.get s "m")
+  check "set_max keeps max" 10 (Stats.gauge s "m");
+  check "gauges live apart from counters" 0 (Stats.get s "m");
+  Alcotest.(check (list string)) "gauge listing" [ "m" ]
+    (List.map fst (Stats.gauges s))
 
 let test_stats_samples () =
   let s = Stats.create () in
@@ -204,10 +207,17 @@ let test_stats_merge () =
   Stats.add b "x" 3;
   Stats.add b "y" 1;
   Stats.observe b "s" 5.0;
+  Stats.set_max a "peak" 7;
+  Stats.set_max b "peak" 4;
   Stats.merge_into ~dst:a b;
   check "merged x" 5 (Stats.get a "x");
   check "merged y" 1 (Stats.get a "y");
-  check "merged sample" 1 (Stats.sample_count a "s")
+  check "merged sample" 1 (Stats.sample_count a "s");
+  check "gauges merge by max, not sum" 7 (Stats.gauge a "peak");
+  let c = Stats.create () in
+  Stats.set_max c "peak" 9;
+  Stats.merge_into ~dst:a c;
+  check "larger source gauge wins" 9 (Stats.gauge a "peak")
 
 let test_stats_counters_sorted () =
   let s = Stats.create () in
