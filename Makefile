@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-paper doc clean examples trace-smoke
+.PHONY: all build test bench bench-paper doc clean examples trace-smoke stress
 
 all: build
 
@@ -23,6 +23,11 @@ trace-smoke:
 	dune exec bin/lcm_sim.exe -- stencil --protocol lcm-mcc --nodes 8 \
 	  --size 32 --iters 2 --trace-out /tmp/lcm_trace_smoke.json
 	dune exec bin/lcm_sim.exe -- trace-validate /tmp/lcm_trace_smoke.json
+
+# Differential protocol stress test: seeded random programs checked
+# word-for-word against a golden per-epoch model, all four policies.
+stress:
+	dune exec bin/lcm_sim.exe -- stress --cases 100 --seed 1
 
 examples:
 	@for e in quickstart compiler_demo adaptive_mesh reductions race_detection stale_data dynamic_list; do \

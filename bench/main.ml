@@ -44,6 +44,13 @@ let () =
   section "Clean-copy memory usage (Section 5.1)";
   print_string (Report.memory_usage rows);
 
+  section "Phase-cycle distributions";
+  print_string
+    (Report.samples
+       (List.filter
+          (fun (r : Experiments.row) -> r.Experiments.experiment = "stencil-stat")
+          rows));
+
   section "Message breakdown (what the protocols actually send)";
   print_string
     (Report.message_breakdown

@@ -334,6 +334,68 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Print the default machine and cost model.")
     Term.(const run $ const ())
 
+let stress_cmd =
+  let policy_conv =
+    let parse s = Result.map_error (fun e -> `Msg e) (Lcm_core.Policy.of_string s) in
+    Arg.conv
+      (parse, fun ppf (p : Lcm_core.Policy.t) ->
+        Format.pp_print_string ppf p.Lcm_core.Policy.name)
+  in
+  let policy_arg =
+    Arg.(value & opt (some policy_conv) None
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Restrict to one policy (stache, lcm-scc, lcm-mcc or \
+                   lcm-mcc-update); default runs every policy.")
+  in
+  let cases_arg =
+    let positive_int =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Ok n
+        | Some _ -> Error (`Msg "case count must be positive")
+        | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(value & opt positive_int 100
+         & info [ "cases" ] ~docv:"N" ~doc:"Cases per policy.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"S" ~doc:"Generator stream seed.")
+  in
+  let run cases seed policy =
+    let policies =
+      match policy with Some p -> [ p ] | None -> Stress.all_policies
+    in
+    let failures =
+      List.filter_map
+        (fun (p : Lcm_core.Policy.t) ->
+          Printf.printf "policy %-14s %!" p.Lcm_core.Policy.name;
+          match Stress.run ~policy:p ~cases ~seed () with
+          | Ok () ->
+            Printf.printf "%d/%d cases OK\n%!" cases cases;
+            None
+          | Error e ->
+            Printf.printf "FAILED\n%s\n%!" e;
+            Some p.Lcm_core.Policy.name)
+        policies
+    in
+    match failures with
+    | [] -> `Ok ()
+    | fs ->
+      `Error (false,
+              Printf.sprintf "stress failures under: %s" (String.concat ", " fs))
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:"Differential protocol stress test: run seeded random programs \
+             through the full simulated stack and check every outcome \
+             against a golden per-epoch model plus protocol invariants.  \
+             Failures print a shrunk reproducer; rerun it with the printed \
+             $(b,--seed)/$(b,--cases)/$(b,--policy).")
+    Term.(ret (const run $ cases_arg $ seed_arg $ policy_arg))
+
 let trace_validate_cmd =
   let file_arg =
     Arg.(required
@@ -374,6 +436,7 @@ let () =
             false_sharing_cmd;
             nbody_cmd;
             synthetic_cmd;
+            stress_cmd;
             trace_validate_cmd;
             info_cmd;
           ]))

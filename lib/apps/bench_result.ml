@@ -8,6 +8,7 @@ type t = {
   messages : int;
   counters : (string * int) list;
   gauges : (string * int) list;
+  samples : (string * Lcm_util.Stats.summary) list;
 }
 
 let make ~name ~cycles ~checksum ~stats =
@@ -24,6 +25,7 @@ let make ~name ~cycles ~checksum ~stats =
     messages = get "net.msgs";
     counters = Lcm_util.Stats.counters stats;
     gauges = Lcm_util.Stats.gauges stats;
+    samples = Lcm_util.Stats.samples stats;
   }
 
 let message_breakdown t =

@@ -15,6 +15,9 @@ type t = {
   counters : (string * int) list;  (** every counter of the run, sorted *)
   gauges : (string * int) list;
       (** high-water-mark gauges (e.g. ["lcm.peak_clean_copies"]), sorted *)
+  samples : (string * Lcm_util.Stats.summary) list;
+      (** observation series (e.g. ["cstar.phase_cycles"]), summarized,
+          sorted *)
 }
 
 val message_breakdown : t -> (string * int) list

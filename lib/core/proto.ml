@@ -105,6 +105,20 @@ let get_entry t b =
 
 let stats t = Machine.stats t.mach
 
+(* Record a parallel-phase reader for race detection (§7.2); readers sets
+   left over from earlier epochs are lazily reset.  Called both from
+   [serve] (remote reads fault and reach the home) and from the machine's
+   read observer (the home's own reads hit its always-readable backing
+   line and never fault). *)
+let note_reader t e node =
+  if t.detect && Machine.phase t.mach = `Parallel then begin
+    if e.readers_epoch <> Machine.epoch t.mach then begin
+      e.readers <- ISet.empty;
+      e.readers_epoch <- Machine.epoch t.mach
+    end;
+    e.readers <- ISet.add node e.readers
+  end
+
 (* §5.1 memory accounting: clean copies (home pending copies and mcc local
    snapshots) exist only during a parallel call; track the live gauge and
    its high-water mark.  Decrements for local snapshots happen in
@@ -251,13 +265,7 @@ and serve t e w ~now =
        e.dstate <- Shared (ISet.add w.requester (sharers_of e.dstate));
        set_home_tag t b Tag.Read_only
      end);
-    if t.detect && Machine.phase t.mach = `Parallel then begin
-      if e.readers_epoch <> Machine.epoch t.mach then begin
-        e.readers <- ISet.empty;
-        e.readers_epoch <- Machine.epoch t.mach
-      end;
-      e.readers <- ISet.add w.requester e.readers
-    end;
+    note_reader t e w.requester;
     reply_data t e w.requester Want_ro ~now
   | (Home_owned | Shared _), Want_rw ->
     let home = home_of t b in
@@ -1031,4 +1039,19 @@ let install ?(detect = false) ?(strict_detection = false)
     ~directive:(fun node d ~retry -> directive t node d ~retry);
   if capacity_evictions then
     Machine.set_evict_handler mach (fun node b line -> evict t node b line);
+  if detect then
+    (* Home reads hit the always-readable backing line and never fault, so
+       they are invisible to [serve]; without this observer a race where
+       the home reads a block another node LCM-modifies in the same phase
+       goes unreported.  The tag filter keeps the home's own
+       mark-and-write accesses (its line re-aliased as Lcm_modified) from
+       counting the writer as its own reader. *)
+    Machine.set_read_observer mach
+      (Some
+         (fun node b line ->
+           if
+             line.Machine.is_home_line
+             && line.Machine.tag <> Tag.Lcm_modified
+             && Machine.id node = home_of t b
+           then note_reader t (get_entry t b) (Machine.id node)));
   t

@@ -116,6 +116,26 @@ let message_breakdown rows =
     rows;
   Buffer.contents buf
 
+let samples rows =
+  "== Observation series (count/mean/min/max) ==\n"
+  ^ Tablefmt.render
+      ~header:[ "experiment"; "system"; "sample"; "count"; "mean"; "min"; "max" ]
+      (List.concat_map
+         (fun (r : Experiments.row) ->
+           List.map
+             (fun (name, (sm : Lcm_util.Stats.summary)) ->
+               [
+                 r.experiment;
+                 r.system;
+                 name;
+                 string_of_int sm.count;
+                 Printf.sprintf "%.4g" sm.mean;
+                 Printf.sprintf "%.4g" sm.min;
+                 Printf.sprintf "%.4g" sm.max;
+               ])
+             r.result.Bench_result.samples)
+         rows)
+
 let to_csv rows =
   let buf = Buffer.create 256 in
   Buffer.add_string buf

@@ -31,6 +31,11 @@ val memory_usage : Experiments.row list -> string
 (** Clean-copy memory accounting (paper §5.1): copies created vs the peak
     simultaneously alive, per run. *)
 
+val samples : Experiments.row list -> string
+(** Observation-series table: one line per (experiment, system, series)
+    with count, mean, min and max — e.g. ["cstar.phase_cycles"], the
+    per-parallel-call cycle distribution. *)
+
 val message_breakdown : Experiments.row list -> string
 (** Per-message-class counts for each row — which protocol actions a
     workload actually consists of. *)

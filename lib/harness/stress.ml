@@ -1,0 +1,630 @@
+(* Differential stress harness: seeded random programs executed against
+   the full simulated protocol stack (machine + network + RSM engine) and
+   checked word-for-word against a network-free golden model of the
+   paper's per-epoch semantics.  See the .mli for the model's contract
+   and the limits of load-value checking. *)
+
+module Machine = Lcm_tempest.Machine
+module Memeff = Lcm_tempest.Memeff
+module Gmem = Lcm_mem.Gmem
+module Proto = Lcm_core.Proto
+module Policy = Lcm_core.Policy
+module Barrier = Lcm_core.Barrier
+module Reduction = Lcm_core.Reduction
+module Topology = Lcm_net.Topology
+module Rng = Lcm_util.Rng
+
+type op =
+  | Load of int  (* word index within the region *)
+  | Store of int * int
+  | Rmw of int * int  (* fetch-and-add of the given delta *)
+  | Accum of int * int  (* reduction accumulate: rmw with the region's op *)
+  | Mark of int  (* mark_modification of the word's block *)
+  | Flush
+  | Work of int
+  | Yield
+
+type segment = Sequential of op list array | Parallel of op list array
+
+type prog = {
+  seed : int;
+  case : int;
+  policy : Policy.t;
+  nnodes : int;
+  words_per_block : int;
+  nblocks : int;
+  dist : Gmem.dist;
+  topology : Topology.t;
+  barrier : Barrier.style;
+  capacity_blocks : int option;
+  hw_cache_blocks : int option;
+  reductions : (int * Reduction.t) list;  (* region block index -> operator *)
+  init : (int * int) list;  (* word index -> initial value *)
+  segments : segment list;
+}
+
+let nwords_of prog = prog.nblocks * prog.words_per_block
+let red_of prog w = List.assoc_opt (w / prog.words_per_block) prog.reductions
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (the shrunk reproducer is printed, not re-generated) *)
+(* ------------------------------------------------------------------ *)
+
+let op_to_string = function
+  | Load w -> Printf.sprintf "load w%d" w
+  | Store (w, v) -> Printf.sprintf "store w%d=%d" w v
+  | Rmw (w, k) -> Printf.sprintf "rmw w%d+=%d" w k
+  | Accum (w, k) -> Printf.sprintf "accum w%d,%d" w k
+  | Mark w -> Printf.sprintf "mark w%d" w
+  | Flush -> "flush"
+  | Work n -> Printf.sprintf "work %d" n
+  | Yield -> "yield"
+
+let dist_to_string = function
+  | Gmem.On n -> Printf.sprintf "on:%d" n
+  | Gmem.Interleaved -> "interleaved"
+  | Gmem.Chunked -> "chunked"
+
+let pp_prog ppf p =
+  Format.fprintf ppf
+    "policy=%s nnodes=%d words_per_block=%d nblocks=%d dist=%s topo=%s \
+     barrier=%s capacity=%s hw_cache=%s@."
+    p.policy.Policy.name p.nnodes p.words_per_block p.nblocks
+    (dist_to_string p.dist)
+    (Topology.to_string p.topology)
+    (Barrier.to_string p.barrier)
+    (match p.capacity_blocks with Some c -> string_of_int c | None -> "-")
+    (match p.hw_cache_blocks with Some c -> string_of_int c | None -> "-");
+  List.iter
+    (fun (b, r) ->
+      Format.fprintf ppf "reduction: block %d = %s@." b r.Reduction.name)
+    p.reductions;
+  (match p.init with
+  | [] -> ()
+  | init ->
+    Format.fprintf ppf "init:";
+    List.iter (fun (w, v) -> Format.fprintf ppf " w%d=%d" w v) init;
+    Format.fprintf ppf "@.");
+  List.iteri
+    (fun si seg ->
+      let kind, ops =
+        match seg with
+        | Sequential ops -> ("sequential", ops)
+        | Parallel ops -> ("parallel", ops)
+      in
+      Format.fprintf ppf "segment %d (%s):@." si kind;
+      Array.iteri
+        (fun nid opl ->
+          if opl <> [] then
+            Format.fprintf ppf "  node %d: %s@." nid
+              (String.concat "; " (List.map op_to_string opl)))
+        ops)
+    p.segments
+
+(* ------------------------------------------------------------------ *)
+(* The golden reference model                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Which nodes write each word in a segment (used to decide which load
+   values are deterministic under coherent (Stache) semantics). *)
+let writers_of nwords ops =
+  let writers = Array.make nwords [] in
+  Array.iteri
+    (fun nid opl ->
+      List.iter
+        (function
+          | Store (w, _) | Rmw (w, _) | Accum (w, _) ->
+            if not (List.mem nid writers.(w)) then
+              writers.(w) <- nid :: writers.(w)
+          | Load _ | Mark _ | Flush | Work _ | Yield -> ())
+        opl)
+    ops;
+  writers
+
+(* Sequential segments: every node touches only its own word partition, so
+   the final state is the per-word program-order result regardless of the
+   interleaving the simulator chooses.  Mutates [master] to the post-state
+   and returns, per node, the value each load must observe (coherence
+   guarantees the latest value of a word only this node writes). *)
+let golden_sequential master ops =
+  Array.map
+    (fun opl ->
+      List.map
+        (fun op ->
+          match op with
+          | Load w -> Some master.(w)
+          | Store (w, v) ->
+            master.(w) <- v;
+            None
+          | Rmw (w, k) ->
+            master.(w) <- master.(w) + k;
+            None
+          | Accum _ | Mark _ | Flush | Work _ | Yield -> None)
+        opl)
+    ops
+
+(* Parallel phases: the paper's per-epoch semantics.  Each node's writes
+   land in a private copy whose baseline is the phase-start master; reads
+   see the private copy for words this node wrote, the phase-start value
+   otherwise.  [Flush] (and the implicit flush at reconcile) merges the
+   private dirty words into the pending copy: last-writer for plain words
+   (the generator guarantees a unique writer), the registered reduction
+   operator for reduction words.  Returns (expected load values, pending):
+   the caller promotes [pending] to the new master after the reconcile.
+
+   Load values are only predicted where they are schedule-independent:
+   under LCM with unbounded capacity every load sees either the private
+   copy or the phase-start master; a mid-phase capacity eviction silently
+   resets a node's private view, so with bounded capacity load values are
+   unchecked (the final merged state is still checked — flush order per
+   word is FIFO per channel, so the last store wins regardless of interim
+   evictions).  Under Stache, parallel loads are coherent and only
+   deterministic for words no other node writes. *)
+let golden_parallel prog master ops =
+  let nwords = Array.length master in
+  let pending = Array.copy master in
+  let lcm = Policy.is_lcm prog.policy in
+  let writers = writers_of nwords ops in
+  let expected =
+    Array.mapi
+      (fun nid opl ->
+        let priv = Hashtbl.create 8 in
+        let dirty = Hashtbl.create 8 in
+        let view w =
+          match Hashtbl.find_opt priv w with Some v -> v | None -> master.(w)
+        in
+        let flush () =
+          Hashtbl.iter
+            (fun w () ->
+              let v = view w in
+              match red_of prog w with
+              | Some rop ->
+                pending.(w) <-
+                  rop.Reduction.combine ~clean:master.(w) ~current:pending.(w)
+                    ~incoming:v
+              | None -> pending.(w) <- v)
+            dirty;
+          Hashtbl.reset dirty;
+          Hashtbl.reset priv
+        in
+        let checkable w =
+          if lcm then prog.capacity_blocks = None
+          else match writers.(w) with [] -> true | [ n ] -> n = nid | _ -> false
+        in
+        let exp =
+          List.map
+            (fun op ->
+              match op with
+              | Load w -> if checkable w then Some (view w) else None
+              | Store (w, v) ->
+                Hashtbl.replace priv w v;
+                Hashtbl.replace dirty w ();
+                None
+              | Rmw (w, k) ->
+                Hashtbl.replace priv w (view w + k);
+                Hashtbl.replace dirty w ();
+                None
+              | Accum (w, k) ->
+                let rop = Option.get (red_of prog w) in
+                Hashtbl.replace priv w (rop.Reduction.apply (view w) k);
+                Hashtbl.replace dirty w ();
+                None
+              | Flush ->
+                flush ();
+                None
+              | Mark _ | Work _ | Yield -> None)
+            opl
+        in
+        flush ();
+        exp)
+      ops
+  in
+  (expected, pending)
+
+(* ------------------------------------------------------------------ *)
+(* Running a program against the real stack                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Stress_failure of string list
+
+let event_limit = 3_000_000
+
+let exec_ops prog base mism si nid ops expected () =
+  List.iter2
+    (fun op exp ->
+      match op with
+      | Load w -> (
+        let got = Memeff.load (base + w) in
+        match exp with
+        | Some want when got <> want ->
+          mism :=
+            Printf.sprintf
+              "segment %d node %d: load of word %d saw %d, golden model \
+               expects %d"
+              si nid w got want
+            :: !mism
+        | Some _ | None -> ())
+      | Store (w, v) -> Memeff.store (base + w) v
+      | Rmw (w, k) -> ignore (Memeff.rmw (base + w) (fun x -> x + k))
+      | Accum (w, k) ->
+        let rop = Option.get (red_of prog w) in
+        ignore (Memeff.rmw (base + w) (fun x -> rop.Reduction.apply x k))
+      | Mark w -> Memeff.directive (Memeff.Mark_modification (base + w))
+      | Flush -> Memeff.directive Memeff.Flush_copies
+      | Work n -> Memeff.work n
+      | Yield -> Memeff.yield ())
+    ops expected
+
+let run_case prog =
+  let nwords = nwords_of prog in
+  try
+    let m =
+      Machine.create ?capacity_blocks:prog.capacity_blocks
+        ?hw_cache_blocks:prog.hw_cache_blocks ~nnodes:prog.nnodes
+        ~words_per_block:prog.words_per_block ~topology:prog.topology ~seed:17
+        ()
+    in
+    let p = Proto.install ~barrier:prog.barrier ~policy:prog.policy m in
+    let base = Gmem.alloc (Machine.gmem m) ~dist:prog.dist ~nwords in
+    List.iter
+      (fun (bi, rop) ->
+        Proto.register_reduction p
+          ~base:(base + (bi * prog.words_per_block))
+          ~nwords:prog.words_per_block rop)
+      prog.reductions;
+    let master = Array.make nwords 0 in
+    List.iter
+      (fun (w, v) ->
+        master.(w) <- v;
+        Proto.poke p (base + w) v)
+      prog.init;
+    let mism = ref [] in
+    let run_segment si expected ops =
+      Array.iteri
+        (fun nid opl ->
+          Machine.spawn m (Machine.node m nid)
+            (exec_ops prog base mism si nid opl expected.(nid)))
+        ops;
+      Machine.run_to_quiescence ~limit:event_limit m
+    in
+    let check_words si what golden =
+      for w = 0 to nwords - 1 do
+        let got = Proto.peek p (base + w) in
+        if got <> golden.(w) then
+          mism :=
+            Printf.sprintf
+              "segment %d (%s): word %d is %d, golden model expects %d" si
+              what w got golden.(w)
+            :: !mism
+      done
+    in
+    let check_invariants si =
+      match Proto.check_invariants p with
+      | Ok () -> ()
+      | Error msgs ->
+        mism :=
+          List.map (Printf.sprintf "segment %d: invariant: %s" si) msgs
+          @ !mism
+    in
+    List.iteri
+      (fun si seg ->
+        (match seg with
+        | Sequential ops ->
+          let expected = golden_sequential master ops in
+          run_segment si expected ops;
+          check_words si "sequential" master
+        | Parallel ops ->
+          let expected, pending = golden_parallel prog master ops in
+          Proto.begin_parallel p;
+          run_segment si expected ops;
+          Proto.reconcile p;
+          Array.blit pending 0 master 0 nwords;
+          check_words si "post-reconcile" master);
+        check_invariants si;
+        (* Stop at the first diverging segment: once the states differ,
+           later segments only produce cascading noise. *)
+        if !mism <> [] then raise (Stress_failure (List.rev !mism)))
+      prog.segments;
+    Ok ()
+  with
+  | Stress_failure msgs -> Error (String.concat "\n" msgs)
+  | Failure msg -> Error ("exception: " ^ msg)
+  | Invalid_argument msg -> Error ("invalid argument: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Program generation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let all_policies =
+  [ Policy.stache; Policy.lcm_scc; Policy.lcm_mcc; Policy.lcm_mcc_update ]
+
+let int_reductions =
+  (* Exact integer operators only: float reductions reassociate across
+     flush-arrival orders, so their results are not schedule-independent. *)
+  Reduction.[ int_sum; int_min; int_max; band; bor; bxor ]
+
+let pick rng arr = arr.(Rng.int rng (Array.length arr))
+
+let gen ~seed ~case ?policy () =
+  let rng = Rng.create ~seed:(1 + seed + (case * 1_000_003)) in
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> pick rng (Array.of_list all_policies)
+  in
+  let lcm = Policy.is_lcm policy in
+  let nnodes = 2 + Rng.int rng 5 in
+  let words_per_block = [| 2; 4; 8 |].(Rng.int rng 3) in
+  let nblocks = 2 + Rng.int rng 10 in
+  let nwords = nblocks * words_per_block in
+  let dist =
+    match Rng.int rng 3 with
+    | 0 -> Gmem.On (Rng.int rng nnodes)
+    | 1 -> Gmem.Interleaved
+    | _ -> Gmem.Chunked
+  in
+  let topology =
+    match Rng.int rng 3 with
+    | 0 -> Topology.Crossbar
+    | 1 -> Topology.Mesh2d { cols = 2 + Rng.int rng 3 }
+    | _ -> Topology.Fat_tree { arity = 2 + Rng.int rng 3 }
+  in
+  let barrier =
+    match Rng.int rng 3 with
+    | 0 -> Barrier.Constant
+    | 1 -> Barrier.Flat
+    | _ -> Barrier.Tree (2 + Rng.int rng 3)
+  in
+  let capacity_blocks =
+    if Rng.int rng 3 = 0 then Some (2 + Rng.int rng 3) else None
+  in
+  let hw_cache_blocks =
+    if Rng.int rng 4 = 0 then Some (2 + Rng.int rng 6) else None
+  in
+  let reductions =
+    let rec add acc k =
+      if k = 0 then acc
+      else
+        let b = Rng.int rng nblocks in
+        if List.mem_assoc b acc then add acc (k - 1)
+        else add ((b, pick rng (Array.of_list int_reductions)) :: acc) (k - 1)
+    in
+    add [] (Rng.int rng 3)
+  in
+  let is_red w = List.mem_assoc (w / words_per_block) reductions in
+  (* Query the real home mapping on a scratch address space so the
+     generator knows when an implicit (fault-driven) mark is equivalent to
+     an explicit one. *)
+  let home_of_word =
+    let g = Gmem.create ~nnodes ~words_per_block in
+    let base = Gmem.alloc g ~dist ~nwords in
+    fun w -> Gmem.home_of_addr g (base + w)
+  in
+  let init =
+    List.filter_map
+      (fun w -> if Rng.bool rng then Some (w, Rng.int rng 1_000_000) else None)
+      (List.init nwords Fun.id)
+  in
+  let all_words = List.init nwords Fun.id in
+  (* Blocks a node has written under coherent (exclusive) semantics: such a
+     node may still hold a writable copy, so its later parallel-phase
+     writes MUST be explicitly marked — an unmarked write would hit the
+     writable line and silently bypass LCM (the paper's contract makes
+     this a program error: the compiler marks all parallel writes, and the
+     implicit mark only backstops writes that actually fault). *)
+  let seq_written = Hashtbl.create 32 in
+  let gen_sequential () =
+    Array.init nnodes (fun nid ->
+        let own =
+          Array.of_list (List.filter (fun w -> w mod nnodes = nid) all_words)
+        in
+        if Array.length own = 0 then []
+        else
+          List.init (Rng.int rng 7) (fun _ ->
+              match Rng.int rng 5 with
+              | 0 -> Load (pick rng own)
+              | 1 | 2 ->
+                let w = pick rng own in
+                Hashtbl.replace seq_written (nid, w / words_per_block) ();
+                Store (w, Rng.int rng 1_000_000)
+              | 3 ->
+                let w = pick rng own in
+                Hashtbl.replace seq_written (nid, w / words_per_block) ();
+                Rmw (w, 1 + Rng.int rng 100)
+              | _ -> if Rng.bool rng then Work (Rng.int rng 30) else Yield))
+  in
+  (* Plain read-modify-writes in LCM parallel phases are only predictable
+     with unbounded capacity: a mid-phase eviction flushes the private
+     copy home, so the next rmw re-marks from the clean (phase-start)
+     value and the accumulation chain is lost.  That is inherent to the
+     design — the paper's compiler writes each plain location at most once
+     per phase and uses reduction operators for accumulation (whose merge
+     subtracts the clean baseline, making them eviction-stable). *)
+  let rmw_ok = (not lcm) || capacity_blocks = None in
+  let gen_parallel () =
+    (* at most one writer per non-reduction word: LCM merges concurrent
+       writers per word last-writer-wins, which is only deterministic for
+       race-free programs — the equivalence the harness checks. *)
+    let writer =
+      Array.init nwords (fun w ->
+          if is_red w then None
+          else if Rng.int rng 2 = 0 then Some (Rng.int rng nnodes)
+          else None)
+    in
+    let red_words = Array.of_list (List.filter is_red all_words) in
+    Array.init nnodes (fun nid ->
+        let owned =
+          Array.of_list
+            (List.filter (fun w -> writer.(w) = Some nid) all_words)
+        in
+        let marked = Hashtbl.create 8 in
+        let ensure_marked w acc =
+          let b = w / words_per_block in
+          if (not lcm) || Hashtbl.mem marked b then acc
+          else begin
+            Hashtbl.replace marked b ();
+            let must_mark =
+              home_of_word w = nid || Hashtbl.mem seq_written (nid, b)
+            in
+            if must_mark || Rng.bool rng then Mark w :: acc else acc
+          end
+        in
+        let rec build k acc =
+          if k = 0 then List.rev acc
+          else
+            let acc =
+              match Rng.int rng 8 with
+              | 0 | 1 -> Load (Rng.int rng nwords) :: acc
+              | 2 | 3 when Array.length owned > 0 ->
+                let w = pick rng owned in
+                Store (w, Rng.int rng 1_000_000) :: ensure_marked w acc
+              | 4 when Array.length owned > 0 && rmw_ok ->
+                let w = pick rng owned in
+                Rmw (w, 1 + Rng.int rng 100) :: ensure_marked w acc
+              | 5 when Array.length red_words > 0 ->
+                let w = pick rng red_words in
+                Accum (w, 1 + Rng.int rng 100) :: ensure_marked w acc
+              | 6 when lcm ->
+                Hashtbl.reset marked;
+                Flush :: acc
+              | _ -> (if Rng.bool rng then Work (Rng.int rng 30) else Yield) :: acc
+            in
+            build (k - 1) acc
+        in
+        build (Rng.int rng 11) [])
+  in
+  let nseg = 1 + Rng.int rng 4 in
+  let segments = ref [] in
+  for _ = 1 to nseg do
+    let seg =
+      if Rng.int rng 4 = 0 then Sequential (gen_sequential ())
+      else Parallel (gen_parallel ())
+    in
+    segments := seg :: !segments
+  done;
+  {
+    seed;
+    case;
+    policy;
+    nnodes;
+    words_per_block;
+    nblocks;
+    dist;
+    topology;
+    barrier;
+    capacity_blocks;
+    hw_cache_blocks;
+    reductions;
+    init;
+    segments = List.rev !segments;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let remove_nth l i = List.filteri (fun j _ -> j <> i) l
+
+(* Strictly-smaller variants, most aggressive first.  Individual [Mark]
+   ops are never dropped on their own: removing a mark can turn a
+   well-formed program into one with unmarked parallel writes, whose
+   divergence would be a program error rather than a protocol bug. *)
+let candidates prog =
+  let segs = Array.of_list prog.segments in
+  let nseg = Array.length segs in
+  let with_segments segments = { prog with segments } in
+  let drop_segment =
+    List.init nseg (fun i -> with_segments (remove_nth prog.segments i))
+  in
+  let map_segment i f =
+    with_segments
+      (List.mapi (fun j s -> if j = i then f s else s) prog.segments)
+  in
+  let ops_of = function Sequential ops | Parallel ops -> ops in
+  let rebuild seg ops =
+    match seg with Sequential _ -> Sequential ops | Parallel _ -> Parallel ops
+  in
+  let clear_node =
+    List.concat
+      (List.init nseg (fun i ->
+           let ops = ops_of segs.(i) in
+           List.filter_map
+             (fun nid ->
+               if ops.(nid) = [] then None
+               else
+                 Some
+                   (map_segment i (fun s ->
+                        let ops' = Array.copy (ops_of s) in
+                        ops'.(nid) <- [];
+                        rebuild s ops')))
+             (List.init (Array.length ops) Fun.id)))
+  in
+  let drop_op =
+    List.concat
+      (List.init nseg (fun i ->
+           let ops = ops_of segs.(i) in
+           List.concat
+             (List.init (Array.length ops) (fun nid ->
+                  List.filter_map
+                    (fun k ->
+                      match List.nth ops.(nid) k with
+                      | Mark _ -> None
+                      | _ ->
+                        Some
+                          (map_segment i (fun s ->
+                               let ops' = Array.copy (ops_of s) in
+                               ops'.(nid) <- remove_nth ops'.(nid) k;
+                               rebuild s ops')))
+                    (List.init (List.length ops.(nid)) Fun.id)))))
+  in
+  drop_segment @ clear_node @ drop_op
+
+let shrink ?(max_runs = 300) prog =
+  let budget = ref max_runs in
+  let still_fails p =
+    !budget > 0
+    && begin
+         decr budget;
+         Result.is_error (run_case p)
+       end
+  in
+  let rec go p =
+    match List.find_opt still_fails (candidates p) with
+    | Some p' -> go p'
+    | None -> p
+  in
+  go prog
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let report_failure prog err =
+  let small = shrink prog in
+  let small_err =
+    match run_case small with Error e -> e | Ok () -> err
+  in
+  Format.asprintf
+    "stress case failed: seed=%d case=%d policy=%s@.%s@.@.minimal \
+     reproducer (regenerate with: lcm_sim stress --seed %d --cases %d \
+     --policy %s):@.%a@.minimal failure:@.%s"
+    prog.seed prog.case prog.policy.Policy.name err prog.seed (prog.case + 1)
+    prog.policy.Policy.name pp_prog small small_err
+
+let check_case ~seed ~case ?policy () =
+  let prog = gen ~seed ~case ?policy () in
+  match run_case prog with
+  | Ok () -> Ok ()
+  | Error err -> Error (report_failure prog err)
+
+let run ?policy ?(progress = fun _ -> ()) ~cases ~seed () =
+  let rec go i =
+    if i >= cases then Ok ()
+    else begin
+      progress i;
+      match check_case ~seed ~case:i ?policy () with
+      | Ok () -> go (i + 1)
+      | Error _ as e -> e
+    end
+  in
+  go 0

@@ -1,0 +1,88 @@
+(** Differential protocol stress harness.
+
+    The paper's central claim (§3–§4) is that LCM's copy-on-write,
+    merge-on-reconcile semantics are, for race-free programs, equivalent
+    to executing each parallel phase against the phase-start state and
+    applying all writes at once.  This module checks the protocol engine
+    against that contract: it generates seeded random programs, runs them
+    through the full simulated stack (machine, network, protocol,
+    barriers, capacity evictions), and compares every outcome against a
+    {e golden model} — a direct, network-free OCaml implementation of the
+    per-epoch semantics:
+
+    - reads during a parallel phase observe the phase-start value, or the
+      reader's own private copy for blocks it has marked;
+    - at reconcile, each word's new value is its unique writer's last
+      store (last-writer-wins per word), or the registered reduction
+      operator's combination of all contributions;
+    - sequential segments are ordinary coherent memory.
+
+    After every segment the checker asserts golden-model equality
+    word-for-word (via {!Lcm_core.Proto.peek}) plus
+    {!Lcm_core.Proto.check_invariants}; predicted load values are also
+    asserted inside the running fibers wherever they are
+    schedule-independent (always in sequential segments; in parallel
+    phases under LCM only with unbounded capacity — an eviction resets a
+    node's private view — and under Stache only for words no other node
+    writes).
+
+    Generated programs are race-free by construction (at most one writer
+    per non-reduction word per phase; reductions restricted to exact
+    integer operators so results do not depend on flush arrival order)
+    and well-formed per the paper's compiler contract: a parallel write
+    is explicitly marked whenever the writer might still hold a writable
+    copy (its own home blocks, or blocks it wrote in an earlier
+    sequential segment); other writes randomly rely on the implicit-mark
+    backstop.
+
+    On failure the harness shrinks the program (dropping segments, whole
+    per-node op lists, then single ops) to a minimal reproducer and
+    prints it together with the generating seed and case number. *)
+
+type prog
+(** A generated program: machine shape (nodes, block size, distribution,
+    topology, barrier style, capacity), reduction regions, initial
+    values, and a list of sequential/parallel segments of per-node op
+    lists. *)
+
+val gen : seed:int -> case:int -> ?policy:Lcm_core.Policy.t -> unit -> prog
+(** Deterministically generate case [case] of stream [seed].  [policy]
+    forces the memory-system policy; otherwise each case draws one of
+    stache / lcm-scc / lcm-mcc / lcm-mcc-update. *)
+
+val run_case : prog -> (unit, string) result
+(** Execute a program against the real stack and check it against the
+    golden model.  [Error] carries every divergence found in the first
+    diverging segment (load values, post-segment state, protocol
+    invariants), or the protocol exception (e.g. deadlock). *)
+
+val shrink : ?max_runs:int -> prog -> prog
+(** Greedily minimize a failing program: repeatedly drop segments, then
+    whole per-node op lists, then single ops, keeping each candidate only
+    if it still fails; stops at a fixpoint or after [max_runs] (default
+    300) re-executions.  Individual marks are never dropped alone — that
+    could turn a well-formed program into one with unmarked parallel
+    writes, which the paper's contract does not cover. *)
+
+val pp_prog : Format.formatter -> prog -> unit
+
+val check_case :
+  seed:int -> case:int -> ?policy:Lcm_core.Policy.t -> unit ->
+  (unit, string) result
+(** {!gen} + {!run_case}; on failure, shrink and return a report with the
+    seed/case provenance, the original failure, the printed minimal
+    reproducer and its failure. *)
+
+val run :
+  ?policy:Lcm_core.Policy.t ->
+  ?progress:(int -> unit) ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  (unit, string) result
+(** Run cases [0 .. cases-1] of stream [seed], stopping at the first
+    failure with its shrunk report.  [progress] is called with each case
+    index before it runs. *)
+
+val all_policies : Lcm_core.Policy.t list
+(** The four policies the harness covers. *)

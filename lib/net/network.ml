@@ -41,11 +41,6 @@ let send t ~src ~dst ~words ?tag ~at k =
   | Some tag -> Lcm_util.Stats.incr t.stats ("msg." ^ tag)
   | None -> ());
   let tag_name = Option.value tag ~default:"-" in
-  (match t.trace with
-  | Some tr ->
-    Lcm_sim.Trace.emit tr ~time:at
-      (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst; words })
-  | None -> ());
   let channel = (src, dst) in
   let earliest =
     (* FIFO with bandwidth: the channel stays occupied for the previous
@@ -55,12 +50,24 @@ let send t ~src ~dst ~words ?tag ~at k =
     | Some free -> free
     | None -> 0
   in
-  let raw_arrival = at + latency t ~src ~dst ~words in
+  let lat = latency t ~src ~dst ~words in
+  let raw_arrival = at + lat in
   let arrival =
     (* The engine cannot schedule into the past; a sender's local clock can
        lag the engine when it reacts to an old event, so clamp. *)
     max (max raw_arrival earliest) (Lcm_sim.Engine.now t.engine)
   in
+  let stall = arrival - raw_arrival in
+  if stall > 0 then
+    Lcm_util.Stats.observe t.stats "net.channel_stall_cycles" (float_of_int stall);
+  (match t.trace with
+  | Some tr ->
+    (* Stamp the send at the actual injection time: when the channel (or the
+       engine clamp) delays the message, [at] would predate the link being
+       free and the trace would show impossible overlaps. *)
+    Lcm_sim.Trace.emit tr ~time:(arrival - lat)
+      (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst; words })
+  | None -> ());
   Hashtbl.replace t.channel_free channel (arrival + transmission_time t ~words);
   Lcm_sim.Engine.schedule t.engine ~at:arrival (fun () ->
       (match t.trace with

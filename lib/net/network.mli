@@ -25,8 +25,10 @@ val create :
 
 val set_trace : t -> Lcm_sim.Trace.t option -> unit
 (** Attach (or detach) a trace ring; when set, every send emits
-    {!Lcm_sim.Trace.Msg_send} at injection and {!Lcm_sim.Trace.Msg_recv}
-    at arrival. *)
+    {!Lcm_sim.Trace.Msg_send} at the {e actual} injection time — the
+    arrival minus the uncontended latency, which is later than the
+    caller's [at] when the channel is occupied or the engine clock has
+    passed [at] — and {!Lcm_sim.Trace.Msg_recv} at arrival. *)
 
 val send :
   t ->
@@ -42,7 +44,10 @@ val send :
     ahead of the engine clock) and runs [k ~arrival] at the computed
     arrival time.  [tag] labels the message class in statistics
     (["msg.<tag>"]); every send also bumps ["net.msgs"] and
-    ["net.words"].
+    ["net.words"].  When channel occupancy or the engine clamp delays the
+    message past its uncontended arrival, the delay is recorded in the
+    ["net.channel_stall_cycles"] sample (one observation per stalled
+    message).
     @raise Invalid_argument if [src] or [dst] is out of range. *)
 
 val latency : t -> src:int -> dst:int -> words:int -> int

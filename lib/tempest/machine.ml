@@ -39,6 +39,7 @@ and t = {
   mutable write_fault : node -> addr:int -> retry:(unit -> unit) -> unit;
   mutable on_directive : node -> Memeff.dir -> retry:(unit -> unit) -> unit;
   mutable on_evict : node -> int -> line -> unit;
+  mutable on_read_hit : (node -> int -> line -> unit) option;
   mutable trace : Trace.t option;
 }
 
@@ -87,6 +88,7 @@ let create ?(costs = Lcm_sim.Costs.default)
       write_fault = (fun _ ~addr:_ ~retry:_ -> no_handler ());
       on_directive = (fun _ _ ~retry:_ -> no_handler ());
       on_evict = (fun _ _ _ -> no_handler ());
+      on_read_hit = None;
       trace = None;
     }
   in
@@ -167,13 +169,19 @@ let evict_one t n =
 
 let install_line n b ~data ~tag =
   let t = machine n in
+  let is_home_line = Lcm_mem.Gmem.home_of_block t.m_gmem b = n.node_id in
   (match Hashtbl.find_opt n.lines b with
   | Some old -> note_clean_copy_gone t old
   | None -> (
     match t.capacity_blocks with
-    | Some cap when Hashtbl.length n.lines >= cap -> evict_one t n
+    | Some cap when (not is_home_line) && Hashtbl.length n.lines >= cap ->
+      (* Home backing lines are the node's share of distributed memory,
+         not cache fills: they materialise lazily (possibly outside the
+         engine loop, e.g. from a debug peek) and must never displace a
+         cached copy — an eviction writeback issued then would never be
+         delivered. *)
+      evict_one t n
     | Some _ | None -> ()));
-  let is_home_line = Lcm_mem.Gmem.home_of_block t.m_gmem b = n.node_id in
   let line =
     {
       data;
@@ -239,6 +247,7 @@ let set_handlers t ~read_fault ~write_fault ~directive =
   t.on_directive <- directive
 
 let set_evict_handler t f = t.on_evict <- f
+let set_read_observer t f = t.on_read_hit <- f
 
 let send t ~src ~dst ~words ~tag ~at k =
   (* The network layer records Msg_send/Msg_recv; this layer records the
@@ -271,6 +280,7 @@ let rec do_load t n addr (k : int -> unit) =
   | Some line when Tag.readable line.tag ->
     touch n line;
     hw_access t n b;
+    (match t.on_read_hit with Some f -> f n b line | None -> ());
     k line.data.(off)
   | Some _ | None ->
     Lcm_util.Stats.incr t.m_stats "fault.read";

@@ -111,6 +111,14 @@ val set_evict_handler : t -> (node -> Lcm_mem.Gmem.block -> line -> unit) -> uni
     protocol must write back / notify home as needed.  The line is removed
     from the table after the handler returns. *)
 
+val set_read_observer :
+  t -> (node -> Lcm_mem.Gmem.block -> line -> unit) option -> unit
+(** Observe loads that {e hit} a readable local line (faulting loads
+    already reach the protocol through [read_fault]).  Needed for race
+    detection: the home node's backing line is always readable, so home
+    reads never fault and would otherwise be invisible to the protocol.
+    [None] (the default) keeps the hit path observer-free. *)
+
 (** {1 Messaging} *)
 
 val send :

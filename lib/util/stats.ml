@@ -74,6 +74,18 @@ let sample_mean s name =
   | Some r when r.count > 0 -> r.sum /. float_of_int r.count
   | Some _ | None -> 0.0
 
+type summary = { count : int; mean : float; min : float; max : float }
+
+let summarize (r : sample) =
+  let mean = if r.count > 0 then r.sum /. float_of_int r.count else 0.0 in
+  let min = if r.count > 0 then r.min else 0.0 in
+  let max = if r.count > 0 then r.max else 0.0 in
+  { count = r.count; mean; min; max }
+
+let samples s =
+  Hashtbl.fold (fun name r acc -> (name, summarize r) :: acc) s.samples []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let sorted_bindings table =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -86,7 +98,7 @@ let merge_into ~dst src =
   Hashtbl.iter (fun name r -> add dst name !r) src.counters;
   Hashtbl.iter (fun name r -> set_max dst name !r) src.gauges;
   Hashtbl.iter
-    (fun name r ->
+    (fun name (r : sample) ->
       let d = sample_rec dst name in
       d.count <- d.count + r.count;
       d.sum <- d.sum +. r.sum;
@@ -103,4 +115,9 @@ let pp ppf s =
   List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@." name v) (counters s);
   List.iter
     (fun (name, v) -> Format.fprintf ppf "%s = %d (gauge)@." name v)
-    (gauges s)
+    (gauges s);
+  List.iter
+    (fun (name, sm) ->
+      Format.fprintf ppf "%s = count=%d mean=%g min=%g max=%g (sample)@." name
+        sm.count sm.mean sm.min sm.max)
+    (samples s)

@@ -43,6 +43,13 @@ val counters : t -> (string * int) list
 val gauges : t -> (string * int) list
 (** All gauges, sorted by name. *)
 
+type summary = { count : int; mean : float; min : float; max : float }
+(** Digest of one observation series.  [mean]/[min]/[max] are 0 when the
+    series is empty (rather than the internal ±infinity sentinels). *)
+
+val samples : t -> (string * summary) list
+(** All observation series, summarized, sorted by name. *)
+
 val merge_into : dst:t -> t -> unit
 (** [merge_into ~dst src] adds every counter and every sample of [src]
     into [dst], and raises each of [dst]'s gauges to [src]'s value where
@@ -51,4 +58,5 @@ val merge_into : dst:t -> t -> unit
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit
-(** Render all counters then all gauges, one per line, sorted by name. *)
+(** Render all counters, then all gauges, then all samples
+    ([count]/[mean]/[min]/[max]), one per line, sorted by name. *)

@@ -780,6 +780,25 @@ let test_race_detection () =
   | [ r ] -> Alcotest.(check (list int)) "reader list" [ 1 ] r.Detect.readers
   | other -> Alcotest.failf "expected one race, got %d" (List.length other)
 
+(* Regression: the home node's reads never fault — its backing line is
+   always resident and readable — so a home reader used to be invisible
+   to race detection, which only recorded readers in [serve].  The load
+   path must record home reads too. *)
+let test_race_detection_home_reader () =
+  let (m, p) = mk ~detect:true Policy.lcm_mcc in
+  let a = alloc m ~dist:(Gmem.On 0) ~nwords:8 in
+  parallel_phase (m, p)
+    [
+      (0, fun () -> ignore (Memeff.load a));
+      ( 2,
+        fun () ->
+          Memeff.directive (Memeff.Mark_modification a);
+          Memeff.store a 1 );
+    ];
+  match Proto.races p with
+  | [ r ] -> Alcotest.(check (list int)) "home is a reader" [ 0 ] r.Detect.readers
+  | other -> Alcotest.failf "expected one race, got %d" (List.length other)
+
 let test_strict_detection_requires_detect () =
   let m =
     Machine.create ~nnodes:2 ~words_per_block:8 ~topology:Lcm_net.Topology.Crossbar ()
@@ -1638,6 +1657,7 @@ let () =
           ("no false conflicts", `Quick, test_no_false_conflicts);
           ("silent store conflict", `Quick, test_silent_store_conflict_detected);
           ("read/write race", `Quick, test_race_detection);
+          ("home node as reader", `Quick, test_race_detection_home_reader);
           ("off by default", `Quick, test_detection_off_by_default);
           ("strict requires detect", `Quick, test_strict_detection_requires_detect);
           ("strict catches cached reader", `Quick, test_strict_detection_catches_cached_reader);

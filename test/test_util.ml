@@ -201,6 +201,31 @@ let test_stats_samples () =
   Alcotest.(check (float 1e-9)) "sum" 6.0 (Stats.sample_sum s "lat");
   Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Stats.sample_mean s "none")
 
+(* Regression: [Stats.pp] used to print counters and gauges but silently
+   drop observe-samples, so --stats never showed e.g. cstar.phase_cycles. *)
+let test_stats_pp_includes_samples () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let s = Stats.create () in
+  Stats.incr s "ctr";
+  Stats.observe s "lat" 2.0;
+  Stats.observe s "lat" 4.0;
+  let out = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "counter line present" true (contains out "ctr = 1");
+  Alcotest.(check bool) "sample line present" true
+    (contains out "lat = count=2 mean=3 min=2 max=4 (sample)");
+  match Stats.samples s with
+  | [ (name, summary) ] ->
+    Alcotest.(check string) "sample name" "lat" name;
+    check "summary count" 2 summary.Stats.count;
+    Alcotest.(check (float 1e-9)) "summary mean" 3.0 summary.Stats.mean;
+    Alcotest.(check (float 1e-9)) "summary min" 2.0 summary.Stats.min;
+    Alcotest.(check (float 1e-9)) "summary max" 4.0 summary.Stats.max
+  | other -> Alcotest.failf "expected one sample, got %d" (List.length other)
+
 let test_stats_merge () =
   let a = Stats.create () and b = Stats.create () in
   Stats.add a "x" 2;
@@ -316,6 +341,7 @@ let suite =
     ("mask pp", `Quick, test_mask_pp);
     ("stats counters", `Quick, test_stats_counters);
     ("stats samples", `Quick, test_stats_samples);
+    ("stats pp includes samples", `Quick, test_stats_pp_includes_samples);
     ("stats merge", `Quick, test_stats_merge);
     ("stats sorted", `Quick, test_stats_counters_sorted);
     ("stats reset", `Quick, test_stats_reset);
