@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-paper doc clean examples trace-smoke stress
+.PHONY: all build test bench bench-paper perfbench doc clean examples trace-smoke stress
 
 all: build
 
@@ -16,6 +16,12 @@ bench:
 
 bench-paper:
 	dune exec bench/main.exe -- --paper --no-micro 2>&1 | tee bench_output_paper.txt
+
+# Host-side throughput rig: events/sec of the simulator itself, all
+# policies x {stencil, unstructured, stress}.  See README "Performance
+# benchmarking" for the JSON schema and --baseline comparisons.
+perfbench:
+	dune exec bench/perf.exe -- --out BENCH_perf.json
 
 # Run a small traced stencil and check the emitted Chrome trace JSON
 # parses and is non-empty.

@@ -1,0 +1,294 @@
+(* perf — host-side throughput rig for the simulator itself.
+
+   Every experiment in the harness is bounded by how fast the host can run
+   the simulation stack, so this rig tracks that as a first-class number:
+   for each (workload, policy) cell it reports host wall-clock seconds,
+   simulated engine events per second, simulated cycles and peak RSS, and
+   writes the lot to a machine-readable JSON file (BENCH_perf.json by
+   default) so successive PRs accumulate a throughput trajectory.
+
+     dune exec bench/perf.exe                    # full rig -> BENCH_perf.json
+     dune exec bench/perf.exe -- --smoke         # seconds-long sanity pass
+     dune exec bench/perf.exe -- --baseline old.json --out BENCH_perf.json
+
+   With --baseline, the previous file's runs are embedded under "before",
+   the fresh runs under "after", and per-cell wall-clock speedups are
+   computed (matched by workload + policy).  See README "Performance
+   benchmarking" for the schema. *)
+
+open Lcm_harness
+
+type run = {
+  workload : string;
+  policy : string;
+  wall_s : float;
+  sim_cycles : int;
+  events : int;
+  events_per_sec : float;
+  peak_rss_kb : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* VmHWM from /proc/self/status: the process peak-RSS high-water mark in
+   kB.  Monotone over the process lifetime, so per-run values record "peak
+   so far" — still enough to catch a workload that blows memory up.  0
+   where /proc is unavailable. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> 0
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+        else scan ()
+    in
+    let v = scan () in
+    close_in ic;
+    v
+
+let repeat = ref 3
+
+let measure ~workload ~policy f =
+  (* Best-of-N: host wall-clock is throughput of the simulator binary, and
+     the minimum over a few repeats is the standard noise-robust estimate
+     (scheduling hiccups and frequency ramps only ever slow a run down).
+     Events and sim_cycles are identical across repeats — the simulator is
+     deterministic — so only the timing varies. *)
+  let best = ref None in
+  for _ = 1 to max 1 !repeat do
+    Gc.full_major ();
+    let ev0 = Lcm_sim.Engine.total_events () in
+    let t0 = Unix.gettimeofday () in
+    let sim_cycles = f () in
+    let t1 = Unix.gettimeofday () in
+    let events = Lcm_sim.Engine.total_events () - ev0 in
+    let wall_s = t1 -. t0 in
+    match !best with
+    | Some (w, _, _) when w <= wall_s -> ()
+    | _ -> best := Some (wall_s, sim_cycles, events)
+  done;
+  let wall_s, sim_cycles, events =
+    match !best with Some b -> b | None -> assert false
+  in
+  let events_per_sec =
+    if wall_s > 0.0 then float_of_int events /. wall_s else 0.0
+  in
+  let r =
+    {
+      workload;
+      policy;
+      wall_s;
+      sim_cycles;
+      events;
+      events_per_sec;
+      peak_rss_kb = peak_rss_kb ();
+    }
+  in
+  Printf.printf "%-28s %-16s %8.3f s %10d ev %12.0f ev/s %9d cyc %8d kB\n%!"
+    r.workload r.policy r.wall_s r.events r.events_per_sec r.sim_cycles
+    r.peak_rss_kb;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let systems =
+  [ Config.stache; Config.lcm_scc; Config.lcm_mcc; Config.lcm_mcc_update ]
+
+let runtime ~nnodes system =
+  Config.make_runtime
+    { Config.default_machine with Config.nnodes }
+    system ~schedule:Lcm_cstar.Schedule.Static
+
+let stencil ~nnodes ~n ~iters system () =
+  let rt = runtime ~nnodes system in
+  let r =
+    Lcm_apps.Stencil.run rt { Lcm_apps.Stencil.n; iters; work_per_cell = 4 }
+  in
+  r.Lcm_apps.Bench_result.cycles
+
+let unstructured ~nnodes ~nodes ~edges ~iters system () =
+  let rt = runtime ~nnodes system in
+  let r =
+    Lcm_apps.Unstructured.run rt
+      { Lcm_apps.Unstructured.nodes; edges; iters; seed = 11; work_per_node = 6 }
+  in
+  r.Lcm_apps.Bench_result.cycles
+
+let stress ~cases ~seed system () =
+  (match Stress.run ~policy:system.Config.policy ~cases ~seed () with
+  | Ok () -> ()
+  | Error e -> failwith ("perf: stress batch failed:\n" ^ e));
+  0
+
+let all_runs ~smoke () =
+  let sn, si, snodes = if smoke then (16, 2, 8) else (128, 25, 32) in
+  let un, ue, ui = if smoke then (32, 96, 2) else (256, 1024, 48) in
+  let cases = if smoke then 2 else 60 in
+  let cell mk name =
+    List.map
+      (fun sys -> measure ~workload:name ~policy:sys.Config.label (mk sys))
+      systems
+  in
+  let stencil_runs =
+    cell
+      (stencil ~nnodes:snodes ~n:sn ~iters:si)
+      (Printf.sprintf "stencil-static-%dx%d-i%d-p%d" sn sn si snodes)
+  in
+  let unstructured_runs =
+    cell
+      (unstructured ~nnodes:snodes ~nodes:un ~edges:ue ~iters:ui)
+      (Printf.sprintf "unstructured-%dn%de-i%d-p%d" un ue ui snodes)
+  in
+  let stress_runs =
+    cell (stress ~cases ~seed:1) (Printf.sprintf "stress-%dcases-seed1" cases)
+  in
+  stencil_runs @ unstructured_runs @ stress_runs
+
+(* ------------------------------------------------------------------ *)
+(* JSON out / baseline in                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_json r =
+  Printf.sprintf
+    "    {\"workload\": \"%s\", \"policy\": \"%s\", \"wall_s\": %.6f, \
+     \"sim_cycles\": %d, \"events\": %d, \"events_per_sec\": %.1f, \
+     \"peak_rss_kb\": %d}"
+    r.workload r.policy r.wall_s r.sim_cycles r.events r.events_per_sec
+    r.peak_rss_kb
+
+let runs_json rs = String.concat ",\n" (List.map run_json rs)
+
+let load_baseline path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Traceview.parse text with
+  | Error e -> failwith (Printf.sprintf "perf: cannot parse %s: %s" path e)
+  | Ok doc ->
+    (* prefer the file's "after" runs (a previous before/after file), else
+       its plain "runs" *)
+    let runs =
+      match (Traceview.member "after" doc, Traceview.member "runs" doc) with
+      | Some (Traceview.Arr rs), _ | None, Some (Traceview.Arr rs) -> rs
+      | _ -> failwith (Printf.sprintf "perf: no runs array in %s" path)
+    in
+    List.filter_map
+      (fun r ->
+        let str k =
+          match Traceview.member k r with
+          | Some (Traceview.Str s) -> Some s
+          | _ -> None
+        in
+        let num k =
+          match Traceview.member k r with
+          | Some (Traceview.Num n) -> Some n
+          | _ -> None
+        in
+        match (str "workload", str "policy", num "wall_s") with
+        | Some workload, Some policy, Some wall ->
+          Some
+            {
+              workload;
+              policy;
+              wall_s = wall;
+              sim_cycles =
+                (match num "sim_cycles" with Some n -> int_of_float n | None -> 0);
+              events =
+                (match num "events" with Some n -> int_of_float n | None -> 0);
+              events_per_sec =
+                (match num "events_per_sec" with Some n -> n | None -> 0.0);
+              peak_rss_kb =
+                (match num "peak_rss_kb" with Some n -> int_of_float n | None -> 0);
+            }
+        | _ -> None)
+      runs
+
+let comparison_json before after =
+  let cells =
+    List.filter_map
+      (fun a ->
+        match
+          List.find_opt
+            (fun b -> b.workload = a.workload && b.policy = a.policy)
+            before
+        with
+        | Some b when a.wall_s > 0.0 ->
+          Some
+            (Printf.sprintf
+               "    {\"workload\": \"%s\", \"policy\": \"%s\", \
+                \"wall_before_s\": %.6f, \"wall_after_s\": %.6f, \
+                \"speedup\": %.3f}"
+               a.workload a.policy b.wall_s a.wall_s (b.wall_s /. a.wall_s))
+        | _ -> None)
+      after
+  in
+  String.concat ",\n" cells
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_perf.json" in
+  let baseline = ref "" in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " tiny problem sizes (CI smoke test)");
+      ( "--repeat",
+        Arg.Set_int repeat,
+        "N repeats per cell, best (minimum) wall time kept (default 3)" );
+      ("--out", Arg.Set_string out, "FILE output JSON path (default BENCH_perf.json)");
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE previous BENCH_perf.json to compare against" );
+    ]
+    (fun a -> raise (Arg.Bad ("unknown argument " ^ a)))
+    "perf [--smoke] [--out FILE] [--baseline FILE]";
+  Printf.printf "%-28s %-16s %10s %13s %15s %12s %11s\n" "workload" "policy"
+    "wall" "events" "events/sec" "sim-cycles" "peak-rss";
+  if !smoke then repeat := 1;
+  (* Validate the baseline before spending minutes measuring. *)
+  let load_baseline_or_die path =
+    match load_baseline path with
+    | runs -> runs
+    | exception (Sys_error msg | Failure msg) ->
+      Printf.eprintf "perf: cannot load baseline: %s\n" msg;
+      exit 1
+  in
+  let before = if !baseline = "" then [] else load_baseline_or_die !baseline in
+  let after = all_runs ~smoke:!smoke () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"lcm-bench-perf/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"scale\": \"%s\",\n" (if !smoke then "smoke" else "full"));
+  (match before with
+  | [] ->
+    Buffer.add_string buf
+      (Printf.sprintf "  \"runs\": [\n%s\n  ]\n" (runs_json after))
+  | before ->
+    Buffer.add_string buf
+      (Printf.sprintf "  \"before\": [\n%s\n  ],\n" (runs_json before));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"after\": [\n%s\n  ],\n" (runs_json after));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"comparison\": [\n%s\n  ]\n"
+         (comparison_json before after)));
+  Buffer.add_string buf "}\n";
+  let oc = open_out !out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "(wrote %s)\n" !out;
+  (* the smoke pass doubles as a self-check: the file we just wrote must
+     parse and round-trip through the baseline reader *)
+  let reread = load_baseline !out in
+  if List.length reread <> List.length after then begin
+    prerr_endline "perf: FATAL: written JSON did not round-trip";
+    exit 1
+  end

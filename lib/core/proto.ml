@@ -1,4 +1,4 @@
-module ISet = Set.Make (Int)
+module ISet = Lcm_util.Nodeset
 module Machine = Lcm_tempest.Machine
 module Memeff = Lcm_tempest.Memeff
 module Tag = Lcm_tempest.Tag
@@ -51,9 +51,70 @@ type rstate = {
   mutable finished : bool;
 }
 
+(* Counters on the protocol fast paths, resolved once at [install] so the
+   handlers never hash a counter name (see Stats.Handle).  Names are
+   unchanged — these are aliases, not new counters. *)
+type handles = {
+  h_fetch_local : Stats.Handle.counter;
+  h_fetch_remote : Stats.Handle.counter;
+  h_recalls : Stats.Handle.counter;
+  h_invals : Stats.Handle.counter;
+  h_writebacks : Stats.Handle.counter;
+  h_marks : Stats.Handle.counter;
+  h_mark_local : Stats.Handle.counter;
+  h_mark_remote : Stats.Handle.counter;
+  h_implicit_marks : Stats.Handle.counter;
+  h_flush_blocks : Stats.Handle.counter;
+  h_flushes_received : Stats.Handle.counter;
+  h_conflicts : Stats.Handle.counter;
+  h_snapshot_refreshes : Stats.Handle.counter;
+  h_local_restores : Stats.Handle.counter;
+  h_clean_copies : Stats.Handle.counter;
+  h_live_clean_copies : Stats.Handle.counter;
+  h_peak_clean_copies : Stats.Handle.gauge;
+  h_reconcile_invals : Stats.Handle.counter;
+  h_reconcile_updates : Stats.Handle.counter;
+  h_reconciled_blocks : Stats.Handle.counter;
+  h_barrier_wait : Stats.Handle.counter;
+  h_strict_invals : Stats.Handle.counter;
+  h_survived_invals : Stats.Handle.counter;
+  h_stale_pins : Stats.Handle.counter;
+  h_stale_refreshes : Stats.Handle.counter;
+}
+
+let resolve_handles s =
+  {
+    h_fetch_local = Stats.counter s "proto.fetch_local";
+    h_fetch_remote = Stats.counter s "proto.fetch_remote";
+    h_recalls = Stats.counter s "proto.recalls";
+    h_invals = Stats.counter s "proto.invals";
+    h_writebacks = Stats.counter s "proto.writebacks";
+    h_marks = Stats.counter s "lcm.marks";
+    h_mark_local = Stats.counter s "lcm.mark_local";
+    h_mark_remote = Stats.counter s "lcm.mark_remote";
+    h_implicit_marks = Stats.counter s "lcm.implicit_marks";
+    h_flush_blocks = Stats.counter s "lcm.flush_blocks";
+    h_flushes_received = Stats.counter s "lcm.flushes_received";
+    h_conflicts = Stats.counter s "lcm.conflicts";
+    h_snapshot_refreshes = Stats.counter s "lcm.snapshot_refreshes";
+    h_local_restores = Stats.counter s "lcm.local_restores";
+    h_clean_copies = Stats.counter s "lcm.clean_copies";
+    h_live_clean_copies = Stats.counter s "lcm.live_clean_copies";
+    h_peak_clean_copies = Stats.gauge s "lcm.peak_clean_copies";
+    h_reconcile_invals = Stats.counter s "lcm.reconcile_invals";
+    h_reconcile_updates = Stats.counter s "lcm.reconcile_updates";
+    h_reconciled_blocks = Stats.counter s "lcm.reconciled_blocks";
+    h_barrier_wait = Stats.counter s "lcm.barrier_wait_cycles";
+    h_strict_invals = Stats.counter s "detect.strict_invals";
+    h_survived_invals = Stats.counter s "stale.survived_invals";
+    h_stale_pins = Stats.counter s "stale.pins";
+    h_stale_refreshes = Stats.counter s "stale.refreshes";
+  }
+
 type t = {
   mach : Machine.t;
   pol : Policy.t;
+  hs : handles;
   barrier : Barrier.style;
   detect : bool;
   strict_detection : bool;
@@ -83,9 +144,9 @@ let data_words t = wpb t + 2
 
 let get_entry t b =
   ignore (Machine.master t.mach b);
-  match Hashtbl.find_opt t.entries b with
-  | Some e -> e
-  | None ->
+  match Hashtbl.find t.entries b with
+  | e -> e
+  | exception Not_found ->
     let e =
       {
         block = b;
@@ -102,8 +163,6 @@ let get_entry t b =
     in
     Hashtbl.add t.entries b e;
     e
-
-let stats t = Machine.stats t.mach
 
 (* Record a parallel-phase reader for race detection (§7.2); readers sets
    left over from earlier epochs are lazily reset.  Called both from
@@ -124,10 +183,10 @@ let note_reader t e node =
    its high-water mark.  Decrements for local snapshots happen in
    Machine.drop_line / install_line when their lines disappear. *)
 let clean_copy_created t =
-  let s = stats t in
-  Stats.incr s "lcm.clean_copies";
-  Stats.add s "lcm.live_clean_copies" 1;
-  Stats.set_max s "lcm.peak_clean_copies" (Stats.get s "lcm.live_clean_copies")
+  Stats.Handle.incr t.hs.h_clean_copies;
+  Stats.Handle.add t.hs.h_live_clean_copies 1;
+  Stats.Handle.set_max t.hs.h_peak_clean_copies
+    (Stats.Handle.value t.hs.h_live_clean_copies)
 
 (* The home's backing line mirrors the directory state so that the home
    CPU's own accesses obey coherence: Writable when home-owned, Read_only
@@ -200,8 +259,8 @@ let rec request t node b want ~retry =
   | Some _ -> () (* a request for this block is already in flight *)
   | None ->
     let home = home_of t b in
-    Stats.incr (stats t)
-      (if home = nid then "proto.fetch_local" else "proto.fetch_remote");
+    Stats.Handle.incr
+      (if home = nid then t.hs.h_fetch_local else t.hs.h_fetch_remote);
     Machine.send t.mach ~src:nid ~dst:home ~words:ctrl_words ~tag:(want_tag want)
       ~at:(Machine.clock node) (fun _home_node ~now ->
         home_recv_get t b { want; requester = nid } ~now)
@@ -246,7 +305,7 @@ and serve t e w ~now =
   | Exclusive owner, _ when owner <> w.requester ->
     (* Recall the remote writable copy before serving anyone. *)
     e.busy <- Some (Recalling w);
-    Stats.incr (stats t) "proto.recalls";
+    Stats.Handle.incr t.hs.h_recalls;
     let home = home_of t b in
     Machine.send t.mach ~src:home ~dst:owner ~words:ctrl_words ~tag:"recall"
       ~at:now (fun onode ~now -> owner_recv_recall t b onode ~now)
@@ -286,7 +345,7 @@ and serve t e w ~now =
       let home = home_of t b in
       ISet.iter
         (fun sharer ->
-          Stats.incr (stats t) "proto.invals";
+          Stats.Handle.incr t.hs.h_invals;
           Machine.send t.mach ~src:home ~dst:sharer ~words:ctrl_words
             ~tag:"inval" ~at:now (fun snode ~now ->
               sharer_recv_inval t b snode ~now
@@ -322,7 +381,7 @@ and owner_recv_recall t b onode ~now =
   | Some line when line.Machine.tag = Tag.Writable ->
     let data = Block.copy line.Machine.data in
     Machine.drop_line onode b;
-    Stats.incr (stats t) "proto.writebacks";
+    Stats.Handle.incr t.hs.h_writebacks;
     Machine.send t.mach ~src:nid ~dst:home ~words:(data_words t) ~tag:"put"
       ~at:now (fun _ ~now -> home_recv_put t b (Some data) ~from:nid ~mark:false ~now)
   | Some _ | None ->
@@ -377,7 +436,7 @@ and home_recv_inval_ack t b ~now =
 and sharer_recv_inval t b snode ~now ~ack =
   let nid = Machine.id snode in
   if Hashtbl.mem t.stale_pins.(nid) b then
-    Stats.incr (stats t) "stale.survived_invals"
+    Stats.Handle.incr t.hs.h_survived_invals
   else begin
     match Machine.find_line snode b with
     | Some line when not line.Lcm_tempest.Machine.is_home_line ->
@@ -393,6 +452,23 @@ and sharer_recv_inval t b snode ~now ~ack =
 let read_fault t node ~addr ~retry =
   let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
   request t node b Want_ro ~retry
+
+(* Helpers of [mark_parallel], hoisted so the hot path allocates no
+   closures. *)
+let snapshot_clean t node (line : Machine.line) ~costs =
+  if t.pol.Policy.local_clean_copies then begin
+    (match line.Machine.local_clean with
+    | Some clean -> Block.blit ~src:line.Machine.data ~dst:clean
+    | None ->
+      line.Machine.local_clean <- Some (Block.copy line.Machine.data);
+      clean_copy_created t);
+    Stats.Handle.incr t.hs.h_snapshot_refreshes;
+    Machine.advance_clock node costs.Lcm_sim.Costs.local_copy
+  end
+
+let unalias_if_home t (line : Machine.line) ~home ~nid ~b =
+  if home = nid && line.Machine.data == Machine.master t.mach b then
+    line.Machine.data <- Block.copy line.Machine.data
 
 (* mark_modification: obtain (or upgrade to) a private writable copy of the
    block holding [addr].  Local upgrades need no communication except for a
@@ -410,34 +486,19 @@ let rec mark t node ~addr ~retry =
   else mark_parallel t node ~addr ~retry
 
 and mark_parallel t node ~addr ~retry =
-  Stats.incr (stats t) "lcm.marks";
+  Stats.Handle.incr t.hs.h_marks;
   let g = Machine.gmem t.mach in
   let b = Gmem.block_of_addr g addr in
   let nid = Machine.id node in
   let home = home_of t b in
   if home = nid then ignore (Machine.master t.mach b);
   let costs = Machine.costs t.mach in
-  let snapshot_clean line =
-    if t.pol.Policy.local_clean_copies then begin
-      (match line.Machine.local_clean with
-      | Some clean -> Block.blit ~src:line.Machine.data ~dst:clean
-      | None ->
-        line.Machine.local_clean <- Some (Block.copy line.Machine.data);
-        clean_copy_created t);
-      Stats.incr (stats t) "lcm.snapshot_refreshes";
-      Machine.advance_clock node costs.Lcm_sim.Costs.local_copy
-    end
-  in
-  let unalias_if_home line =
-    if home = nid && line.Machine.data == Machine.master t.mach b then
-      line.Machine.data <- Block.copy line.Machine.data
-  in
   match Machine.find_line node b with
   | Some line when line.Machine.tag = Tag.Lcm_modified -> retry ()
   | Some line when line.Machine.tag = Tag.Writable ->
-    Stats.incr (stats t) "lcm.mark_local";
+    Stats.Handle.incr t.hs.h_mark_local;
     if home = nid then begin
-      unalias_if_home line;
+      unalias_if_home t line ~home ~nid ~b;
       let e = get_entry t b in
       e.lcm_holders <- ISet.add nid e.lcm_holders
     end
@@ -453,23 +514,23 @@ and mark_parallel t node ~addr ~retry =
     line.Machine.tag <- Tag.Lcm_modified;
     line.Machine.dirty <- Mask.empty;
     note_mark t nid b;
-    snapshot_clean line;
+    snapshot_clean t node line ~costs;
     Machine.advance_clock node costs.Lcm_sim.Costs.block_install;
     retry ()
   | Some line when line.Machine.tag = Tag.Read_only ->
-    Stats.incr (stats t) "lcm.mark_local";
-    unalias_if_home line;
+    Stats.Handle.incr t.hs.h_mark_local;
+    unalias_if_home t line ~home ~nid ~b;
     (if home = nid then
        let e = get_entry t b in
        e.lcm_holders <- ISet.add nid e.lcm_holders);
     line.Machine.tag <- Tag.Lcm_modified;
     line.Machine.dirty <- Mask.empty;
     note_mark t nid b;
-    snapshot_clean line;
+    snapshot_clean t node line ~costs;
     Machine.advance_clock node costs.Lcm_sim.Costs.block_install;
     retry ()
   | Some _ | None ->
-    Stats.incr (stats t) "lcm.mark_remote";
+    Stats.Handle.incr t.hs.h_mark_remote;
     request t node b Want_lcm ~retry
 
 let write_fault t node ~addr ~retry =
@@ -478,7 +539,7 @@ let write_fault t node ~addr ~retry =
   | `Parallel, Policy.Lcm_copy ->
     (* Unannotated write during a parallel phase: LCM detects the unusual
        case and handles it as an implicit mark_modification. *)
-    Stats.incr (stats t) "lcm.implicit_marks";
+    Stats.Handle.incr t.hs.h_implicit_marks;
     mark t node ~addr ~retry
   | (`Sequential | `Parallel), (Policy.Exclusive | Policy.Lcm_copy) ->
     request t node b Want_rw ~retry
@@ -502,7 +563,7 @@ let try_finish_reconcile t ~now:_ =
        (done_times) until the collective release. *)
     Array.iter
       (fun done_t ->
-        Stats.add (stats t) "lcm.barrier_wait_cycles" (release - done_t))
+        Stats.Handle.add t.hs.h_barrier_wait (release - done_t))
       r.done_times;
     Machine.set_all_clocks t.mach release;
     Machine.incr_epoch t.mach;
@@ -539,7 +600,7 @@ let merge_flush t b data mask ~from ~epoch =
   | None ->
     let overlap = Mask.inter mask e.shadow_mask in
     if not (Mask.is_empty overlap) then begin
-      Stats.incr (stats t) "lcm.conflicts";
+      Stats.Handle.incr t.hs.h_conflicts;
       if t.detect then
         t.conflicts <- { Detect.block = b; words = overlap; writer = from } :: t.conflicts
     end;
@@ -548,7 +609,7 @@ let merge_flush t b data mask ~from ~epoch =
   e.lcm_holders <- ISet.remove from e.lcm_holders;
   (if t.pol.Policy.local_clean_copies && from <> home_of t b then
      e.dstate <- Shared (ISet.add from (sharers_of e.dstate)));
-  Stats.incr (stats t) "lcm.flushes_received"
+  Stats.Handle.incr t.hs.h_flushes_received
 
 let rec home_recv_flush t b data mask ~from ~epoch ~now =
   merge_flush t b data mask ~from ~epoch;
@@ -578,7 +639,7 @@ and flush_node t node =
   let costs = Machine.costs t.mach in
   let nid = Machine.id node in
   let epoch = Machine.epoch t.mach in
-  let blocks = List.sort_uniq compare !(t.pending_marks.(nid)) in
+  let blocks = List.sort_uniq Int.compare !(t.pending_marks.(nid)) in
   t.pending_marks.(nid) := [];
   List.iter
     (fun b ->
@@ -592,7 +653,7 @@ and flush_node t node =
           line.Machine.tag <- Tag.Read_only
         end
         else begin
-          Stats.incr (stats t) "lcm.flush_blocks";
+          Stats.Handle.incr t.hs.h_flush_blocks;
           let data = Block.copy line.Machine.data in
           let mask = line.Machine.dirty in
           Machine.advance_clock node costs.Lcm_sim.Costs.local_copy;
@@ -618,7 +679,7 @@ and flush_node t node =
               assert false);
             line.Machine.tag <- Tag.Read_only;
             line.Machine.dirty <- Mask.empty;
-            Stats.incr (stats t) "lcm.local_restores";
+            Stats.Handle.incr t.hs.h_local_restores;
             Machine.advance_clock node costs.Lcm_sim.Costs.local_copy
           end
           else Machine.drop_line node b
@@ -632,7 +693,7 @@ and start_sweep t ~now =
   let epoch = Machine.epoch t.mach in
   let sweep_time = max r.join_time now in
   let blocks =
-    Hashtbl.fold (fun b _ acc -> b :: acc) t.entries [] |> List.sort compare
+    Hashtbl.fold (fun b _ acc -> b :: acc) t.entries [] |> List.sort Int.compare
   in
   List.iter
     (fun b ->
@@ -650,7 +711,7 @@ and start_sweep t ~now =
          ISet.iter
            (fun target ->
              r.inval_acks_left <- r.inval_acks_left + 1;
-             Stats.incr (stats t) "detect.strict_invals";
+             Stats.Handle.incr t.hs.h_strict_invals;
              Machine.send t.mach ~src:home ~dst:target ~words:ctrl_words
                ~tag:"inval" ~at:sweep_time (fun snode ~now ->
                  sharer_recv_inval t b snode ~now ~ack:(fun ~now ->
@@ -671,8 +732,8 @@ and start_sweep t ~now =
       | Some shadow when e.shadow_epoch = epoch ->
         Block.blit ~src:shadow ~dst:(Machine.master t.mach b);
         e.shadow <- None;
-        Stats.add (stats t) "lcm.live_clean_copies" (-1);
-        Stats.incr (stats t) "lcm.reconciled_blocks";
+        Stats.Handle.add t.hs.h_live_clean_copies (-1);
+        Stats.Handle.incr t.hs.h_reconciled_blocks;
         if t.detect && e.readers_epoch = epoch && not (ISet.is_empty e.readers)
         then
           t.races <-
@@ -698,7 +759,7 @@ and start_sweep t ~now =
           ISet.iter
             (fun target ->
               r.inval_acks_left <- r.inval_acks_left + 1;
-              Stats.incr (stats t) "lcm.reconcile_updates";
+              Stats.Handle.incr t.hs.h_reconcile_updates;
               Machine.send t.mach ~src:home ~dst:target ~words:(data_words t)
                 ~tag:"update" ~at:sweep_time (fun snode ~now ->
                   (match Machine.find_line snode b with
@@ -724,7 +785,7 @@ and start_sweep t ~now =
           ISet.iter
             (fun target ->
               r.inval_acks_left <- r.inval_acks_left + 1;
-              Stats.incr (stats t) "lcm.reconcile_invals";
+              Stats.Handle.incr t.hs.h_reconcile_invals;
               Machine.send t.mach ~src:home ~dst:target ~words:ctrl_words
                 ~tag:"inval" ~at:sweep_time (fun snode ~now ->
                   sharer_recv_inval t b snode ~now ~ack:(fun ~now ->
@@ -788,35 +849,35 @@ let begin_parallel t =
 (* Directives, eviction, installation                                  *)
 (* ------------------------------------------------------------------ *)
 
+let note_directive t node name =
+  Machine.trace_emit t.mach ~time:(Machine.clock node)
+    (Machine.Trace.Directive { node = Machine.id node; name })
+
 let directive t node d ~retry =
-  let note name =
-    Machine.trace_emit t.mach ~time:(Machine.clock node)
-      (Machine.Trace.Directive { node = Machine.id node; name })
-  in
   match d with
   | Memeff.Mark_modification addr ->
-    note "mark_modification";
+    note_directive t node "mark_modification";
     if Policy.is_lcm t.pol then mark t node ~addr ~retry
     else retry () (* Stache: C** code compiled for LCM run unchanged *)
   | Memeff.Flush_copies ->
-    note "flush_copies";
+    note_directive t node "flush_copies";
     if Policy.is_lcm t.pol then flush_node t node;
     retry ()
   | Stale.Pin_stale addr ->
-    note "pin_stale";
+    note_directive t node "pin_stale";
     let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
     Hashtbl.replace t.stale_pins.(Machine.id node) b ();
-    Stats.incr (stats t) "stale.pins";
+    Stats.Handle.incr t.hs.h_stale_pins;
     retry ()
   | Stale.Refresh addr ->
-    note "refresh";
+    note_directive t node "refresh";
     let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
     let nid = Machine.id node in
     Hashtbl.remove t.stale_pins.(nid) b;
     (match Machine.find_line node b with
     | Some line when not line.Machine.is_home_line ->
       Machine.drop_line node b;
-      Stats.incr (stats t) "stale.refreshes"
+      Stats.Handle.incr t.hs.h_stale_refreshes
     | Some _ | None -> ());
     retry ()
   | _ -> failwith "Proto: unknown memory-system directive"
@@ -835,7 +896,7 @@ let evict t node b line =
         | Home_owned | Exclusive _ -> ())
   | Tag.Writable ->
     let data = Block.copy line.Machine.data in
-    Stats.incr (stats t) "proto.writebacks";
+    Stats.Handle.incr t.hs.h_writebacks;
     Machine.send t.mach ~src:nid ~dst:home ~words:(data_words t) ~tag:"put"
       ~at:(Machine.clock node) (fun _ ~now ->
         home_recv_put t b (Some data) ~from:nid ~mark:false ~now)
@@ -844,7 +905,7 @@ let evict t node b line =
       let data = Block.copy line.Machine.data in
       let mask = line.Machine.dirty in
       let epoch = Machine.epoch t.mach in
-      Stats.incr (stats t) "lcm.flush_blocks";
+      Stats.Handle.incr t.hs.h_flush_blocks;
       if home = nid then merge_flush t b data mask ~from:nid ~epoch
       else begin
         t.pending_flush_acks.(nid) <- t.pending_flush_acks.(nid) + 1;
@@ -864,7 +925,7 @@ let races t = List.rev t.races
 
 let rec dump_block t b =
   match home_of t b with
-  | exception Not_found -> Printf.sprintf "block %d: unallocated" b
+  | exception Invalid_argument _ -> Printf.sprintf "block %d: unallocated" b
   | home -> dump_block_at t b ~home
 
 and dump_block_at t b ~home =
@@ -1018,6 +1079,7 @@ let install ?(detect = false) ?(strict_detection = false)
     {
       mach;
       pol;
+      hs = resolve_handles (Machine.stats mach);
       barrier;
       detect;
       strict_detection;

@@ -15,6 +15,10 @@ type phase_snapshot = {
 type t = {
   proto : Proto.t;
   strategy : strategy;
+  (* per-phase counters, resolved once at create (names unchanged) *)
+  h_parallel_calls : Lcm_util.Stats.Handle.counter;
+  h_invocations : Lcm_util.Stats.Handle.counter;
+  h_phase_cycles : Lcm_util.Stats.Handle.sample;
   schedule : Schedule.t;
   flush_between : bool;
   chunks_per_node : int;
@@ -26,9 +30,13 @@ let create proto ~strategy ~schedule ?(flush_between = true)
     ?(chunks_per_node = 1) () =
   if chunks_per_node <= 0 then
     invalid_arg "Runtime.create: chunks_per_node must be positive";
+  let s = Machine.stats (Proto.machine proto) in
   {
     proto;
     strategy;
+    h_parallel_calls = Lcm_util.Stats.counter s "cstar.parallel_calls";
+    h_invocations = Lcm_util.Stats.counter s "cstar.invocations";
+    h_phase_cycles = Lcm_util.Stats.sample s "cstar.phase_cycles";
     schedule;
     flush_between;
     chunks_per_node;
@@ -109,14 +117,14 @@ let parallel_apply t ?(iter = 0) ?(reducers = []) ?flush_between ?schedule ~n
     sequential t (fun () -> List.iter Reducer.finalize reducers)
   | Explicit_copy | Lcm_directives -> ());
   let finished = Machine.max_clock mach in
-  Lcm_util.Stats.incr (stats t) "cstar.parallel_calls";
-  Lcm_util.Stats.add (stats t) "cstar.invocations" n;
-  Lcm_util.Stats.observe (stats t) "cstar.phase_cycles"
+  Lcm_util.Stats.Handle.incr t.h_parallel_calls;
+  Lcm_util.Stats.Handle.add t.h_invocations n;
+  Lcm_util.Stats.Handle.observe t.h_phase_cycles
     (float_of_int (finished - started));
   if t.log_phases then begin
     let label =
       Printf.sprintf "parallel#%d"
-        (Lcm_util.Stats.get (stats t) "cstar.parallel_calls")
+        (Lcm_util.Stats.Handle.value t.h_parallel_calls)
     in
     let after = Lcm_util.Stats.counters (stats t) in
     t.phase_log <- { label; started; finished; before; after } :: t.phase_log

@@ -12,40 +12,55 @@ type region = {
 type t = {
   nnodes : int;
   words_per_block : int;
-  mutable regions : region list; (* most recent first *)
+  wpb_shift : int;
+      (* log2 words_per_block when it is a power of two, else -1: block and
+         offset arithmetic runs on every simulated access, and a shift/mask
+         beats the two integer divisions *)
+  wpb_mask : int;
+  mutable regions : region array;  (* sorted by first_block; dense prefix *)
+  mutable nregions : int;
   mutable next_block : int;
+  mutable home : int array;
+      (* per-block home node, filled at alloc time: the O(1) fast path for
+         every simulated access.  Length >= next_block; slots beyond are
+         dead. *)
+  mutable region_idx : int array;
+      (* per-block index into [regions], maintained alongside [home] *)
 }
 
 let create ~nnodes ~words_per_block =
   if nnodes < 1 then invalid_arg "Gmem.create: nnodes must be >= 1";
   if words_per_block < 1 || words_per_block > Lcm_util.Mask.max_words then
     invalid_arg "Gmem.create: invalid words_per_block";
-  { nnodes; words_per_block; regions = []; next_block = 0 }
+  let wpb_shift =
+    let rec log2 acc n = if n = 1 then acc else log2 (acc + 1) (n lsr 1) in
+    if words_per_block land (words_per_block - 1) = 0 then
+      log2 0 words_per_block
+    else -1
+  in
+  {
+    nnodes;
+    words_per_block;
+    wpb_shift;
+    wpb_mask = words_per_block - 1;
+    regions = [||];
+    nregions = 0;
+    next_block = 0;
+    home = [||];
+    region_idx = [||];
+  }
 
 let nnodes t = t.nnodes
 
 let words_per_block t = t.words_per_block
 
-let alloc t ~dist ~nwords =
-  if nwords <= 0 then invalid_arg "Gmem.alloc: nwords must be positive";
-  (match dist with
-  | On n when n < 0 || n >= t.nnodes -> invalid_arg "Gmem.alloc: node out of range"
-  | On _ | Interleaved | Chunked -> ());
-  let nblocks = (nwords + t.words_per_block - 1) / t.words_per_block in
-  let region = { first_block = t.next_block; nblocks; dist } in
-  t.regions <- region :: t.regions;
-  t.next_block <- t.next_block + nblocks;
-  region.first_block * t.words_per_block
+let unallocated fn b =
+  invalid_arg (Printf.sprintf "Gmem.%s: block %d is not allocated" fn b)
 
-let region_of_block t b =
-  let in_region r = b >= r.first_block && b < r.first_block + r.nblocks in
-  match List.find_opt in_region t.regions with
-  | Some r -> r
-  | None -> raise Not_found
-
-let home_of_block t b =
-  let r = region_of_block t b in
-  let index = b - r.first_block in
+(* Home of the [index]-th block of region [r], from the distribution alone
+   — the reference computation the per-block cache is filled from (and
+   checked against in tests). *)
+let home_in_region t (r : region) ~index =
   match r.dist with
   | On n -> n
   | Interleaved -> index mod t.nnodes
@@ -58,11 +73,72 @@ let home_of_block t b =
       let boundary = (q + 1) * rem in
       if index < boundary then index / (q + 1) else rem + ((index - boundary) / q)
 
-let block_of_addr t a = a / t.words_per_block
+let grow_tables t needed =
+  let cap = Array.length t.home in
+  if needed > cap then begin
+    let new_cap = max needed (max 64 (2 * cap)) in
+    let home = Array.make new_cap (-1) in
+    Array.blit t.home 0 home 0 t.next_block;
+    t.home <- home;
+    let idx = Array.make new_cap (-1) in
+    Array.blit t.region_idx 0 idx 0 t.next_block;
+    t.region_idx <- idx
+  end
+
+let alloc t ~dist ~nwords =
+  if nwords <= 0 then invalid_arg "Gmem.alloc: nwords must be positive";
+  (match dist with
+  | On n when n < 0 || n >= t.nnodes -> invalid_arg "Gmem.alloc: node out of range"
+  | On _ | Interleaved | Chunked -> ());
+  let nblocks = (nwords + t.words_per_block - 1) / t.words_per_block in
+  let region = { first_block = t.next_block; nblocks; dist } in
+  if t.nregions = Array.length t.regions then begin
+    let cap = max 8 (2 * t.nregions) in
+    let regions = Array.make cap region in
+    Array.blit t.regions 0 regions 0 t.nregions;
+    t.regions <- regions
+  end;
+  t.regions.(t.nregions) <- region;
+  let ridx = t.nregions in
+  t.nregions <- t.nregions + 1;
+  grow_tables t (t.next_block + nblocks);
+  for index = 0 to nblocks - 1 do
+    let b = region.first_block + index in
+    t.home.(b) <- home_in_region t region ~index;
+    t.region_idx.(b) <- ridx
+  done;
+  t.next_block <- t.next_block + nblocks;
+  region.first_block * t.words_per_block
+
+(* Cold fallback: binary search the (sorted, disjoint, contiguous) region
+   table.  Kept for introspection and as the reference the cached tables
+   are tested against. *)
+let region_of_block t b =
+  if b < 0 || b >= t.next_block then unallocated "region_of_block" b;
+  let rec search lo hi =
+    (* invariant: regions.(lo).first_block <= b < end of regions.(hi) *)
+    if lo = hi then t.regions.(lo)
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if t.regions.(mid).first_block <= b then search mid hi else search lo (mid - 1)
+  in
+  search 0 (t.nregions - 1)
+
+let home_of_block t b =
+  if b < 0 || b >= t.next_block then unallocated "home_of_block" b;
+  Array.unsafe_get t.home b
+
+let home_of_block_uncached t b =
+  let r = region_of_block t b in
+  home_in_region t r ~index:(b - r.first_block)
+
+let block_of_addr t a =
+  if t.wpb_shift >= 0 then a lsr t.wpb_shift else a / t.words_per_block
 
 let home_of_addr t a = home_of_block t (block_of_addr t a)
 
-let offset_in_block t a = a mod t.words_per_block
+let offset_in_block t a =
+  if t.wpb_shift >= 0 then a land t.wpb_mask else a mod t.words_per_block
 
 let base_of_block t b = b * t.words_per_block
 

@@ -4,9 +4,16 @@ type t = {
   stats : Lcm_util.Stats.t;
   topology : Topology.t;
   nnodes : int;
-  channel_free : (int * int, int) Hashtbl.t;
-      (* channel -> time the link is free again: the previous message's
-         arrival plus its transmission time *)
+  channel_free : int array;
+      (* channel (src * nnodes + dst) -> time the link is free again: the
+         previous message's arrival plus its transmission time.  Flat
+         array: every message send reads and writes exactly one slot, so a
+         hashed pair key would be pure overhead. *)
+  msgs : Lcm_util.Stats.Handle.counter;
+  words_sent : Lcm_util.Stats.Handle.counter;
+  channel_stall : Lcm_util.Stats.Handle.sample;
+  tag_counters : (string, Lcm_util.Stats.Handle.counter) Hashtbl.t;
+      (* memoized "msg.<tag>" handles; tags are a small fixed vocabulary *)
   mutable trace : Lcm_sim.Trace.t option;
 }
 
@@ -17,7 +24,11 @@ let create ~engine ~costs ~stats ~topology ~nnodes =
     stats;
     topology;
     nnodes;
-    channel_free = Hashtbl.create 64;
+    channel_free = Array.make (nnodes * nnodes) 0;
+    msgs = Lcm_util.Stats.counter stats "net.msgs";
+    words_sent = Lcm_util.Stats.counter stats "net.words";
+    channel_stall = Lcm_util.Stats.sample stats "net.channel_stall_cycles";
+    tag_counters = Hashtbl.create 32;
     trace = None;
   }
 
@@ -32,24 +43,28 @@ let latency t ~src ~dst ~words =
 let transmission_time t ~words =
   max 1 (words * t.costs.Lcm_sim.Costs.msg_per_word)
 
+let tag_counter t tag =
+  match Hashtbl.find_opt t.tag_counters tag with
+  | Some h -> h
+  | None ->
+    let h = Lcm_util.Stats.counter t.stats ("msg." ^ tag) in
+    Hashtbl.add t.tag_counters tag h;
+    h
+
 let send t ~src ~dst ~words ?tag ~at k =
   if src < 0 || src >= t.nnodes then invalid_arg "Network.send: src out of range";
   if dst < 0 || dst >= t.nnodes then invalid_arg "Network.send: dst out of range";
-  Lcm_util.Stats.incr t.stats "net.msgs";
-  Lcm_util.Stats.add t.stats "net.words" words;
+  Lcm_util.Stats.Handle.incr t.msgs;
+  Lcm_util.Stats.Handle.add t.words_sent words;
   (match tag with
-  | Some tag -> Lcm_util.Stats.incr t.stats ("msg." ^ tag)
+  | Some tag -> Lcm_util.Stats.Handle.incr (tag_counter t tag)
   | None -> ());
   let tag_name = Option.value tag ~default:"-" in
-  let channel = (src, dst) in
-  let earliest =
-    (* FIFO with bandwidth: the channel stays occupied for the previous
-       message's transmission time, so back-to-back messages arrive spaced
-       by at least the earlier message's size — not a fixed 1 cycle. *)
-    match Hashtbl.find_opt t.channel_free channel with
-    | Some free -> free
-    | None -> 0
-  in
+  let channel = (src * t.nnodes) + dst in
+  (* FIFO with bandwidth: the channel stays occupied for the previous
+     message's transmission time, so back-to-back messages arrive spaced
+     by at least the earlier message's size — not a fixed 1 cycle. *)
+  let earliest = Array.unsafe_get t.channel_free channel in
   let lat = latency t ~src ~dst ~words in
   let raw_arrival = at + lat in
   let arrival =
@@ -59,7 +74,7 @@ let send t ~src ~dst ~words ?tag ~at k =
   in
   let stall = arrival - raw_arrival in
   if stall > 0 then
-    Lcm_util.Stats.observe t.stats "net.channel_stall_cycles" (float_of_int stall);
+    Lcm_util.Stats.Handle.observe t.channel_stall (float_of_int stall);
   (match t.trace with
   | Some tr ->
     (* Stamp the send at the actual injection time: when the channel (or the
@@ -68,7 +83,7 @@ let send t ~src ~dst ~words ?tag ~at k =
     Lcm_sim.Trace.emit tr ~time:(arrival - lat)
       (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst; words })
   | None -> ());
-  Hashtbl.replace t.channel_free channel (arrival + transmission_time t ~words);
+  Array.unsafe_set t.channel_free channel (arrival + transmission_time t ~words);
   Lcm_sim.Engine.schedule t.engine ~at:arrival (fun () ->
       (match t.trace with
       | Some tr ->

@@ -6,6 +6,13 @@ type t = {
 
 let create () = { queue = Lcm_util.Heap.create (); now = 0; processed = 0 }
 
+(* Process-wide event tally across every engine ever created: benchmark
+   harnesses that build machines internally (e.g. the stress batch) can
+   still report simulated-events/sec by sampling this before and after. *)
+let total = ref 0
+
+let total_events () = !total
+
 let now e = e.now
 
 let schedule e ~at f =
@@ -19,13 +26,16 @@ let after e ~delay f =
   schedule e ~at:(e.now + delay) f
 
 let step e =
-  match Lcm_util.Heap.pop e.queue with
-  | None -> false
-  | Some (t, f) ->
+  if Lcm_util.Heap.is_empty e.queue then false
+  else begin
+    let t = Lcm_util.Heap.top_key e.queue in
+    let f = Lcm_util.Heap.pop_exn e.queue in
     e.now <- t;
     e.processed <- e.processed + 1;
+    incr total;
     f ();
     true
+  end
 
 let run ?limit e =
   let budget = match limit with None -> max_int | Some n -> n in

@@ -38,3 +38,8 @@ val pending : t -> int
 
 val events_processed : t -> int
 (** Total events processed since creation. *)
+
+val total_events : unit -> int
+(** Process-wide total of events processed across {e all} engines since
+    program start.  Monotone; sample before/after a workload to attribute
+    events to it even when the workload constructs machines internally. *)

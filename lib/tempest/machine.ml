@@ -1,4 +1,5 @@
 module Trace = Lcm_sim.Trace
+module Stats = Lcm_util.Stats
 
 type line = {
   mutable data : Lcm_mem.Block.t;
@@ -15,6 +16,19 @@ type node = {
   mutable handler_free : int;
   lines : (int, line) Hashtbl.t;
   mutable access_stamp : int;
+  la_blocks : int array;
+      (* small direct-mapped lookaside in front of [lines]: slot
+         [b land la_mask] holds the block of the most recent successful
+         lookup mapping there (-1 = empty) and [la_lines] its result.
+         Memory accesses are highly repetitive over a handful of blocks
+         (a stencil cell touches three), so most hits skip the hash. *)
+  la_lines : line option array;
+  lru : int Lcm_util.Heap.t option;
+      (* lazy-deletion min-heap of (last_use stamp, block) for eviction:
+         present iff the machine has a finite capacity.  Entries go stale
+         when a line is re-touched or dropped; [evict_one] skips them.
+         Stamps are unique per node, so the surviving minimum is exactly
+         the line the old full-table scan would have picked. *)
   hw_cache : int array option;
       (* optional direct-mapped hardware cache above node memory: slot i
          holds the block number cached there (-1 = empty); a mismatch adds
@@ -32,6 +46,13 @@ and t = {
   m_nodes : node array;
   masters : (int, Lcm_mem.Block.t) Hashtbl.t;
   capacity_blocks : int option;
+  (* pre-resolved handles for every counter the access path can touch *)
+  h_hw_misses : Stats.Handle.counter;
+  h_evictions : Stats.Handle.counter;
+  h_fault_read : Stats.Handle.counter;
+  h_fault_write : Stats.Handle.counter;
+  h_live_clean : Stats.Handle.counter;
+  h_handler_runs : Stats.Handle.counter;
   mutable m_epoch : int;
   mutable m_phase : [ `Sequential | `Parallel ];
   mutable m_active_fibers : int;
@@ -44,6 +65,9 @@ and t = {
 }
 
 let no_handler _ = failwith "Machine: no protocol handler registered"
+
+let la_slots = 64
+let la_mask = la_slots - 1
 
 let create ?(costs = Lcm_sim.Costs.default)
     ?(topology = Lcm_net.Topology.Fat_tree { arity = 4 }) ?(seed = 42)
@@ -66,6 +90,12 @@ let create ?(costs = Lcm_sim.Costs.default)
           handler_free = 0;
           lines = Hashtbl.create 512;
           access_stamp = 0;
+          la_blocks = Array.make la_slots (-1);
+          la_lines = Array.make la_slots None;
+          lru =
+            (match capacity_blocks with
+            | Some _ -> Some (Lcm_util.Heap.create ())
+            | None -> None);
           hw_cache = Option.map (fun n -> Array.make n (-1)) hw_cache_blocks;
           node_machine = None;
         })
@@ -81,6 +111,12 @@ let create ?(costs = Lcm_sim.Costs.default)
       m_nodes = nodes;
       masters = Hashtbl.create 4096;
       capacity_blocks;
+      h_hw_misses = Stats.counter stats "cache.hw_misses";
+      h_evictions = Stats.counter stats "cache.evictions";
+      h_fault_read = Stats.counter stats "fault.read";
+      h_fault_write = Stats.counter stats "fault.write";
+      h_live_clean = Stats.counter stats "lcm.live_clean_copies";
+      h_handler_runs = Stats.counter stats "proto.handler_runs";
       m_epoch = 0;
       m_phase = `Sequential;
       m_active_fibers = 0;
@@ -121,16 +157,50 @@ let machine n =
   | Some m -> m
   | None -> assert false
 
-let find_line n b = Hashtbl.find_opt n.lines b
+let[@inline] find_line n b =
+  let slot = b land la_mask in
+  if Array.unsafe_get n.la_blocks slot = b then Array.unsafe_get n.la_lines slot
+  else
+    match Hashtbl.find_opt n.lines b with
+    | Some _ as r ->
+      Array.unsafe_set n.la_blocks slot b;
+      Array.unsafe_set n.la_lines slot r;
+      r
+    | None -> None
 
-let touch n line =
+let invalidate_lookaside n b =
+  let slot = b land la_mask in
+  if n.la_blocks.(slot) = b then begin
+    n.la_blocks.(slot) <- -1;
+    n.la_lines.(slot) <- None
+  end
+
+let touch n b line =
   n.access_stamp <- n.access_stamp + 1;
-  line.last_use <- n.access_stamp
+  line.last_use <- n.access_stamp;
+  match n.lru with
+  | None -> ()
+  | Some h ->
+    (* Home backing lines are never eviction candidates; keep them out of
+       the heap entirely. *)
+    if not line.is_home_line then begin
+      Lcm_util.Heap.add h ~key:line.last_use b;
+      (* Lazy deletion lets stale stamps pile up; rebuild from the live
+         table when they dominate. *)
+      if Lcm_util.Heap.length h > 64 + (8 * Hashtbl.length n.lines) then begin
+        Lcm_util.Heap.clear h;
+        Hashtbl.iter
+          (fun b line ->
+            if not line.is_home_line then
+              Lcm_util.Heap.add h ~key:line.last_use b)
+          n.lines
+      end
+    end
 
 (* Direct-mapped hardware-cache check: charges the miss penalty and
    installs the block on a mismatch.  No-op when the machine has no
    hardware cache configured. *)
-let hw_access t n b =
+let[@inline] hw_access t n b =
   match n.hw_cache with
   | None -> ()
   | Some slots ->
@@ -138,19 +208,17 @@ let hw_access t n b =
     if slots.(slot) <> b then begin
       slots.(slot) <- b;
       n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.hw_miss;
-      Lcm_util.Stats.incr t.m_stats "cache.hw_misses"
+      Stats.Handle.incr t.h_hw_misses
     end
 
 (* Track the number of live per-node clean copies (LCM-mcc snapshots) so
    the paper's §5.1 memory-usage discussion can be quantified; the gauge
    decrements whenever a line holding one disappears. *)
 let note_clean_copy_gone t (line : line) =
-  if line.local_clean <> None then
-    Lcm_util.Stats.add t.m_stats "lcm.live_clean_copies" (-1)
+  if line.local_clean <> None then Stats.Handle.add t.h_live_clean (-1)
 
-let evict_one t n =
-  (* Linear scan for the least-recently-used evictable line.  Only runs
-     when a finite capacity is configured, where tables stay small. *)
+let scan_victim n =
+  (* Reference linear scan, used only when no LRU heap is maintained. *)
   let victim = ref None in
   Hashtbl.iter
     (fun b line ->
@@ -159,13 +227,35 @@ let evict_one t n =
         | Some (_, best) when best.last_use <= line.last_use -> ()
         | Some _ | None -> victim := Some (b, line))
     n.lines;
-  match !victim with
+  !victim
+
+let heap_victim n h =
+  (* Pop stamps until one is live: present in the table, evictable, and
+     still the line's current stamp.  Stamps are unique, so this is the
+     same minimum the scan finds. *)
+  let rec go () =
+    match Lcm_util.Heap.pop h with
+    | None -> None
+    | Some (stamp, b) -> (
+      match Hashtbl.find_opt n.lines b with
+      | Some line when (not line.is_home_line) && line.last_use = stamp ->
+        Some (b, line)
+      | Some _ | None -> go ())
+  in
+  go ()
+
+let evict_one t n =
+  let victim =
+    match n.lru with Some h -> heap_victim n h | None -> scan_victim n
+  in
+  match victim with
   | None -> () (* nothing evictable: over-capacity with home lines only *)
   | Some (b, line) ->
-    Lcm_util.Stats.incr t.m_stats "cache.evictions";
+    Stats.Handle.incr t.h_evictions;
     t.on_evict n b line;
     note_clean_copy_gone t line;
-    Hashtbl.remove n.lines b
+    Hashtbl.remove n.lines b;
+    invalidate_lookaside n b
 
 let install_line n b ~data ~tag =
   let t = machine n in
@@ -192,15 +282,19 @@ let install_line n b ~data ~tag =
       is_home_line;
     }
   in
-  touch n line;
+  touch n b line;
   Hashtbl.replace n.lines b line;
+  let slot = b land la_mask in
+  n.la_blocks.(slot) <- b;
+  n.la_lines.(slot) <- Some line;
   line
 
 let drop_line n b =
   (match Hashtbl.find_opt n.lines b with
   | Some line -> note_clean_copy_gone (machine n) line
   | None -> ());
-  Hashtbl.remove n.lines b
+  Hashtbl.remove n.lines b;
+  invalidate_lookaside n b
 
 let iter_lines n f = Hashtbl.iter f n.lines
 
@@ -209,9 +303,9 @@ let lines_snapshot n =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let master t b =
-  match Hashtbl.find_opt t.masters b with
-  | Some data -> data
-  | None ->
+  match Hashtbl.find t.masters b with
+  | data -> data
+  | exception Not_found ->
     let data = Lcm_mem.Block.make ~words:(Lcm_mem.Gmem.words_per_block t.m_gmem) in
     Hashtbl.add t.masters b data;
     let home = t.m_nodes.(Lcm_mem.Gmem.home_of_block t.m_gmem b) in
@@ -258,7 +352,7 @@ let send t ~src ~dst ~words ~tag ~at k =
       let start = max arrival dnode.handler_free in
       let finish = start + t.m_costs.Lcm_sim.Costs.handler_occupancy in
       dnode.handler_free <- finish;
-      Lcm_util.Stats.incr t.m_stats "proto.handler_runs";
+      Stats.Handle.incr t.h_handler_runs;
       trace_emit t ~time:start (Trace.Handler { node = dst; finish });
       k dnode ~now:finish)
 
@@ -270,41 +364,62 @@ let resume n ~now ~cost retry =
 (* The memory access path.                                            *)
 (* ------------------------------------------------------------------ *)
 
-let rec do_load t n addr (k : int -> unit) =
+(* The hit path checks the (lookaside-fronted) line table first and only
+   falls back to materialising the home backing line on a miss: [master]'s
+   lazy creation is observation-free (zero fill, no counters, no trace), so
+   deferring it until something actually reads the master copy is
+   unobservable — and the common hit skips a Hashtbl probe. *)
+
+let home_fill t n b =
+  if Lcm_mem.Gmem.home_of_block t.m_gmem b = n.node_id then begin
+    (* Home blocks materialise lazily so that first-touch at home hits. *)
+    ignore (master t b);
+    find_line n b
+  end
+  else None
+
+open Effect.Deep
+
+(* The access path takes the fiber's continuation directly rather than a
+   closure wrapping it: one less allocation on every simulated load/store,
+   and [continue] is the only thing the wrapper would have done. *)
+
+let rec do_load t n addr (k : (int, unit) continuation) =
   let b = Lcm_mem.Gmem.block_of_addr t.m_gmem addr in
   let off = Lcm_mem.Gmem.offset_in_block t.m_gmem addr in
-  (* Home blocks materialise lazily so that first-touch at home hits. *)
-  if Lcm_mem.Gmem.home_of_block t.m_gmem b = n.node_id then
-    ignore (master t b);
-  match Hashtbl.find_opt n.lines b with
+  let found =
+    match find_line n b with None -> home_fill t n b | some -> some
+  in
+  match found with
   | Some line when Tag.readable line.tag ->
-    touch n line;
+    touch n b line;
     hw_access t n b;
     (match t.on_read_hit with Some f -> f n b line | None -> ());
-    k line.data.(off)
+    continue k line.data.(off)
   | Some _ | None ->
-    Lcm_util.Stats.incr t.m_stats "fault.read";
+    Stats.Handle.incr t.h_fault_read;
     trace_emit t ~time:n.node_clock
       (Trace.Fault { kind = Trace.Read; node = n.node_id; addr; block = b });
     n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.fault_trap;
     t.read_fault n ~addr ~retry:(fun () -> do_load t n addr k)
 
-let rec do_store t n addr v (k : unit -> unit) =
+let rec do_store t n addr v (k : (unit, unit) continuation) =
   let b = Lcm_mem.Gmem.block_of_addr t.m_gmem addr in
   let off = Lcm_mem.Gmem.offset_in_block t.m_gmem addr in
-  if Lcm_mem.Gmem.home_of_block t.m_gmem b = n.node_id then
-    ignore (master t b);
-  match Hashtbl.find_opt n.lines b with
+  let found =
+    match find_line n b with None -> home_fill t n b | some -> some
+  in
+  match found with
   | Some line when Tag.writable line.tag ->
-    touch n line;
+    touch n b line;
     hw_access t n b;
     line.data.(off) <- v;
     (match line.tag with
     | Tag.Lcm_modified -> line.dirty <- Lcm_util.Mask.set line.dirty off
     | Tag.Invalid | Tag.Read_only | Tag.Writable -> ());
-    k ()
+    continue k ()
   | Some _ | None ->
-    Lcm_util.Stats.incr t.m_stats "fault.write";
+    Stats.Handle.incr t.h_fault_write;
     trace_emit t ~time:n.node_clock
       (Trace.Fault { kind = Trace.Write; node = n.node_id; addr; block = b });
     n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.fault_trap;
@@ -312,23 +427,24 @@ let rec do_store t n addr v (k : unit -> unit) =
 
 (* Atomic fetch-and-op: once the line is locally writable the update is a
    single indivisible step. *)
-let rec do_rmw t n addr f (k : int -> unit) =
+let rec do_rmw t n addr f (k : (int, unit) continuation) =
   let b = Lcm_mem.Gmem.block_of_addr t.m_gmem addr in
   let off = Lcm_mem.Gmem.offset_in_block t.m_gmem addr in
-  if Lcm_mem.Gmem.home_of_block t.m_gmem b = n.node_id then
-    ignore (master t b);
-  match Hashtbl.find_opt n.lines b with
+  let found =
+    match find_line n b with None -> home_fill t n b | some -> some
+  in
+  match found with
   | Some line when Tag.writable line.tag ->
-    touch n line;
+    touch n b line;
     hw_access t n b;
     let old = line.data.(off) in
     line.data.(off) <- f old;
     (match line.tag with
     | Tag.Lcm_modified -> line.dirty <- Lcm_util.Mask.set line.dirty off
     | Tag.Invalid | Tag.Read_only | Tag.Writable -> ());
-    k old
+    continue k old
   | Some _ | None ->
-    Lcm_util.Stats.incr t.m_stats "fault.write";
+    Stats.Handle.incr t.h_fault_write;
     trace_emit t ~time:n.node_clock
       (Trace.Fault { kind = Trace.Write; node = n.node_id; addr; block = b });
     n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.fault_trap;
@@ -340,7 +456,6 @@ let spawn t n ?(on_done = fun () -> ()) f =
   t.m_active_fibers <- t.m_active_fibers + 1;
   let cpu_op = t.m_costs.Lcm_sim.Costs.cpu_op in
   let compute_unit = t.m_costs.Lcm_sim.Costs.compute_unit in
-  let open Effect.Deep in
   match_with f ()
     {
       retc =
@@ -355,17 +470,17 @@ let spawn t n ?(on_done = fun () -> ()) f =
             Some
               (fun (k : (c, unit) continuation) ->
                 n.node_clock <- n.node_clock + cpu_op;
-                do_load t n addr (fun v -> continue k v))
+                do_load t n addr k)
           | Memeff.Store (addr, v) ->
             Some
               (fun (k : (c, unit) continuation) ->
                 n.node_clock <- n.node_clock + cpu_op;
-                do_store t n addr v (fun () -> continue k ()))
+                do_store t n addr v k)
           | Memeff.Rmw (addr, f) ->
             Some
               (fun (k : (c, unit) continuation) ->
                 n.node_clock <- n.node_clock + (2 * cpu_op);
-                do_rmw t n addr f (fun old -> continue k old))
+                do_rmw t n addr f k)
           | Memeff.Work units ->
             Some
               (fun (k : (c, unit) continuation) ->

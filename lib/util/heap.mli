@@ -28,8 +28,18 @@ val pop : 'a t -> (int * 'a) option
 (** [pop h] removes and returns the minimum-key element, or [None] if the
     heap is empty. *)
 
+val top_key : 'a t -> int
+(** [top_key h] is the smallest key in [h].
+    @raise Invalid_argument if [h] is empty. *)
+
+val pop_exn : 'a t -> 'a
+(** [pop_exn h] removes and returns the minimum-key element's value
+    without allocating.  Use [top_key] first to read its key.
+    @raise Invalid_argument if [h] is empty. *)
+
 val clear : 'a t -> unit
-(** [clear h] removes every element. *)
+(** [clear h] removes every element.  The heap's internal capacity is
+    retained, so a clear-then-refill cycle does not reallocate. *)
 
 val iter_unordered : 'a t -> (key:int -> 'a -> unit) -> unit
 (** [iter_unordered h f] applies [f] to every element in unspecified order,

@@ -36,9 +36,15 @@ let cardinal m =
   count 0 m
 
 let iter m f =
-  for i = 0 to max_words - 1 do
-    if m land (1 lsl i) <> 0 then f i
-  done
+  (* Shift-based: terminates at the highest set bit instead of walking all
+     [max_words] positions — masks cover one block, so usually < 8 bits. *)
+  let rec go m i =
+    if m <> 0 then begin
+      if m land 1 <> 0 then f i;
+      go (m lsr 1) (i + 1)
+    end
+  in
+  go m 0
 
 let fold m ~init ~f =
   let acc = ref init in

@@ -1,0 +1,89 @@
+(* Immutable sets of node ids.  Directory sharer sets and LCM holder sets
+   are updated on every remote fault, so for realistic machine sizes the
+   representation is a single bitmask: one boxed word per update instead
+   of O(log n) AVL nodes.  Ids that do not fit the mask (>= [max_direct],
+   i.e. machines wider than the host word) spill the whole set into a
+   tree; both representations can coexist only in such oversized
+   configurations.  Argument orders match [Set.Make(Int)] so this module
+   is a drop-in alias. *)
+
+module ISet = Set.Make (Int)
+
+let max_direct = Sys.int_size - 1
+
+type t = Bits of int | Tree of ISet.t
+
+let empty = Bits 0
+
+let direct x = x >= 0 && x < max_direct
+
+let to_tree = function
+  | Tree s -> s
+  | Bits m ->
+    let rec go m i acc =
+      if m = 0 then acc
+      else
+        go (m lsr 1) (i + 1) (if m land 1 <> 0 then ISet.add i acc else acc)
+    in
+    go m 0 ISet.empty
+
+let add x t =
+  match t with
+  | Bits m when direct x ->
+    let m' = m lor (1 lsl x) in
+    if m' = m then t else Bits m'
+  | Bits _ -> Tree (ISet.add x (to_tree t))
+  | Tree s -> Tree (ISet.add x s)
+
+let remove x t =
+  match t with
+  | Bits m when direct x ->
+    let m' = m land lnot (1 lsl x) in
+    if m' = m then t else Bits m'
+  | Bits _ -> t (* an id outside the mask range is never a Bits member *)
+  | Tree s -> Tree (ISet.remove x s)
+
+let mem x t =
+  match t with
+  | Bits m -> direct x && m land (1 lsl x) <> 0
+  | Tree s -> ISet.mem x s
+
+let is_empty = function Bits m -> m = 0 | Tree s -> ISet.is_empty s
+
+let cardinal = function
+  | Bits m ->
+    let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
+    pop m 0
+  | Tree s -> ISet.cardinal s
+
+let iter f = function
+  | Bits m ->
+    let rec go m i =
+      if m <> 0 then begin
+        if m land 1 <> 0 then f i;
+        go (m lsr 1) (i + 1)
+      end
+    in
+    go m 0
+  | Tree s -> ISet.iter f s
+
+let elements = function
+  | Bits m ->
+    let rec go m i acc =
+      if m = 0 then List.rev acc
+      else go (m lsr 1) (i + 1) (if m land 1 <> 0 then i :: acc else acc)
+    in
+    go m 0 []
+  | Tree s -> ISet.elements s
+
+let union a b =
+  match (a, b) with
+  | Bits x, Bits y -> Bits (x lor y)
+  | _ -> Tree (ISet.union (to_tree a) (to_tree b))
+
+let equal a b =
+  match (a, b) with
+  | Bits x, Bits y -> x = y
+  | _ -> ISet.equal (to_tree a) (to_tree b)
+
+let of_list xs = List.fold_left (fun acc x -> add x acc) empty xs

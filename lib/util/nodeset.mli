@@ -1,0 +1,35 @@
+(** Immutable sets of node ids, bitmask-backed.
+
+    A drop-in replacement for [Set.Make(Int)] restricted to the operations
+    the coherence directory needs.  Sets whose members all fit in a host
+    word (ids [0 .. Sys.int_size - 2], i.e. any realistic machine size)
+    are a single immutable bitmask, so updates allocate one box instead of
+    O(log n) tree nodes; larger ids transparently spill to a tree.
+    Negative ids are accepted only via the tree path semantics of
+    [Set.Make(Int)] — node ids in this simulator are non-negative. *)
+
+type t
+
+val empty : t
+
+val add : int -> t -> t
+
+val remove : int -> t -> t
+
+val mem : int -> t -> bool
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Members are visited in increasing order, as with [Set.Make(Int)]. *)
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val union : t -> t -> t
+
+val equal : t -> t -> bool
+
+val of_list : int list -> t

@@ -5,10 +5,35 @@ type sample = {
   mutable max : float;
 }
 
+(* Handles wrap the mutable cell together with enough context to register
+   the name in the owning registry on first write.  Registration is lazy so
+   that resolving a handle for a counter that never fires leaves no trace:
+   [counters]/[gauges]/[samples] list exactly the names that were actually
+   written, the same set the pure string API produces.  [kind] is a phantom
+   distinguishing counters from gauges at the type level. *)
+type 'kind num_handle = {
+  cell : int ref;
+  num_name : string;
+  num_table : (string, int ref) Hashtbl.t;
+  mutable num_linked : bool;
+}
+
+type sample_handle = {
+  rec_ : sample;
+  s_name : string;
+  s_table : (string, sample) Hashtbl.t;
+  mutable s_linked : bool;
+}
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, int ref) Hashtbl.t;
   samples : (string, sample) Hashtbl.t;
+  (* unregistered handles by name, so two resolutions of a never-written
+     name still share one cell *)
+  pending_counters : (string, [ `Counter ] num_handle) Hashtbl.t;
+  pending_gauges : (string, [ `Gauge ] num_handle) Hashtbl.t;
+  pending_samples : (string, sample_handle) Hashtbl.t;
 }
 
 let create () =
@@ -16,52 +41,101 @@ let create () =
     counters = Hashtbl.create 64;
     gauges = Hashtbl.create 16;
     samples = Hashtbl.create 16;
+    pending_counters = Hashtbl.create 16;
+    pending_gauges = Hashtbl.create 8;
+    pending_samples = Hashtbl.create 8;
   }
 
-let ref_in table name =
+module Handle = struct
+  type counter = [ `Counter ] num_handle
+  type gauge = [ `Gauge ] num_handle
+  type sample = sample_handle
+
+  let link h =
+    if not h.num_linked then begin
+      Hashtbl.replace h.num_table h.num_name h.cell;
+      h.num_linked <- true
+    end
+
+  let incr h =
+    link h;
+    Stdlib.incr h.cell
+
+  let add h n =
+    link h;
+    h.cell := !(h.cell) + n
+
+  let value h = !(h.cell)
+
+  let set_max h v =
+    link h;
+    if v > !(h.cell) then h.cell := v
+
+  let link_sample h =
+    if not h.s_linked then begin
+      Hashtbl.replace h.s_table h.s_name h.rec_;
+      h.s_linked <- true
+    end
+
+  let observe h x =
+    link_sample h;
+    let r = h.rec_ in
+    r.count <- r.count + 1;
+    r.sum <- r.sum +. x;
+    if x < r.min then r.min <- x;
+    if x > r.max then r.max <- x
+end
+
+let resolve_num table pending name =
   match Hashtbl.find_opt table name with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add table name r;
-    r
+  | Some cell -> { cell; num_name = name; num_table = table; num_linked = true }
+  | None -> (
+    match Hashtbl.find_opt pending name with
+    | Some h -> h
+    | None ->
+      let h =
+        { cell = ref 0; num_name = name; num_table = table; num_linked = false }
+      in
+      Hashtbl.add pending name h;
+      h)
 
-let counter_ref s name = ref_in s.counters name
+let counter s name = resolve_num s.counters s.pending_counters name
 
-let incr s name =
-  let r = counter_ref s name in
-  incr r
+let gauge s name = resolve_num s.gauges s.pending_gauges name
 
-let add s name n =
-  let r = counter_ref s name in
-  r := !r + n
+let fresh_sample () = { count = 0; sum = 0.0; min = infinity; max = neg_infinity }
+
+let sample s name =
+  match Hashtbl.find_opt s.samples name with
+  | Some rec_ -> { rec_; s_name = name; s_table = s.samples; s_linked = true }
+  | None -> (
+    match Hashtbl.find_opt s.pending_samples name with
+    | Some h -> h
+    | None ->
+      let h =
+        { rec_ = fresh_sample (); s_name = name; s_table = s.samples;
+          s_linked = false }
+      in
+      Hashtbl.add s.pending_samples name h;
+      h)
+
+(* The string API is the cold path: it resolves a fresh handle per call. *)
+
+let incr s name = Handle.incr (counter s name)
+
+let add s name n = Handle.add (counter s name) n
 
 let get s name = match Hashtbl.find_opt s.counters name with Some r -> !r | None -> 0
 
 (* Gauges live in their own table: a gauge is a high-water mark, not an
    accumulation, so merging runs must take the max — summing would report
    impossible peaks (see merge_into). *)
-let set_max s name v =
-  let r = ref_in s.gauges name in
-  if v > !r then r := v
+let set_max s name v = Handle.set_max (gauge s name) v
 
-let gauge s name =
+let gauge_value s name =
   match Hashtbl.find_opt s.gauges name with Some r -> !r | None -> 0
 
-let sample_rec s name =
-  match Hashtbl.find_opt s.samples name with
-  | Some x -> x
-  | None ->
-    let x = { count = 0; sum = 0.0; min = infinity; max = neg_infinity } in
-    Hashtbl.add s.samples name x;
-    x
-
-let observe s name x =
-  let r = sample_rec s name in
-  r.count <- r.count + 1;
-  r.sum <- r.sum +. x;
-  if x < r.min then r.min <- x;
-  if x > r.max then r.max <- x
+let observe s name x = Handle.observe (sample s name) x
 
 let sample_count s name =
   match Hashtbl.find_opt s.samples name with Some r -> r.count | None -> 0
@@ -95,21 +169,31 @@ let counters s = sorted_bindings s.counters
 let gauges s = sorted_bindings s.gauges
 
 let merge_into ~dst src =
-  Hashtbl.iter (fun name r -> add dst name !r) src.counters;
-  Hashtbl.iter (fun name r -> set_max dst name !r) src.gauges;
-  Hashtbl.iter
-    (fun name (r : sample) ->
-      let d = sample_rec dst name in
-      d.count <- d.count + r.count;
-      d.sum <- d.sum +. r.sum;
-      if r.min < d.min then d.min <- r.min;
-      if r.max > d.max then d.max <- r.max)
-    src.samples
+  (* Merging a registry into itself would double-count every counter and
+     mutate the sample records mid-iteration; it can only arise by
+     accident, so make it an explicit no-op. *)
+  if dst != src then begin
+    Hashtbl.iter (fun name r -> add dst name !r) src.counters;
+    Hashtbl.iter (fun name r -> set_max dst name !r) src.gauges;
+    Hashtbl.iter
+      (fun name (r : sample) ->
+        let dh = sample dst name in
+        Handle.link_sample dh;
+        let d = dh.rec_ in
+        d.count <- d.count + r.count;
+        d.sum <- d.sum +. r.sum;
+        if r.min < d.min then d.min <- r.min;
+        if r.max > d.max then d.max <- r.max)
+      src.samples
+  end
 
 let reset s =
   Hashtbl.reset s.counters;
   Hashtbl.reset s.gauges;
-  Hashtbl.reset s.samples
+  Hashtbl.reset s.samples;
+  Hashtbl.reset s.pending_counters;
+  Hashtbl.reset s.pending_gauges;
+  Hashtbl.reset s.pending_samples
 
 let pp ppf s =
   List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@." name v) (counters s);

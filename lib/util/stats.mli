@@ -6,11 +6,58 @@
     reads them out to build the paper's tables.  Counters accumulate by
     addition; {e gauges} are high-water marks written with {!set_max} and
     kept in a separate table so that merging two registries takes their
-    [max] instead of (nonsensically) summing peaks. *)
+    [max] instead of (nonsensically) summing peaks.
+
+    {b Two write paths.}  The string-keyed functions ({!incr}, {!add},
+    {!set_max}, {!observe}) hash the name on every call; they are the cold
+    path and remain the source of truth for reporting.  Hot call sites
+    resolve a {{!Handle}handle} once ({!counter}, {!gauge}, {!sample}) and
+    update through it in O(1) with no hashing or allocation.  Handle
+    registration is lazy: resolving a handle leaves no trace in
+    {!counters}/{!gauges}/{!samples} until its first write, so a
+    pre-resolved counter that never fires is indistinguishable from one
+    never mentioned — reports are unchanged by the handle migration.
+    Counter {e names} are likewise unchanged: a handle is just a
+    pre-hashed alias for its name (see COUNTERS.md). *)
 
 type t
 
 val create : unit -> t
+
+(** {1 Pre-resolved handles (hot path)} *)
+
+module Handle : sig
+  type counter
+  type gauge
+  type sample
+
+  val incr : counter -> unit
+  (** O(1) equivalent of {!val-incr} on the resolved name. *)
+
+  val add : counter -> int -> unit
+
+  val value : counter -> int
+  (** Current value of the counter behind the handle (0 if never written). *)
+
+  val set_max : gauge -> int -> unit
+
+  val observe : sample -> float -> unit
+end
+
+val counter : t -> string -> Handle.counter
+(** [counter s name] resolves a handle for counter [name].  Handles
+    resolved for the same name share one cell with each other and with the
+    string API.  Handles are invalidated by {!reset}: updates through a
+    stale handle are lost — re-resolve after resetting. *)
+
+val gauge : t -> string -> Handle.gauge
+(** Resolve a gauge handle (the value is read with {!gauge_value} or
+    {!gauges}). *)
+
+val sample : t -> string -> Handle.sample
+(** Resolve an observation-series handle. *)
+
+(** {1 String-keyed API (cold path, reporting)} *)
 
 val incr : t -> string -> unit
 (** [incr s name] adds 1 to counter [name], creating it at 0 if needed. *)
@@ -20,13 +67,14 @@ val add : t -> string -> int -> unit
 
 val get : t -> string -> int
 (** [get s name] is the current value of counter [name] (0 if never
-    touched).  Gauges are read with {!gauge}. *)
+    touched).  Gauges are read with {!gauge_value}. *)
 
 val set_max : t -> string -> int -> unit
 (** [set_max s name v] raises gauge [name] to [v] if [v] is larger. *)
 
-val gauge : t -> string -> int
-(** [gauge s name] is the current value of gauge [name] (0 if never set). *)
+val gauge_value : t -> string -> int
+(** [gauge_value s name] is the current value of gauge [name] (0 if never
+    set). *)
 
 val observe : t -> string -> float -> unit
 (** [observe s name x] records scalar sample [x] under [name] (count, sum,
@@ -53,9 +101,12 @@ val samples : t -> (string * summary) list
 val merge_into : dst:t -> t -> unit
 (** [merge_into ~dst src] adds every counter and every sample of [src]
     into [dst], and raises each of [dst]'s gauges to [src]'s value where
-    larger. *)
+    larger.  When [dst == src] this is a checked no-op — self-merging
+    would double-count counters and corrupt samples mid-iteration. *)
 
 val reset : t -> unit
+(** Forget every counter, gauge and sample.  Also invalidates all
+    outstanding handles (their subsequent updates are lost). *)
 
 val pp : Format.formatter -> t -> unit
 (** Render all counters, then all gauges, then all samples

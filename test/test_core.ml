@@ -1245,7 +1245,7 @@ let test_clean_copies_reclaimed_at_reconcile () =
           (Lcm_util.Stats.get (Machine.stats m) "lcm.live_clean_copies")
       done;
       Alcotest.(check bool) (policy.Policy.name ^ ": peak observed") true
-        (Lcm_util.Stats.gauge (Machine.stats m) "lcm.peak_clean_copies" > 0))
+        (Lcm_util.Stats.gauge_value (Machine.stats m) "lcm.peak_clean_copies" > 0))
     [ Policy.lcm_scc; Policy.lcm_mcc ]
 
 let test_lcm_capacity_evictions_during_phase () =

@@ -195,11 +195,33 @@ let test_gmem_addr_math () =
 
 let test_gmem_unallocated_home () =
   let g = mk () in
-  Alcotest.(check bool) "not found" true
-    (try
-       ignore (Gmem.home_of_block g 99);
-       false
-     with Not_found -> true)
+  let expects_invalid fn f =
+    match f () with
+    | (_ : int) -> Alcotest.failf "%s: expected Invalid_argument" fn
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (fn ^ " names the block") true
+        (String.length msg > 0
+        && String.contains msg '9'
+        &&
+        let rec mentions i =
+          i + 1 < String.length msg
+          && ((msg.[i] = '9' && msg.[i + 1] = '9') || mentions (i + 1))
+        in
+        mentions 0)
+  in
+  expects_invalid "home_of_block" (fun () -> Gmem.home_of_block g 99);
+  expects_invalid "home_of_block_uncached" (fun () ->
+      Gmem.home_of_block_uncached g 99);
+  expects_invalid "region_of_block" (fun () ->
+      (Gmem.region_of_block g 99).Gmem.first_block);
+  (* negative block numbers are rejected the same way *)
+  (match Gmem.region_of_block g (-1) with
+  | _ -> Alcotest.fail "negative block: expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  (* allocation extends the valid range *)
+  ignore (Gmem.alloc g ~dist:Gmem.Interleaved ~nwords:8);
+  Alcotest.(check int) "block 0 valid after alloc" 0 (Gmem.home_of_block g 0)
 
 let test_gmem_mixed_regions () =
   (* three regions with different distributions coexist; each keeps its own
@@ -258,6 +280,37 @@ let prop_gmem_homes_monotone_chunked =
       in
       non_decreasing homes)
 
+(* The per-block home cache filled at alloc time must agree with the
+   distribution formulas recomputed from the region table, across random
+   multi-region layouts mixing all three distribution modes. *)
+let prop_gmem_home_cache_consistent =
+  let region_gen =
+    QCheck.Gen.(
+      pair (int_range 0 2) (int_range 1 40)
+      (* (dist selector, nblocks); On-node id derived from nblocks *))
+  in
+  let gen = QCheck.make QCheck.Gen.(pair (int_range 1 16) (list_size (int_range 1 8) region_gen)) in
+  QCheck.Test.make ~name:"gmem home cache ≡ uncached recompute" ~count:200 gen
+    (fun (nnodes, regions) ->
+      let g = Gmem.create ~nnodes ~words_per_block:8 in
+      List.iter
+        (fun (sel, nblocks) ->
+          let dist =
+            match sel with
+            | 0 -> Gmem.On (nblocks mod nnodes)
+            | 1 -> Gmem.Interleaved
+            | _ -> Gmem.Chunked
+          in
+          ignore (Gmem.alloc g ~dist ~nwords:(8 * nblocks)))
+        regions;
+      let nblocks_total = Gmem.allocated_words g / 8 in
+      let ok = ref true in
+      for b = 0 to nblocks_total - 1 do
+        if Gmem.home_of_block g b <> Gmem.home_of_block_uncached g b then
+          ok := false
+      done;
+      !ok)
+
 let () =
   Alcotest.run "lcm_mem"
     [
@@ -297,5 +350,6 @@ let () =
           ("alloc zero rejected", `Quick, test_gmem_alloc_zero_rejected);
           QCheck_alcotest.to_alcotest prop_gmem_chunked_balanced;
           QCheck_alcotest.to_alcotest prop_gmem_homes_monotone_chunked;
+          QCheck_alcotest.to_alcotest prop_gmem_home_cache_consistent;
         ] );
     ]

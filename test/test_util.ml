@@ -47,6 +47,46 @@ let test_heap_clear_and_reuse () =
   Heap.add h ~key:2 "y";
   Alcotest.(check (option (pair int string))) "reuse" (Some (2, "y")) (Heap.pop h)
 
+(* [clear] keeps capacity: filling past the initial 16-slot chunk, clearing
+   and refilling must behave exactly like a fresh heap (ordering, FIFO ties,
+   length) — the eviction lookaside rebuilds its heap this way constantly. *)
+let test_heap_clear_keeps_working_at_capacity () =
+  let h = Heap.create () in
+  for i = 0 to 99 do
+    Heap.add h ~key:(100 - i) i
+  done;
+  Heap.clear h;
+  check "cleared length" 0 (Heap.length h);
+  for i = 0 to 49 do
+    Heap.add h ~key:(i mod 5) i
+  done;
+  check "refilled length" 50 (Heap.length h);
+  let prev_key = ref min_int and prev_val = ref min_int and ok = ref true in
+  let rec drain () =
+    if not (Heap.is_empty h) then begin
+      let k = Heap.top_key h in
+      let v = Heap.pop_exn h in
+      if k < !prev_key then ok := false;
+      if k = !prev_key && v < !prev_val then ok := false (* FIFO among ties *);
+      prev_key := k;
+      prev_val := v;
+      drain ()
+    end
+  in
+  drain ();
+  Alcotest.(check bool) "sorted, stable after clear+refill" true !ok
+
+let test_heap_top_key_pop_exn () =
+  let h = Heap.create () in
+  Alcotest.check_raises "top_key empty" (Invalid_argument "Heap.top_key: empty heap")
+    (fun () -> ignore (Heap.top_key h));
+  Alcotest.check_raises "pop_exn empty" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h));
+  List.iter (fun k -> Heap.add h ~key:k (10 * k)) [ 5; 2; 8 ];
+  check "top_key" 2 (Heap.top_key h);
+  check "pop_exn min value" 20 (Heap.pop_exn h);
+  check "top_key after pop" 5 (Heap.top_key h)
+
 let test_heap_iter_unordered () =
   let h = Heap.create () in
   List.iter (fun k -> Heap.add h ~key:k k) [ 4; 2; 8 ];
@@ -65,6 +105,29 @@ let prop_heap_sorted =
         match Heap.pop h with Some (k, ()) -> drain (k :: acc) | None -> List.rev acc
       in
       drain [] = List.sort compare keys)
+
+(* Pop order is unaffected by an earlier clear: add one batch, clear, add a
+   second batch — the drain must equal a stable sort of the second batch
+   alone (keys ascending, insertion order among equal keys). *)
+let prop_heap_clear_then_pop_order =
+  QCheck.Test.make ~name:"heap pop order after clear" ~count:200
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (first, second) ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.add h ~key:k (-1)) first;
+      Heap.clear h;
+      List.iteri (fun i k -> Heap.add h ~key:k i) second;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (k, i) -> drain ((k, i) :: acc)
+        | None -> List.rev acc
+      in
+      let expected =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i k -> (k, i)) second)
+      in
+      drain [] = expected)
 
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                *)
@@ -187,7 +250,7 @@ let test_stats_counters () =
   check "incr+add" 5 (Stats.get s "x");
   Stats.set_max s "m" 10;
   Stats.set_max s "m" 3;
-  check "set_max keeps max" 10 (Stats.gauge s "m");
+  check "set_max keeps max" 10 (Stats.gauge_value s "m");
   check "gauges live apart from counters" 0 (Stats.get s "m");
   Alcotest.(check (list string)) "gauge listing" [ "m" ]
     (List.map fst (Stats.gauges s))
@@ -238,11 +301,107 @@ let test_stats_merge () =
   check "merged x" 5 (Stats.get a "x");
   check "merged y" 1 (Stats.get a "y");
   check "merged sample" 1 (Stats.sample_count a "s");
-  check "gauges merge by max, not sum" 7 (Stats.gauge a "peak");
+  check "gauges merge by max, not sum" 7 (Stats.gauge_value a "peak");
   let c = Stats.create () in
   Stats.set_max c "peak" 9;
   Stats.merge_into ~dst:a c;
-  check "larger source gauge wins" 9 (Stats.gauge a "peak")
+  check "larger source gauge wins" 9 (Stats.gauge_value a "peak")
+
+(* Regression: [merge_into ~dst:s s] must be a checked no-op.  A naive
+   fold-over-src-into-dst would double every counter (and, iterating a
+   hashtable while inserting into it, is formally undefined). *)
+let test_stats_merge_self_noop () =
+  let s = Stats.create () in
+  Stats.add s "x" 5;
+  Stats.set_max s "g" 7;
+  Stats.observe s "lat" 2.0;
+  Stats.merge_into ~dst:s s;
+  check "counter unchanged" 5 (Stats.get s "x");
+  check "gauge unchanged" 7 (Stats.gauge_value s "g");
+  check "sample count unchanged" 1 (Stats.sample_count s "lat")
+
+(* The handle API is a pure accelerator: any interleaving of handle and
+   string-keyed updates on one [Stats.t] must leave it indistinguishable
+   from the same updates applied through strings alone.  Ops are drawn over
+   a small name vocabulary so handles and strings collide on the same
+   underlying cells. *)
+let prop_stats_handles_equal_strings =
+  let gen = QCheck.(list (pair (int_bound 5) (int_bound 9))) in
+  QCheck.Test.make ~name:"stats handle API ≡ string API" ~count:200 gen
+    (fun ops ->
+      let names = [| "a"; "b"; "c" |] in
+      let via_handles = Stats.create () and via_strings = Stats.create () in
+      List.iter
+        (fun (op, v) ->
+          let name = names.(v mod 3) in
+          match op with
+          | 0 ->
+            Stats.Handle.incr (Stats.counter via_handles name);
+            Stats.incr via_strings name
+          | 1 ->
+            Stats.Handle.add (Stats.counter via_handles name) v;
+            Stats.add via_strings name v
+          | 2 ->
+            Stats.Handle.set_max (Stats.gauge via_handles name) v;
+            Stats.set_max via_strings name v
+          | 3 ->
+            Stats.Handle.observe (Stats.sample via_handles name) (float_of_int v);
+            Stats.observe via_strings name (float_of_int v)
+          | 4 ->
+            (* mixed: string write on the handle-side instance *)
+            Stats.incr via_handles name;
+            Stats.incr via_strings name
+          | _ ->
+            ignore (Stats.Handle.value (Stats.counter via_handles name));
+            ignore (Stats.get via_strings name))
+        ops;
+      (* merging both into fresh accumulators must also agree *)
+      let acc_h = Stats.create () and acc_s = Stats.create () in
+      Stats.merge_into ~dst:acc_h via_handles;
+      Stats.merge_into ~dst:acc_s via_strings;
+      Stats.counters via_handles = Stats.counters via_strings
+      && Stats.gauges via_handles = Stats.gauges via_strings
+      && Stats.samples via_handles = Stats.samples via_strings
+      && Stats.counters acc_h = Stats.counters acc_s
+      && Stats.gauges acc_h = Stats.gauges acc_s)
+
+(* ------------------------------------------------------------------ *)
+(* Nodeset                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module RefSet = Set.Make (Int)
+
+(* Nodeset against the stdlib reference, over random add/remove/union
+   sequences.  Ids range past the bitmask capacity (>= Sys.int_size - 1)
+   so the tree spill path and mixed-representation unions are exercised. *)
+let prop_nodeset_matches_set =
+  let id = QCheck.Gen.(oneof [ int_bound 61; int_range 60 70 ]) in
+  let gen = QCheck.make QCheck.Gen.(list (pair (int_bound 2) id)) in
+  QCheck.Test.make ~name:"nodeset ≡ Set.Make(Int)" ~count:300 gen
+    (fun ops ->
+      let ns = ref Nodeset.empty and rs = ref RefSet.empty in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+            ns := Nodeset.add x !ns;
+            rs := RefSet.add x !rs
+          | 1 ->
+            ns := Nodeset.remove x !ns;
+            rs := RefSet.remove x !rs
+          | _ ->
+            ns := Nodeset.union !ns (Nodeset.of_list [ x; x + 1 ]);
+            rs := RefSet.union !rs (RefSet.of_list [ x; x + 1 ]))
+        ops;
+      let members = ref [] in
+      Nodeset.iter (fun x -> members := x :: !members) !ns;
+      Nodeset.elements !ns = RefSet.elements !rs
+      && List.rev !members = RefSet.elements !rs
+      && Nodeset.cardinal !ns = RefSet.cardinal !rs
+      && Nodeset.is_empty !ns = RefSet.is_empty !rs
+      && List.for_all
+           (fun x -> Nodeset.mem x !ns = RefSet.mem x !rs)
+           (List.init 72 Fun.id))
 
 let test_stats_counters_sorted () =
   let s = Stats.create () in
@@ -326,6 +485,8 @@ let suite =
     ("heap ordering", `Quick, test_heap_ordering);
     ("heap fifo ties", `Quick, test_heap_fifo_ties);
     ("heap clear and reuse", `Quick, test_heap_clear_and_reuse);
+    ("heap clear keeps capacity", `Quick, test_heap_clear_keeps_working_at_capacity);
+    ("heap top_key/pop_exn", `Quick, test_heap_top_key_pop_exn);
     ("heap iter_unordered", `Quick, test_heap_iter_unordered);
     ("rng deterministic", `Quick, test_rng_deterministic);
     ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
@@ -343,6 +504,7 @@ let suite =
     ("stats samples", `Quick, test_stats_samples);
     ("stats pp includes samples", `Quick, test_stats_pp_includes_samples);
     ("stats merge", `Quick, test_stats_merge);
+    ("stats merge self no-op", `Quick, test_stats_merge_self_noop);
     ("stats sorted", `Quick, test_stats_counters_sorted);
     ("stats reset", `Quick, test_stats_reset);
     ("table render", `Quick, test_table_render);
@@ -353,6 +515,13 @@ let suite =
     ("heap 100 equal keys", `Quick, test_heap_many_duplicate_keys);
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_heap_sorted; prop_mask_roundtrip; prop_mask_union_cardinal ]
+      [
+        prop_heap_sorted;
+        prop_heap_clear_then_pop_order;
+        prop_mask_roundtrip;
+        prop_mask_union_cardinal;
+        prop_stats_handles_equal_strings;
+        prop_nodeset_matches_set;
+      ]
 
 let () = Alcotest.run "lcm_util" [ ("util", suite) ]
