@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-paper perfbench doc clean examples trace-smoke stress
+.PHONY: all build test bench bench-paper perfbench doc clean examples trace-smoke stress sweep-smoke
 
 all: build
 
@@ -34,6 +34,14 @@ trace-smoke:
 # word-for-word against a golden per-epoch model, all four policies.
 stress:
 	dune exec bin/lcm_sim.exe -- stress --cases 100 --seed 1
+
+# Tiny parallel sweep through the fleet pool: exercises domain workers,
+# progress, and the JSON/CSV summary writers in a few seconds.  Also runs
+# as part of `dune runtest`.
+sweep-smoke:
+	dune exec bin/lcm_sim.exe -- experiments --suite figures --scale tiny \
+	  --jobs 2 --summary-json /tmp/lcm_sweep_smoke.json \
+	  --summary-csv /tmp/lcm_sweep_smoke.csv
 
 examples:
 	@for e in quickstart compiler_demo adaptive_mesh reductions race_detection stale_data dynamic_list; do \

@@ -5,6 +5,7 @@
 
      dune exec bench/main.exe            # quick scale (about a minute)
      dune exec bench/main.exe -- --paper # the paper's full problem sizes
+     dune exec bench/main.exe -- --jobs 0 # sweep cells across all host cores
      dune exec bench/main.exe -- --no-micro   # skip the Bechamel section *)
 
 open Lcm_harness
@@ -14,6 +15,24 @@ let scale =
   else Experiments.Quick
 
 let run_micro = not (Array.exists (( = ) "--no-micro") Sys.argv)
+
+(* --jobs N (0 = auto): spread each section's independent cells over
+   worker domains.  Results are bit-identical to the sequential run —
+   cells are keyed by index — so only wall-clock changes. *)
+let jobs =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then 1
+    else if Sys.argv.(i) = "--jobs" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n -> n
+      | None -> failwith "bench: --jobs expects an integer"
+    else find (i + 1)
+  in
+  find 1
+
+(* Every section is a fleet sweep; crashes/invariant violations in a cell
+   must still abort the harness, hence rows_exn. *)
+let sweep cells = Sweep.rows_exn (Sweep.run ~jobs cells)
 
 let machine = Config.default_machine
 
@@ -30,11 +49,11 @@ let () =
     | Experiments.Tiny -> "tiny");
 
   section "Figure 2: Stencil execution time";
-  let fig2 = Experiments.figure2 ~scale machine in
+  let fig2 = sweep (Experiments.figure2_cells ~scale machine) in
   print_string (Report.execution_times ~title:"Figure 2" fig2);
 
   section "Figure 3: Adaptive / Threshold / Unstructured execution time";
-  let fig3 = Experiments.figure3 ~scale machine in
+  let fig3 = sweep (Experiments.figure3_cells ~scale machine) in
   print_string (Report.execution_times ~title:"Figure 3" fig3);
 
   let rows = fig2 @ fig3 in
@@ -69,62 +88,62 @@ let () =
   section "Ablation: reductions (Section 7.1)";
   print_string
     (Report.generic ~title:"global sum, 3 implementations"
-       (Experiments.ablation_reduction machine));
+       (sweep (Experiments.ablation_reduction_cells machine)));
 
   section "Ablation: false sharing (Section 7.4)";
   print_string
     (Report.generic ~title:"falsely-shared blocks"
-       (Experiments.ablation_false_sharing machine));
+       (sweep (Experiments.ablation_false_sharing_cells machine)));
 
   section "Ablation: stale data (Section 7.5)";
   print_string
     (Report.generic ~title:"N-body with stale remote bodies"
-       (Experiments.ablation_stale machine));
+       (sweep (Experiments.ablation_stale_cells machine)));
 
   section "Ablation: clean-copy placement vs block reuse (scc vs mcc)";
   print_string
     (Report.generic ~title:"stencil across words-per-block"
-       (Experiments.ablation_block_reuse machine));
+       (sweep (Experiments.ablation_block_reuse_cells machine)));
 
   section "Ablation: scheduling sensitivity";
   print_string
     (Report.generic ~title:"stencil across schedules"
-       (Experiments.ablation_schedule machine));
+       (sweep (Experiments.ablation_schedule_cells machine)));
 
   section "Ablation: interconnect topology";
   print_string
     (Report.generic ~title:"dynamic stencil across interconnects"
-       (Experiments.ablation_topology machine));
+       (sweep (Experiments.ablation_topology_cells machine)));
 
   section "Ablation: weak scaling";
   print_string
     (Report.generic ~title:"stencil, fixed per-node band, growing machine"
-       (Experiments.ablation_scaling machine));
+       (sweep (Experiments.ablation_scaling_cells machine)));
 
   section "Ablation: cost-model sensitivity";
   print_string
     (Report.generic ~title:"stencil with communication costs scaled"
-       (Experiments.ablation_cost_sensitivity machine));
+       (sweep (Experiments.ablation_cost_sensitivity_cells machine)));
 
   section "Ablation: run-time violation detection cost (Sections 7.2-7.3)";
   print_string
     (Report.generic ~title:"stencil under LCM-mcc with detection modes"
-       (Experiments.ablation_detection machine));
+       (sweep (Experiments.ablation_detection_cells machine)));
 
   section "Ablation: invalidate- vs update-based reconciliation (Section 3)";
   print_string
     (Report.generic ~title:"stencil under LCM-mcc vs LCM-mcc-update"
-       (Experiments.ablation_update machine));
+       (sweep (Experiments.ablation_update_cells machine)));
 
   section "Ablation: reconciliation barrier organisation (Section 5.1)";
   print_string
     (Report.generic ~title:"flat coordinator vs combining tree"
-       (Experiments.ablation_barrier machine));
+       (sweep (Experiments.ablation_barrier_cells machine)));
 
   section "Ablation: cache capacity (Stache, static stencil)";
   print_string
     (Report.generic ~title:"stencil-stat under finite caches"
-       (Experiments.ablation_capacity machine));
+       (sweep (Experiments.ablation_capacity_cells machine)));
 
   section "Tracing sample (structured observability)";
   (let rt =

@@ -9,14 +9,22 @@
 
      dune exec bench/perf.exe                    # full rig -> BENCH_perf.json
      dune exec bench/perf.exe -- --smoke         # seconds-long sanity pass
+     dune exec bench/perf.exe -- --jobs 0        # cells across all host cores
      dune exec bench/perf.exe -- --baseline old.json --out BENCH_perf.json
 
    With --baseline, the previous file's runs are embedded under "before",
    the fresh runs under "after", and per-cell wall-clock speedups are
    computed (matched by workload + policy).  See README "Performance
-   benchmarking" for the schema. *)
+   benchmarking" for the schema.
+
+   Cells run through Lcm_fleet.Fleet.Pool; --jobs N (0 = auto) spreads
+   them over worker domains.  Simulated counters (events, sim_cycles) are
+   deterministic and job-count-independent; wall_s is host throughput and
+   with jobs > 1 measures *contended* throughput — compare like against
+   like when tracking a trajectory. *)
 
 open Lcm_harness
+module Fleet = Lcm_fleet.Fleet
 
 type run = {
   workload : string;
@@ -59,15 +67,17 @@ let measure ~workload ~policy f =
      the minimum over a few repeats is the standard noise-robust estimate
      (scheduling hiccups and frequency ramps only ever slow a run down).
      Events and sim_cycles are identical across repeats — the simulator is
-     deterministic — so only the timing varies. *)
+     deterministic — so only the timing varies.  Events come from the
+     *calling domain's* tally so concurrent cells on other domains don't
+     bleed into this cell's count. *)
   let best = ref None in
   for _ = 1 to max 1 !repeat do
     Gc.full_major ();
-    let ev0 = Lcm_sim.Engine.total_events () in
+    let ev0 = Lcm_sim.Engine.domain_events () in
     let t0 = Unix.gettimeofday () in
     let sim_cycles = f () in
     let t1 = Unix.gettimeofday () in
-    let events = Lcm_sim.Engine.total_events () - ev0 in
+    let events = Lcm_sim.Engine.domain_events () - ev0 in
     let wall_s = t1 -. t0 in
     match !best with
     | Some (w, _, _) when w <= wall_s -> ()
@@ -79,21 +89,20 @@ let measure ~workload ~policy f =
   let events_per_sec =
     if wall_s > 0.0 then float_of_int events /. wall_s else 0.0
   in
-  let r =
-    {
-      workload;
-      policy;
-      wall_s;
-      sim_cycles;
-      events;
-      events_per_sec;
-      peak_rss_kb = peak_rss_kb ();
-    }
-  in
+  {
+    workload;
+    policy;
+    wall_s;
+    sim_cycles;
+    events;
+    events_per_sec;
+    peak_rss_kb = peak_rss_kb ();
+  }
+
+let print_run r =
   Printf.printf "%-28s %-16s %8.3f s %10d ev %12.0f ev/s %9d cyc %8d kB\n%!"
     r.workload r.policy r.wall_s r.events r.events_per_sec r.sim_cycles
-    r.peak_rss_kb;
-  r
+    r.peak_rss_kb
 
 (* ------------------------------------------------------------------ *)
 (* Workloads                                                           *)
@@ -128,43 +137,81 @@ let stress ~cases ~seed system () =
   | Error e -> failwith ("perf: stress batch failed:\n" ^ e));
   0
 
-let all_runs ~smoke () =
+(* One fleet cell per (workload, policy): the thunk performs the whole
+   best-of-N measurement on whichever worker domain claims it. *)
+let all_cells ~smoke =
   let sn, si, snodes = if smoke then (16, 2, 8) else (128, 25, 32) in
   let un, ue, ui = if smoke then (32, 96, 2) else (256, 1024, 48) in
   let cases = if smoke then 2 else 60 in
   let cell mk name =
     List.map
-      (fun sys -> measure ~workload:name ~policy:sys.Config.label (mk sys))
+      (fun sys ->
+        ( Printf.sprintf "%s/%s" name sys.Config.label,
+          fun () -> measure ~workload:name ~policy:sys.Config.label (mk sys) ))
       systems
   in
-  let stencil_runs =
+  let stencil_cells =
     cell
       (stencil ~nnodes:snodes ~n:sn ~iters:si)
       (Printf.sprintf "stencil-static-%dx%d-i%d-p%d" sn sn si snodes)
   in
-  let unstructured_runs =
+  let unstructured_cells =
     cell
       (unstructured ~nnodes:snodes ~nodes:un ~edges:ue ~iters:ui)
       (Printf.sprintf "unstructured-%dn%de-i%d-p%d" un ue ui snodes)
   in
-  let stress_runs =
+  let stress_cells =
     cell (stress ~cases ~seed:1) (Printf.sprintf "stress-%dcases-seed1" cases)
   in
-  stencil_runs @ unstructured_runs @ stress_runs
+  Array.of_list (stencil_cells @ unstructured_cells @ stress_cells)
+
+let all_runs ~smoke ~jobs () =
+  let cells = all_cells ~smoke in
+  let progress =
+    if Unix.isatty Unix.stderr && Fleet.resolve_jobs jobs > 1 then
+      Some (Fleet.Progress.create ~total:(Array.length cells) ())
+    else None
+  in
+  let results = Fleet.Pool.run ~jobs ?progress cells in
+  Option.iter Fleet.Progress.finish progress;
+  (* The rig is a health check of the simulator itself: a crashed or hung
+     cell is a perf bug, not a data point — fail hard. *)
+  Array.iter
+    (fun (r : run Fleet.cell_result) ->
+      match r.Fleet.outcome with
+      | Fleet.Done _ -> ()
+      | o ->
+        Printf.eprintf "perf: FATAL: cell %s: %s\n" r.Fleet.label
+          (Fleet.outcome_string o);
+        exit 1)
+    results;
+  let runs =
+    Array.to_list results
+    |> List.filter_map (fun (r : run Fleet.cell_result) ->
+           match r.Fleet.outcome with Fleet.Done run -> Some run | _ -> None)
+  in
+  List.iter print_run runs;
+  runs
 
 (* ------------------------------------------------------------------ *)
 (* JSON out / baseline in                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Serialized through the shared Report.Json path (same escaping as the
+   sweep summaries); key names are load_baseline's contract. *)
 let run_json r =
-  Printf.sprintf
-    "    {\"workload\": \"%s\", \"policy\": \"%s\", \"wall_s\": %.6f, \
-     \"sim_cycles\": %d, \"events\": %d, \"events_per_sec\": %.1f, \
-     \"peak_rss_kb\": %d}"
-    r.workload r.policy r.wall_s r.sim_cycles r.events r.events_per_sec
-    r.peak_rss_kb
+  Report.Json.Obj
+    [
+      ("workload", Report.Json.Str r.workload);
+      ("policy", Report.Json.Str r.policy);
+      ("wall_s", Report.Json.Float r.wall_s);
+      ("sim_cycles", Report.Json.Int r.sim_cycles);
+      ("events", Report.Json.Int r.events);
+      ("events_per_sec", Report.Json.Float r.events_per_sec);
+      ("peak_rss_kb", Report.Json.Int r.peak_rss_kb);
+    ]
 
-let runs_json rs = String.concat ",\n" (List.map run_json rs)
+let runs_json rs = Report.Json.Arr (List.map run_json rs)
 
 let load_baseline path =
   let ic = open_in path in
@@ -213,43 +260,52 @@ let load_baseline path =
       runs
 
 let comparison_json before after =
-  let cells =
-    List.filter_map
-      (fun a ->
-        match
-          List.find_opt
-            (fun b -> b.workload = a.workload && b.policy = a.policy)
-            before
-        with
-        | Some b when a.wall_s > 0.0 ->
-          Some
-            (Printf.sprintf
-               "    {\"workload\": \"%s\", \"policy\": \"%s\", \
-                \"wall_before_s\": %.6f, \"wall_after_s\": %.6f, \
-                \"speedup\": %.3f}"
-               a.workload a.policy b.wall_s a.wall_s (b.wall_s /. a.wall_s))
-        | _ -> None)
-      after
-  in
-  String.concat ",\n" cells
+  Report.Json.Arr
+    (List.filter_map
+       (fun a ->
+         match
+           List.find_opt
+             (fun b -> b.workload = a.workload && b.policy = a.policy)
+             before
+         with
+         | Some b when a.wall_s > 0.0 ->
+           Some
+             (Report.Json.Obj
+                [
+                  ("workload", Report.Json.Str a.workload);
+                  ("policy", Report.Json.Str a.policy);
+                  ("wall_before_s", Report.Json.Float b.wall_s);
+                  ("wall_after_s", Report.Json.Float a.wall_s);
+                  ("speedup", Report.Json.Float (b.wall_s /. a.wall_s));
+                ])
+         | _ -> None)
+       after)
 
 let () =
   let smoke = ref false in
   let out = ref "BENCH_perf.json" in
   let baseline = ref "" in
+  let jobs = ref 1 in
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " tiny problem sizes (CI smoke test)");
       ( "--repeat",
         Arg.Set_int repeat,
         "N repeats per cell, best (minimum) wall time kept (default 3)" );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N worker domains for the cell sweep (default 1; 0 = auto)" );
       ("--out", Arg.Set_string out, "FILE output JSON path (default BENCH_perf.json)");
       ( "--baseline",
         Arg.Set_string baseline,
         "FILE previous BENCH_perf.json to compare against" );
     ]
     (fun a -> raise (Arg.Bad ("unknown argument " ^ a)))
-    "perf [--smoke] [--out FILE] [--baseline FILE]";
+    "perf [--smoke] [--jobs N] [--out FILE] [--baseline FILE]";
+  if !jobs < 0 then begin
+    prerr_endline "perf: --jobs must be >= 0";
+    exit 2
+  end;
   Printf.printf "%-28s %-16s %10s %13s %15s %12s %11s\n" "workload" "policy"
     "wall" "events" "events/sec" "sim-cycles" "peak-rss";
   if !smoke then repeat := 1;
@@ -262,27 +318,27 @@ let () =
       exit 1
   in
   let before = if !baseline = "" then [] else load_baseline_or_die !baseline in
-  let after = all_runs ~smoke:!smoke () in
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"lcm-bench-perf/1\",\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"scale\": \"%s\",\n" (if !smoke then "smoke" else "full"));
-  (match before with
-  | [] ->
-    Buffer.add_string buf
-      (Printf.sprintf "  \"runs\": [\n%s\n  ]\n" (runs_json after))
-  | before ->
-    Buffer.add_string buf
-      (Printf.sprintf "  \"before\": [\n%s\n  ],\n" (runs_json before));
-    Buffer.add_string buf
-      (Printf.sprintf "  \"after\": [\n%s\n  ],\n" (runs_json after));
-    Buffer.add_string buf
-      (Printf.sprintf "  \"comparison\": [\n%s\n  ]\n"
-         (comparison_json before after)));
-  Buffer.add_string buf "}\n";
+  let after = all_runs ~smoke:!smoke ~jobs:!jobs () in
+  let doc =
+    Report.Json.Obj
+      ([
+         ("schema", Report.Json.Str "lcm-bench-perf/1");
+         ("scale", Report.Json.Str (if !smoke then "smoke" else "full"));
+         ("jobs", Report.Json.Int (Fleet.resolve_jobs !jobs));
+       ]
+      @
+      match before with
+      | [] -> [ ("runs", runs_json after) ]
+      | before ->
+        [
+          ("before", runs_json before);
+          ("after", runs_json after);
+          ("comparison", comparison_json before after);
+        ])
+  in
   let oc = open_out !out in
-  output_string oc (Buffer.contents buf);
+  output_string oc (Report.Json.to_string doc);
+  output_char oc '\n';
   close_out oc;
   Printf.printf "(wrote %s)\n" !out;
   (* the smoke pass doubles as a self-check: the file we just wrote must

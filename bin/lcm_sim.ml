@@ -334,6 +334,200 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Print the default machine and cost model.")
     Term.(const run $ const ())
 
+(* --jobs N: worker domains for sweeps.  0 = auto (one per recommended
+   domain); clamped to >= 1.  Default 1 keeps runs deterministic-sequential. *)
+let jobs_arg =
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | Some _ -> Error (`Msg "jobs must be >= 0 (0 = auto)")
+      | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt jobs_conv 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the sweep: 1 (default) runs \
+                 deterministic-sequential on the calling domain, 0 picks \
+                 one worker per recommended host domain, N>1 uses N \
+                 domains.  Results are bit-identical at any job count.")
+
+let experiments_cmd =
+  let module Fleet = Lcm_fleet.Fleet in
+  let scale_conv =
+    let parse s = Result.map_error (fun e -> `Msg e) (Experiments.scale_of_string s) in
+    Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Experiments.scale_to_string s))
+  in
+  let scale_arg =
+    Arg.(value & opt scale_conv Experiments.Quick
+         & info [ "scale" ] ~docv:"SCALE" ~doc:"tiny, quick or paper.")
+  in
+  let suite_arg =
+    let suite_conv =
+      let parse s =
+        let s = String.lowercase_ascii (String.trim s) in
+        if s = "all" || s = "ablations" || s = "figures"
+           || List.mem_assoc s Experiments.families
+        then Ok s
+        else
+          Error
+            (`Msg
+              (Printf.sprintf "unknown suite %S; pick all, figures, ablations or one of: %s"
+                 s
+                 (String.concat ", " (List.map fst Experiments.families))))
+      in
+      Arg.conv (parse, Format.pp_print_string)
+    in
+    Arg.(value & opt suite_conv "figures"
+         & info [ "suite" ] ~docv:"SUITE"
+             ~doc:"Which cell families to sweep: $(b,figures) (figure2 + \
+                   figure3), $(b,ablations), $(b,all), or a single family \
+                   name (e.g. figure2, barrier, topology).")
+  in
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok n
+      | Some _ -> Error (`Msg "must be positive")
+      | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let positive_float =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> Ok f
+      | Some _ -> Error (`Msg "must be positive")
+      | None -> Error (`Msg (Printf.sprintf "invalid number %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
+  let max_events_arg =
+    Arg.(value & opt (some positive_int) None
+         & info [ "max-events" ] ~docv:"N"
+             ~doc:"Per-cell simulated-event budget; a cell exceeding it is \
+                   reported $(b,timed-out) at a deterministic simulated \
+                   point and the sweep continues.")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some positive_float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-cell host wall-clock guard; a cell over it is \
+                   reported $(b,timed-out) and the sweep continues.")
+  in
+  let summary_json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "summary-json" ] ~docv:"FILE"
+             ~doc:"Write the machine-readable sweep summary (lcm-sweep/1 \
+                   JSON) to $(docv).")
+  in
+  let summary_csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "summary-csv" ] ~docv:"FILE"
+             ~doc:"Write the sweep summary as CSV to $(docv).")
+  in
+  let progress_arg =
+    Arg.(value & vflag None
+         [ (Some true, info [ "progress" ] ~doc:"Force live progress on stderr.");
+           (Some false, info [ "no-progress" ] ~doc:"Disable live progress.") ])
+  in
+  let run suite scale jobs nodes topology max_events timeout summary_json
+      summary_csv progress =
+    let machine =
+      { Config.default_machine with Config.nnodes = nodes; topology }
+    in
+    let families =
+      match suite with
+      | "all" -> Experiments.families
+      | "figures" ->
+        List.filter (fun (n, _) -> n = "figure2" || n = "figure3") Experiments.families
+      | "ablations" ->
+        List.filter (fun (n, _) -> n <> "figure2" && n <> "figure3") Experiments.families
+      | name -> List.filter (fun (n, _) -> n = name) Experiments.families
+    in
+    let cells =
+      List.concat_map (fun (_, cells_of) -> cells_of ~scale machine) families
+    in
+    let budget = Fleet.Budget.make ?max_events ?wall_s:timeout () in
+    let show_progress =
+      match progress with
+      | Some b -> b
+      | None -> (try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
+    in
+    let progress =
+      if show_progress then
+        Some (Fleet.Progress.create ~total:(List.length cells) ())
+      else None
+    in
+    let t0 = Unix.gettimeofday () in
+    let results = Sweep.run ~jobs ~budget ?progress cells in
+    let wall = Unix.gettimeofday () -. t0 in
+    Option.iter Fleet.Progress.finish progress;
+    let rows = Sweep.rows results in
+    print_string (Report.generic ~title:(Printf.sprintf "sweep %s (%s scale)" suite (Experiments.scale_to_string scale)) rows);
+    (if suite = "figures" || suite = "all" then begin
+       print_string (Report.agreement rows);
+       print_string (Report.claims (Experiments.claims rows))
+     end);
+    let scale = Experiments.scale_to_string scale in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Sweep.summary_json ~suite ~scale ~jobs results);
+        close_out oc;
+        Printf.printf "(wrote %s)\n" path)
+      summary_json;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Sweep.summary_csv results);
+        close_out oc;
+        Printf.printf "(wrote %s)\n" path)
+      summary_csv;
+    let failures = Sweep.failures results in
+    Printf.printf
+      "sweep: %d cells (%d ok, %d failed, %d timed-out) in %.2fs host time, jobs=%d\n"
+      (Array.length results)
+      (List.length rows)
+      (List.length
+         (List.filter
+            (fun (r : _ Fleet.cell_result) ->
+              match r.Fleet.outcome with Fleet.Failed _ -> true | _ -> false)
+            failures))
+      (List.length
+         (List.filter
+            (fun (r : _ Fleet.cell_result) ->
+              match r.Fleet.outcome with Fleet.Timed_out _ -> true | _ -> false)
+            failures))
+      wall (Fleet.resolve_jobs jobs);
+    List.iter
+      (fun (r : _ Fleet.cell_result) ->
+        Printf.eprintf "  cell %d %s: %s\n" r.Fleet.index r.Fleet.label
+          (Fleet.outcome_string r.Fleet.outcome))
+      failures;
+    let failed =
+      List.exists
+        (fun (r : _ Fleet.cell_result) ->
+          match r.Fleet.outcome with Fleet.Failed _ -> true | _ -> false)
+        failures
+    in
+    if failed then `Error (false, "sweep had failed cells") else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Sweep the paper's experiment grid (figures and/or ablations) \
+             across worker domains.  Cells are independent simulations; \
+             results are ordered by cell index, so output is bit-identical \
+             at any $(b,--jobs) count.  A crashing cell is contained as a \
+             $(b,failed) outcome; $(b,--max-events)/$(b,--timeout) turn \
+             runaway cells into $(b,timed-out) outcomes.")
+    Term.(
+      ret
+        (const run $ suite_arg $ scale_arg $ jobs_arg $ nodes_arg
+       $ topology_arg $ max_events_arg $ timeout_arg $ summary_json_arg
+       $ summary_csv_arg $ progress_arg))
+
 let stress_cmd =
   let policy_conv =
     let parse s = Result.map_error (fun e -> `Msg e) (Lcm_core.Policy.of_string s) in
@@ -364,7 +558,7 @@ let stress_cmd =
     Arg.(value & opt int 1
          & info [ "seed" ] ~docv:"S" ~doc:"Generator stream seed.")
   in
-  let run cases seed policy =
+  let run cases seed policy jobs =
     let policies =
       match policy with Some p -> [ p ] | None -> Stress.all_policies
     in
@@ -372,7 +566,7 @@ let stress_cmd =
       List.filter_map
         (fun (p : Lcm_core.Policy.t) ->
           Printf.printf "policy %-14s %!" p.Lcm_core.Policy.name;
-          match Stress.run ~policy:p ~cases ~seed () with
+          match Stress.run ~policy:p ~jobs ~cases ~seed () with
           | Ok () ->
             Printf.printf "%d/%d cases OK\n%!" cases cases;
             None
@@ -394,7 +588,7 @@ let stress_cmd =
              against a golden per-epoch model plus protocol invariants.  \
              Failures print a shrunk reproducer; rerun it with the printed \
              $(b,--seed)/$(b,--cases)/$(b,--policy).")
-    Term.(ret (const run $ cases_arg $ seed_arg $ policy_arg))
+    Term.(ret (const run $ cases_arg $ seed_arg $ policy_arg $ jobs_arg))
 
 let trace_validate_cmd =
   let file_arg =
@@ -436,6 +630,7 @@ let () =
             false_sharing_cmd;
             nbody_cmd;
             synthetic_cmd;
+            experiments_cmd;
             stress_cmd;
             trace_validate_cmd;
             info_cmd;

@@ -5,7 +5,46 @@ type scale = Tiny | Quick | Paper
 
 type row = { experiment : string; system : string; result : Bench_result.t }
 
+type cells = (string * (unit -> row)) list
+
 let dyn_seed = 5
+
+let scale_to_string = function
+  | Tiny -> "tiny"
+  | Quick -> "quick"
+  | Paper -> "paper"
+
+let scale_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "tiny" -> Ok Tiny
+  | "quick" -> Ok Quick
+  | "paper" -> Ok Paper
+  | other -> Error (Printf.sprintf "unknown scale %S" other)
+
+(* Every experiment is a {e cell}: an independent, self-contained thunk
+   that builds its own runtime, runs one (benchmark × system) simulation
+   and returns a row.  Cells never share mutable state, which is what lets
+   {!Sweep} run them across domains; executing them in list order
+   ([run_cells]) reproduces the original sequential harness exactly. *)
+
+let run_cells cells = List.map (fun (_, f) -> f ()) cells
+
+let label ~experiment ~system = experiment ^ "/" ^ system
+
+let checked_cell ~experiment ~system mk_rt run =
+  ( label ~experiment ~system,
+    fun () ->
+      let rt = mk_rt () in
+      let result = run rt in
+      (* every harness run is audited: a protocol-state violation fails the
+         whole reproduction rather than silently skewing numbers *)
+      (match Lcm_core.Proto.check_invariants (Lcm_cstar.Runtime.proto rt) with
+      | Ok () -> ()
+      | Error es ->
+        failwith
+          (Printf.sprintf "%s/%s: protocol invariants violated:\n  %s" experiment
+             system (String.concat "\n  " es)));
+      { experiment; system; result } )
 
 let stencil_params = function
   | Tiny -> { Stencil.n = 24; iters = 3; work_per_cell = 4 }
@@ -43,41 +82,37 @@ let unstructured_params = function
   | Quick -> { Unstructured.nodes = 256; edges = 1024; iters = 24; seed = 11; work_per_node = 6 }
   | Paper -> Unstructured.paper
 
-let run_systems machine ~experiment ~schedule run =
+let run_systems_cells machine ~experiment ~schedule run =
   List.map
     (fun system ->
-      let rt = Config.make_runtime machine system ~schedule in
-      let result = run rt in
-      (* every harness run is audited: a protocol-state violation fails the
-         whole reproduction rather than silently skewing numbers *)
-      (match Lcm_core.Proto.check_invariants (Lcm_cstar.Runtime.proto rt) with
-      | Ok () -> ()
-      | Error es ->
-        failwith
-          (Printf.sprintf "%s/%s: protocol invariants violated:\n  %s" experiment
-             system.Config.label (String.concat "\n  " es)));
-      { experiment; system = system.Config.label; result })
+      checked_cell ~experiment ~system:system.Config.label
+        (fun () -> Config.make_runtime machine system ~schedule)
+        run)
     Config.systems
 
-let figure2 ?(scale = Quick) machine =
+let figure2_cells ?(scale = Quick) machine =
   let p = stencil_params scale in
-  run_systems machine ~experiment:"stencil-stat" ~schedule:Schedule.Static
+  run_systems_cells machine ~experiment:"stencil-stat" ~schedule:Schedule.Static
     (fun rt -> Stencil.run rt p)
-  @ run_systems machine ~experiment:"stencil-dyn"
+  @ run_systems_cells machine ~experiment:"stencil-dyn"
       ~schedule:(Schedule.Dynamic_random dyn_seed) (fun rt -> Stencil.run rt p)
 
-let figure3 ?(scale = Quick) machine =
+let figure2 ?scale machine = run_cells (figure2_cells ?scale machine)
+
+let figure3_cells ?(scale = Quick) machine =
   let ap = adaptive_params scale in
   let tp = threshold_params scale in
   let up = unstructured_params scale in
-  run_systems machine ~experiment:"adaptive-stat" ~schedule:Schedule.Static
+  run_systems_cells machine ~experiment:"adaptive-stat" ~schedule:Schedule.Static
     (fun rt -> Adaptive.run rt ap)
-  @ run_systems machine ~experiment:"adaptive-dyn"
+  @ run_systems_cells machine ~experiment:"adaptive-dyn"
       ~schedule:(Schedule.Dynamic_random dyn_seed) (fun rt -> Adaptive.run rt ap)
-  @ run_systems machine ~experiment:"threshold" ~schedule:Schedule.Static
+  @ run_systems_cells machine ~experiment:"threshold" ~schedule:Schedule.Static
       (fun rt -> Threshold.run rt tp)
-  @ run_systems machine ~experiment:"unstructured" ~schedule:Schedule.Static
+  @ run_systems_cells machine ~experiment:"unstructured" ~schedule:Schedule.Static
       (fun rt -> Unstructured.run rt up)
+
+let figure3 ?scale machine = run_cells (figure3_cells ?scale machine)
 
 let group_by_experiment rows =
   let order = ref [] in
@@ -191,74 +226,98 @@ let claims rows =
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let ablation_reduction machine =
-  let p = { Reduce_demo.n = 8192; per_add_work = 2 } in
-  let run system variant =
-    let rt = Config.make_runtime machine system ~schedule:Schedule.Static in
-    {
-      experiment = "reduction";
-      system = Reduce_demo.variant_name variant;
-      result = Reduce_demo.run rt variant p;
-    }
+(* Ablations historically ran at one fixed (Quick-ish) size; the [?scale]
+   parameter keeps those exact constants as the [Quick] default (so the
+   bench harness output is unchanged) and adds [Tiny] shrinks so the test
+   suite can sweep every family in seconds.  [Paper] falls back to the
+   Quick constants — the ablations' conclusions are scale-insensitive. *)
+
+let ablation_reduction_cells ?(scale = Quick) machine =
+  let p =
+    match scale with
+    | Tiny -> { Reduce_demo.n = 512; per_add_work = 2 }
+    | Quick | Paper -> { Reduce_demo.n = 8192; per_add_work = 2 }
+  in
+  let cell system variant =
+    checked_cell ~experiment:"reduction" ~system:(Reduce_demo.variant_name variant)
+      (fun () -> Config.make_runtime machine system ~schedule:Schedule.Static)
+      (fun rt -> Reduce_demo.run rt variant p)
   in
   [
-    run Config.lcm_mcc `Rsm_reconcile;
-    run Config.stache `Manual_partials;
-    run Config.stache `Serialized;
+    cell Config.lcm_mcc `Rsm_reconcile;
+    cell Config.stache `Manual_partials;
+    cell Config.stache `Serialized;
   ]
 
-let ablation_false_sharing machine =
-  let p = { False_sharing.blocks = 64; rounds = 20 } in
+let ablation_reduction machine = run_cells (ablation_reduction_cells machine)
+
+let ablation_false_sharing_cells ?(scale = Quick) machine =
+  let p =
+    match scale with
+    | Tiny -> { False_sharing.blocks = 16; rounds = 4 }
+    | Quick | Paper -> { False_sharing.blocks = 64; rounds = 20 }
+  in
   List.map
     (fun system ->
-      let rt = Config.make_runtime machine system ~schedule:Schedule.Static in
-      {
-        experiment = "false-sharing";
-        system = system.Config.label;
-        result = False_sharing.run rt p;
-      })
+      checked_cell ~experiment:"false-sharing" ~system:system.Config.label
+        (fun () -> Config.make_runtime machine system ~schedule:Schedule.Static)
+        (fun rt -> False_sharing.run rt p))
     [ Config.stache; Config.lcm_scc; Config.lcm_mcc ]
 
-let ablation_stale machine =
-  let p = { Nbody_stale.bodies = 512; iters = 12; work_per_body = 2 } in
+let ablation_false_sharing machine =
+  run_cells (ablation_false_sharing_cells machine)
+
+let ablation_stale_cells ?(scale = Quick) machine =
+  let p =
+    match scale with
+    | Tiny -> { Nbody_stale.bodies = 64; iters = 3; work_per_body = 2 }
+    | Quick | Paper -> { Nbody_stale.bodies = 512; iters = 12; work_per_body = 2 }
+  in
   List.map
     (fun mode ->
-      let rt = Config.make_runtime machine Config.lcm_mcc ~schedule:Schedule.Static in
-      {
-        experiment = "nbody-stale";
-        system = Nbody_stale.mode_name mode;
-        result = Nbody_stale.run rt mode p;
-      })
+      checked_cell ~experiment:"nbody-stale" ~system:(Nbody_stale.mode_name mode)
+        (fun () -> Config.make_runtime machine Config.lcm_mcc ~schedule:Schedule.Static)
+        (fun rt -> Nbody_stale.run rt mode p))
     [ `Fresh; `Stale 2; `Stale 4; `Stale 8 ]
 
-let ablation_block_reuse machine =
-  let p = { Stencil.n = 64; iters = 4; work_per_cell = 4 } in
+let ablation_stale machine = run_cells (ablation_stale_cells machine)
+
+let ablation_block_reuse_cells ?(scale = Quick) machine =
+  let p =
+    match scale with
+    | Tiny -> { Stencil.n = 16; iters = 2; work_per_cell = 4 }
+    | Quick | Paper -> { Stencil.n = 64; iters = 4; work_per_cell = 4 }
+  in
   List.concat_map
     (fun wpb ->
       let machine = { machine with Config.words_per_block = wpb } in
       List.map
         (fun system ->
-          let rt = Config.make_runtime machine system ~schedule:Schedule.Static in
-          {
-            experiment = Printf.sprintf "stencil wpb=%d" wpb;
-            system = system.Config.label;
-            result = Stencil.run rt p;
-          })
+          checked_cell
+            ~experiment:(Printf.sprintf "stencil wpb=%d" wpb)
+            ~system:system.Config.label
+            (fun () -> Config.make_runtime machine system ~schedule:Schedule.Static)
+            (fun rt -> Stencil.run rt p))
         [ Config.lcm_scc; Config.lcm_mcc ])
     [ 2; 4; 8; 16 ]
 
-let ablation_schedule machine =
-  let p = { Stencil.n = 96; iters = 6; work_per_cell = 4 } in
+let ablation_block_reuse machine = run_cells (ablation_block_reuse_cells machine)
+
+let small_stencil_params = function
+  | Tiny -> { Stencil.n = 24; iters = 2; work_per_cell = 4 }
+  | Quick | Paper -> { Stencil.n = 96; iters = 6; work_per_cell = 4 }
+
+let ablation_schedule_cells ?(scale = Quick) machine =
+  let p = small_stencil_params scale in
   List.concat_map
     (fun (sname, schedule) ->
       List.map
         (fun system ->
-          let rt = Config.make_runtime machine system ~schedule in
-          {
-            experiment = "stencil sched=" ^ sname;
-            system = system.Config.label;
-            result = Stencil.run rt p;
-          })
+          checked_cell
+            ~experiment:("stencil sched=" ^ sname)
+            ~system:system.Config.label
+            (fun () -> Config.make_runtime machine system ~schedule)
+            (fun rt -> Stencil.run rt p))
         [ Config.stache; Config.lcm_mcc ])
     [
       ("static", Schedule.Static);
@@ -266,24 +325,24 @@ let ablation_schedule machine =
       ("random", Schedule.Dynamic_random dyn_seed);
     ]
 
-let ablation_topology machine =
+let ablation_schedule machine = run_cells (ablation_schedule_cells machine)
+
+let ablation_topology_cells ?(scale = Quick) machine =
   (* interconnect sensitivity: hop latencies across a crossbar, a 2-D mesh
      and the CM-5's fat tree *)
-  let p = { Stencil.n = 96; iters = 6; work_per_cell = 4 } in
+  let p = small_stencil_params scale in
   List.concat_map
     (fun (tname, topology) ->
       let machine = { machine with Config.topology } in
       List.map
         (fun system ->
-          let rt =
-            Config.make_runtime machine system
-              ~schedule:(Schedule.Dynamic_random dyn_seed)
-          in
-          {
-            experiment = "stencil-dyn topo=" ^ tname;
-            system = system.Config.label;
-            result = Stencil.run rt p;
-          })
+          checked_cell
+            ~experiment:("stencil-dyn topo=" ^ tname)
+            ~system:system.Config.label
+            (fun () ->
+              Config.make_runtime machine system
+                ~schedule:(Schedule.Dynamic_random dyn_seed))
+            (fun rt -> Stencil.run rt p))
         [ Config.stache; Config.lcm_mcc ])
     [
       ("crossbar", Lcm_net.Topology.Crossbar);
@@ -291,135 +350,179 @@ let ablation_topology machine =
       ("fattree4", Lcm_net.Topology.Fat_tree { arity = 4 });
     ]
 
-let ablation_scaling machine =
-  (* weak scaling: per-node work held constant (a 24-row band each) while
-     the machine grows; reconciliation and boundary traffic grow with P *)
+let ablation_topology machine = run_cells (ablation_topology_cells machine)
+
+let ablation_scaling_cells ?(scale = Quick) machine =
+  (* weak scaling: per-node work held constant (a fixed-height band each)
+     while the machine grows; reconciliation and boundary traffic grow
+     with P *)
+  let band, iters, sizes =
+    match scale with
+    | Tiny -> (12, 2, [ 4; 8 ])
+    | Quick | Paper -> (24, 3, [ 4; 8; 16; 32 ])
+  in
   List.concat_map
     (fun nnodes ->
       let machine = { machine with Config.nnodes } in
-      let p = { Stencil.n = 24 * nnodes; iters = 3; work_per_cell = 4 } in
+      let p = { Stencil.n = band * nnodes; iters; work_per_cell = 4 } in
       List.map
         (fun system ->
-          let rt = Config.make_runtime machine system ~schedule:Schedule.Static in
-          {
-            experiment = Printf.sprintf "stencil weak-scaling P=%d" nnodes;
-            system = system.Config.label;
-            result = Stencil.run rt p;
-          })
+          checked_cell
+            ~experiment:(Printf.sprintf "stencil weak-scaling P=%d" nnodes)
+            ~system:system.Config.label
+            (fun () -> Config.make_runtime machine system ~schedule:Schedule.Static)
+            (fun rt -> Stencil.run rt p))
         [ Config.stache; Config.lcm_mcc ])
-    [ 4; 8; 16; 32 ]
+    sizes
 
-let ablation_cost_sensitivity machine =
+let ablation_scaling machine = run_cells (ablation_scaling_cells machine)
+
+let ablation_cost_sensitivity_cells ?(scale = Quick) machine =
   (* robustness: the headline comparisons should not depend on the exact
      communication-cost constants — sweep them x0.5 / x1 / x2 *)
-  let p = { Stencil.n = 96; iters = 6; work_per_cell = 4 } in
+  let p = small_stencil_params scale in
   List.concat_map
-    (fun scale ->
+    (fun cost_scale ->
       let machine =
-        { machine with Config.costs = Lcm_sim.Costs.scale machine.Config.costs scale }
+        { machine with Config.costs = Lcm_sim.Costs.scale machine.Config.costs cost_scale }
       in
       List.concat_map
         (fun (sname, schedule) ->
           List.map
             (fun system ->
-              let rt = Config.make_runtime machine system ~schedule in
-              {
-                experiment = Printf.sprintf "stencil-%s costs x%.1f" sname scale;
-                system = system.Config.label;
-                result = Stencil.run rt p;
-              })
+              checked_cell
+                ~experiment:
+                  (Printf.sprintf "stencil-%s costs x%.1f" sname cost_scale)
+                ~system:system.Config.label
+                (fun () -> Config.make_runtime machine system ~schedule)
+                (fun rt -> Stencil.run rt p))
             [ Config.stache; Config.lcm_mcc ])
         [ ("stat", Schedule.Static); ("dyn", Schedule.Dynamic_random dyn_seed) ])
     [ 0.5; 1.0; 2.0 ]
 
-let ablation_detection machine =
+let ablation_cost_sensitivity machine =
+  run_cells (ablation_cost_sensitivity_cells machine)
+
+let ablation_detection_cells ?(scale = Quick) machine =
   (* cost of run-time semantic-violation detection (§7.2-7.3): off,
      reconcile-time only, and strict (all read-only copies flushed at sync
      points, catching actual races).  Threshold leaves ~98% of blocks
      unmodified per phase, so strict mode's flush of their read-only copies
      is visible — the paper's "loss in performance is less critical [since]
      used only while debugging". *)
-  let p = { Threshold.n = 96; iters = 8; threshold = 0.5; work_per_cell = 4 } in
+  let p =
+    match scale with
+    | Tiny -> { Threshold.n = 24; iters = 3; threshold = 0.5; work_per_cell = 4 }
+    | Quick | Paper ->
+      { Threshold.n = 96; iters = 8; threshold = 0.5; work_per_cell = 4 }
+  in
   List.map
-    (fun (label, detect, strict) ->
-      let mach =
-        Lcm_tempest.Machine.create ~costs:machine.Config.costs
-          ~topology:machine.Config.topology ~seed:machine.Config.seed
-          ~nnodes:machine.Config.nnodes
-          ~words_per_block:machine.Config.words_per_block ()
-      in
-      let proto =
-        Lcm_core.Proto.install ~detect ~strict_detection:strict
-          ~policy:Lcm_core.Policy.lcm_mcc mach
-      in
-      let rt =
-        Lcm_cstar.Runtime.create proto ~strategy:Lcm_cstar.Runtime.Lcm_directives
-          ~schedule:Schedule.Static ()
-      in
-      {
-        experiment = "threshold detection";
-        system = label;
-        result = Threshold.run rt p;
-      })
+    (fun (detect_label, detect, strict) ->
+      checked_cell ~experiment:"threshold detection" ~system:detect_label
+        (fun () ->
+          let mach =
+            Lcm_tempest.Machine.create ~costs:machine.Config.costs
+              ~topology:machine.Config.topology ~seed:machine.Config.seed
+              ~nnodes:machine.Config.nnodes
+              ~words_per_block:machine.Config.words_per_block ()
+          in
+          let proto =
+            Lcm_core.Proto.install ~detect ~strict_detection:strict
+              ~policy:Lcm_core.Policy.lcm_mcc mach
+          in
+          Lcm_cstar.Runtime.create proto ~strategy:Lcm_cstar.Runtime.Lcm_directives
+            ~schedule:Schedule.Static ())
+        (fun rt -> Threshold.run rt p))
     [ ("off", false, false); ("reconcile-time", true, false); ("strict", true, true) ]
 
-let ablation_update machine =
+let ablation_detection machine = run_cells (ablation_detection_cells machine)
+
+let ablation_update_cells ?(scale = Quick) machine =
   (* invalidate- vs update-based reconciliation (Policy.lcm_mcc_update):
      stencil consumers re-reference neighbour blocks every iteration, so
      refreshing copies in place saves their re-fetches *)
-  let p = { Stencil.n = 96; iters = 6; work_per_cell = 4 } in
+  let p = small_stencil_params scale in
   List.concat_map
     (fun (sname, schedule) ->
       List.map
         (fun system ->
-          let rt = Config.make_runtime machine system ~schedule in
-          {
-            experiment = "stencil " ^ sname;
-            system = system.Config.label;
-            result = Stencil.run rt p;
-          })
+          checked_cell ~experiment:("stencil " ^ sname) ~system:system.Config.label
+            (fun () -> Config.make_runtime machine system ~schedule)
+            (fun rt -> Stencil.run rt p))
         [ Config.lcm_mcc; Config.lcm_mcc_update ])
     [ ("static", Schedule.Static); ("dyn", Schedule.Dynamic_random dyn_seed) ]
 
-let ablation_barrier machine =
+let ablation_update machine = run_cells (ablation_update_cells machine)
+
+let ablation_barrier_cells ?(scale = Quick) machine =
   (* Reconciliation organised as a central coordinator vs a combining tree
      (paper §5.1), at two machine sizes.  Many short phases make barrier
      cost visible. *)
-  let p = { Stencil.n = 32; iters = 24; work_per_cell = 4 } in
+  let p, sizes =
+    match scale with
+    | Tiny -> ({ Stencil.n = 16; iters = 6; work_per_cell = 4 }, [ 8; 32 ])
+    | Quick | Paper ->
+      ({ Stencil.n = 32; iters = 24; work_per_cell = 4 }, [ 32; 128 ])
+  in
   List.concat_map
     (fun nnodes ->
       let machine = { machine with Config.nnodes } in
       List.map
         (fun style ->
-          let rt =
-            Config.make_runtime ~barrier:style machine Config.lcm_mcc
-              ~schedule:Schedule.Static
-          in
-          {
-            experiment = Printf.sprintf "stencil P=%d" nnodes;
-            system = "barrier " ^ Lcm_core.Barrier.to_string style;
-            result = Stencil.run rt p;
-          })
+          checked_cell
+            ~experiment:(Printf.sprintf "stencil P=%d" nnodes)
+            ~system:("barrier " ^ Lcm_core.Barrier.to_string style)
+            (fun () ->
+              Config.make_runtime ~barrier:style machine Config.lcm_mcc
+                ~schedule:Schedule.Static)
+            (fun rt -> Stencil.run rt p))
         [ Lcm_core.Barrier.Constant; Lcm_core.Barrier.Flat; Lcm_core.Barrier.Tree 4 ])
-    [ 32; 128 ]
+    sizes
 
-let ablation_capacity machine =
+let ablation_barrier machine = run_cells (ablation_barrier_cells machine)
+
+let ablation_capacity_cells ?(scale = Quick) machine =
   (* The paper's "on a machine with a limited cache ... the first
      [dynamic] version's performance is likely to be more typical": a
      small hardware cache above node memory erodes Stache-stat's advantage
      because its fast path (pure local hits) now pays miss penalties,
      while LCM's time is dominated by protocol work either way. *)
-  let p = { Stencil.n = 96; iters = 6; work_per_cell = 4 } in
+  let p = small_stencil_params scale in
   List.concat_map
-    (fun (label, hw_cache_blocks) ->
+    (fun (cap_label, hw_cache_blocks) ->
       let machine = { machine with Config.hw_cache_blocks } in
       List.map
         (fun system ->
-          let rt = Config.make_runtime machine system ~schedule:Schedule.Static in
-          {
-            experiment = "stencil-stat hw-cache " ^ label;
-            system = system.Config.label;
-            result = Stencil.run rt p;
-          })
+          checked_cell
+            ~experiment:("stencil-stat hw-cache " ^ cap_label)
+            ~system:system.Config.label
+            (fun () -> Config.make_runtime machine system ~schedule:Schedule.Static)
+            (fun rt -> Stencil.run rt p))
         [ Config.stache; Config.lcm_mcc ])
     [ ("none", None); ("64 blocks", Some 64); ("16 blocks", Some 16) ]
+
+let ablation_capacity machine = run_cells (ablation_capacity_cells machine)
+
+(* ------------------------------------------------------------------ *)
+(* Family registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let families =
+  [
+    ("figure2", fun ~scale machine -> figure2_cells ~scale machine);
+    ("figure3", fun ~scale machine -> figure3_cells ~scale machine);
+    ("reduction", fun ~scale machine -> ablation_reduction_cells ~scale machine);
+    ( "false-sharing",
+      fun ~scale machine -> ablation_false_sharing_cells ~scale machine );
+    ("stale", fun ~scale machine -> ablation_stale_cells ~scale machine);
+    ("block-reuse", fun ~scale machine -> ablation_block_reuse_cells ~scale machine);
+    ("schedule", fun ~scale machine -> ablation_schedule_cells ~scale machine);
+    ("topology", fun ~scale machine -> ablation_topology_cells ~scale machine);
+    ("scaling", fun ~scale machine -> ablation_scaling_cells ~scale machine);
+    ( "cost-sensitivity",
+      fun ~scale machine -> ablation_cost_sensitivity_cells ~scale machine );
+    ("detection", fun ~scale machine -> ablation_detection_cells ~scale machine);
+    ("update", fun ~scale machine -> ablation_update_cells ~scale machine);
+    ("barrier", fun ~scale machine -> ablation_barrier_cells ~scale machine);
+    ("capacity", fun ~scale machine -> ablation_capacity_cells ~scale machine);
+  ]

@@ -5,12 +5,22 @@
     dynamic) under the three systems; Figure 3 is Adaptive (static and
     dynamic), Threshold and Unstructured; Table 1's miss/clean-copy
     counters come from the same runs.  The ablations cover the paper's
-    §7 extensions and the design choices DESIGN.md calls out. *)
+    §7 extensions and the design choices DESIGN.md calls out.
+
+    Every family is also exposed as {e cells} — independent
+    [(label, thunk)] simulations that share no mutable state — so
+    {!Sweep} can run them across domains; executing the cells in list
+    order reproduces the sequential functions bit-for-bit. *)
 
 type scale = Tiny | Quick | Paper
 (** [Tiny] is for the test suite (seconds); [Quick] shrinks problem sizes
     so the whole suite runs in about a minute; [Paper] uses the paper's
-    parameters (1024×1024 meshes etc. — tens of minutes of host time). *)
+    parameters (1024×1024 meshes etc. — tens of minutes of host time).
+    For ablations, [Quick] keeps the historical fixed sizes and [Paper]
+    is an alias for [Quick] (their conclusions are scale-insensitive). *)
+
+val scale_to_string : scale -> string
+val scale_of_string : string -> (scale, string) result
 
 type row = {
   experiment : string;  (** e.g. ["stencil-stat"] *)
@@ -18,13 +28,27 @@ type row = {
   result : Lcm_apps.Bench_result.t;
 }
 
+type cells = (string * (unit -> row)) list
+(** Independent simulation cells: [(label, thunk)], label
+    ["<experiment>/<system>"].  Each thunk builds its own machine, runs
+    one simulation, checks protocol invariants (raising [Failure] on
+    violation) and returns its row. *)
+
+val run_cells : cells -> row list
+(** Execute cells sequentially in list order — the reference semantics
+    every parallel sweep must match. *)
+
 val figure2 : ?scale:scale -> Config.machine -> row list
 (** Stencil execution time: static and dynamic partitioning × LCM-scc,
     LCM-mcc, Stache+copy. *)
 
+val figure2_cells : ?scale:scale -> Config.machine -> cells
+
 val figure3 : ?scale:scale -> Config.machine -> row list
 (** Adaptive (static & dynamic), Threshold, Unstructured × the three
     systems. *)
+
+val figure3_cells : ?scale:scale -> Config.machine -> cells
 
 val group_by_experiment : row list -> (string * row list) list
 (** Rows grouped by experiment, preserving first-appearance order. *)
@@ -52,45 +76,73 @@ val claims : row list -> claim list
 val ablation_reduction : Config.machine -> row list
 (** §7.1: RSM-reconciled vs hand-coded vs serialized global sum. *)
 
+val ablation_reduction_cells : ?scale:scale -> Config.machine -> cells
+
 val ablation_false_sharing : Config.machine -> row list
 (** §7.4: falsely-shared blocks under Stache vs LCM. *)
 
+val ablation_false_sharing_cells : ?scale:scale -> Config.machine -> cells
+
 val ablation_stale : Config.machine -> row list
 (** §7.5: N-body with fresh vs increasingly stale remote data. *)
+
+val ablation_stale_cells : ?scale:scale -> Config.machine -> cells
 
 val ablation_block_reuse : Config.machine -> row list
 (** scc vs mcc as words-per-block (spatial reuse per block) varies — the
     clean-copy-placement design choice. *)
 
+val ablation_block_reuse_cells : ?scale:scale -> Config.machine -> cells
+
 val ablation_schedule : Config.machine -> row list
 (** Stencil under static / rotating / random scheduling for LCM-mcc and
     Stache — scheduling sensitivity. *)
 
+val ablation_schedule_cells : ?scale:scale -> Config.machine -> cells
+
 val ablation_topology : Config.machine -> row list
 (** Dynamic stencil across crossbar / 2-D mesh / fat-tree interconnects. *)
+
+val ablation_topology_cells : ?scale:scale -> Config.machine -> cells
 
 val ablation_scaling : Config.machine -> row list
 (** Weak scaling: fixed per-node stencil band while the machine grows from
     4 to 32 nodes. *)
 
+val ablation_scaling_cells : ?scale:scale -> Config.machine -> cells
+
 val ablation_cost_sensitivity : Config.machine -> row list
 (** Stencil comparisons under communication costs scaled ×0.5/×1/×2 —
     checks that who-wins conclusions are robust to the cost constants. *)
+
+val ablation_cost_sensitivity_cells : ?scale:scale -> Config.machine -> cells
 
 val ablation_detection : Config.machine -> row list
 (** Cost of run-time violation detection: off, reconcile-time only, and
     strict (§7.2–7.3's "flush all read-only blocks" mode). *)
 
+val ablation_detection_cells : ?scale:scale -> Config.machine -> cells
+
 val ablation_update : Config.machine -> row list
 (** Invalidate- vs update-based reconciliation (the other end of the RSM
     reconcile-policy axis) on the stencil. *)
+
+val ablation_update_cells : ?scale:scale -> Config.machine -> cells
 
 val ablation_barrier : Config.machine -> row list
 (** Reconciliation barrier organised as a constant-cost network, a flat
     central coordinator, or a combining tree (paper §5.1), at 8 and 32
     nodes. *)
 
+val ablation_barrier_cells : ?scale:scale -> Config.machine -> cells
+
 val ablation_capacity : Config.machine -> row list
 (** Stencil-stat under Stache with an unbounded vs small cache — the
     paper's "on a machine with a limited cache" remark (see EXPERIMENTS.md
     for why this model shows no slowdown). *)
+
+val ablation_capacity_cells : ?scale:scale -> Config.machine -> cells
+
+val families : (string * (scale:scale -> Config.machine -> cells)) list
+(** Every experiment family by name — the figures plus all ablations —
+    for sweep drivers and the parallel-equivalence tests. *)

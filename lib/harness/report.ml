@@ -1,6 +1,109 @@
 open Lcm_apps
 module Tablefmt = Lcm_util.Tablefmt
 
+(* ------------------------------------------------------------------ *)
+(* Shared machine-readable serialization                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every machine-readable artefact the repo writes — lcm_results.csv, the
+   bench/perf JSON, sweep summaries — goes through these two writers, so
+   escaping rules live in exactly one place. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* %.9g carries every figure our metrics have (wall seconds, speedups,
+     checksums) and never emits an exponent JSON can't parse; non-finite
+     floats have no JSON spelling, so they serialize as null. *)
+  let float_repr f =
+    if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+  let rec write buf ~indent ~level v =
+    let pad n = String.make (n * indent) ' ' in
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (level + 1));
+          write buf ~indent ~level:(level + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad level);
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (level + 1));
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          write buf ~indent ~level:(level + 1) item)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad level);
+      Buffer.add_char buf '}'
+
+  let to_string ?(indent = 2) v =
+    let buf = Buffer.create 1024 in
+    write buf ~indent ~level:0 v;
+    Buffer.contents buf
+end
+
+let csv_field s =
+  let needs_quoting =
+    String.exists (function '"' | ',' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let csv_line fields = String.concat "," (List.map csv_field fields) ^ "\n"
+
 let kilo n =
   if n >= 1000 then Printf.sprintf "%.1fk" (float_of_int n /. 1000.0)
   else string_of_int n
@@ -139,14 +242,23 @@ let samples rows =
 let to_csv rows =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
-    "experiment,system,cycles,faults,remote_fetches,clean_copies,messages,checksum\n";
+    (csv_line
+       [ "experiment"; "system"; "cycles"; "faults"; "remote_fetches";
+         "clean_copies"; "messages"; "checksum" ]);
   List.iter
     (fun (r : Experiments.row) ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%.9g\n" r.experiment r.system
-           r.result.Bench_result.cycles r.result.Bench_result.faults
-           r.result.Bench_result.remote_fetches r.result.Bench_result.clean_copies
-           r.result.Bench_result.messages r.result.Bench_result.checksum))
+        (csv_line
+           [
+             r.experiment;
+             r.system;
+             string_of_int r.result.Bench_result.cycles;
+             string_of_int r.result.Bench_result.faults;
+             string_of_int r.result.Bench_result.remote_fetches;
+             string_of_int r.result.Bench_result.clean_copies;
+             string_of_int r.result.Bench_result.messages;
+             Printf.sprintf "%.9g" r.result.Bench_result.checksum;
+           ]))
     rows;
   Buffer.contents buf
 

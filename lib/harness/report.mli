@@ -5,6 +5,41 @@
     experiment (the figures), a miss/clean-copy table (Table 1), the §6.3
     claim checklist, and generic tables for ablations. *)
 
+(** {1 Shared machine-readable serialization}
+
+    Every machine-readable artefact the repo writes ([lcm_results.csv],
+    the bench/perf JSON, fleet sweep summaries) is built from these two
+    writers, so escaping lives in one place. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float  (** non-finite values serialize as [null] *)
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val escape : string -> string
+  (** JSON string-body escaping (quotes, backslash, control characters);
+      no surrounding quotes. *)
+
+  val to_string : ?indent:int -> t -> string
+  (** Pretty-print with [indent] spaces per level (default 2).  Parses
+      back with {!Traceview.parse}. *)
+end
+
+val csv_field : string -> string
+(** RFC-4180 field escaping: quoted (with doubled inner quotes) only when
+    the field contains a comma, quote or newline — plain fields pass
+    through unchanged. *)
+
+val csv_line : string list -> string
+(** One comma-joined, newline-terminated record of escaped fields. *)
+
+(** {1 Paper tables and figures} *)
+
 val execution_times : title:string -> Experiments.row list -> string
 (** One block per experiment: per-system simulated cycles and relative
     slowdown vs the fastest system (reproduces Figures 2/3 as numbers). *)

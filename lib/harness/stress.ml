@@ -617,14 +617,43 @@ let check_case ~seed ~case ?policy () =
   | Ok () -> Ok ()
   | Error err -> Error (report_failure prog err)
 
-let run ?policy ?(progress = fun _ -> ()) ~cases ~seed () =
-  let rec go i =
-    if i >= cases then Ok ()
-    else begin
-      progress i;
-      match check_case ~seed ~case:i ?policy () with
-      | Ok () -> go (i + 1)
-      | Error _ as e -> e
-    end
-  in
-  go 0
+let run ?policy ?(progress = fun _ -> ()) ?(jobs = 1) ~cases ~seed () =
+  let jobs = Lcm_fleet.Fleet.resolve_jobs jobs in
+  if jobs <= 1 then
+    (* sequential semantics: stop at the first failing case *)
+    let rec go i =
+      if i >= cases then Ok ()
+      else begin
+        progress i;
+        match check_case ~seed ~case:i ?policy () with
+        | Ok () -> go (i + 1)
+        | Error _ as e -> e
+      end
+    in
+    go 0
+  else begin
+    (* Parallel cases can't stop early, but every case is independent and
+       deterministic, so running them all and reporting the lowest-index
+       failure matches the sequential result on that case exactly (the
+       shrunk reproducer inside check_case depends only on the case). *)
+    let cells =
+      Array.init cases (fun i ->
+          ( Printf.sprintf "stress case %d (seed %d)" i seed,
+            fun () ->
+              progress i;
+              check_case ~seed ~case:i ?policy () ))
+    in
+    let results = Lcm_fleet.Fleet.Pool.run ~jobs cells in
+    let first_problem =
+      Array.to_list results
+      |> List.find_map (fun (r : _ Lcm_fleet.Fleet.cell_result) ->
+             match r.Lcm_fleet.Fleet.outcome with
+             | Lcm_fleet.Fleet.Done (Ok ()) -> None
+             | Lcm_fleet.Fleet.Done (Error e) -> Some e
+             | outcome ->
+               Some
+                 (Printf.sprintf "%s: %s" r.Lcm_fleet.Fleet.label
+                    (Lcm_fleet.Fleet.outcome_string outcome)))
+    in
+    match first_problem with None -> Ok () | Some e -> Error e
+  end

@@ -1,17 +1,79 @@
+type budget = {
+  mutable events_left : int;  (* events remaining before Budget_exhausted *)
+  max_events : int option;
+  guard : (unit -> unit) option;  (* host-side check, called every [guard_stride] *)
+  mutable until_guard : int;
+}
+
+exception Budget_exhausted of { events : int; now : int }
+exception Wall_clock_exceeded of { limit_s : float }
+
+(* How many events run between calls to the wall-clock guard.  The guard
+   costs a system call (gettimeofday), so it is amortized; the stride is
+   small enough that a runaway cell is caught within milliseconds. *)
+let guard_stride = 4096
+
+(* The ambient budget is domain-local: a fleet worker installs one around a
+   cell, and every engine the cell creates — benchmarks and the stress
+   harness build machines internally — charges against the same budget.
+   Engines snapshot the ambient budget at creation, so the per-event check
+   is a field read, not a DLS lookup. *)
+let ambient_budget : budget option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_budget ?max_events ?guard f =
+  (match max_events with
+  | Some n when n < 0 -> invalid_arg "Engine.with_budget: max_events < 0"
+  | Some _ | None -> ());
+  let cell = Domain.DLS.get ambient_budget in
+  let saved = !cell in
+  let b =
+    {
+      events_left = (match max_events with Some n -> n | None -> max_int);
+      max_events;
+      guard;
+      until_guard = guard_stride;
+    }
+  in
+  cell := Some b;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+(* Per-domain event tallies.  Each domain owns one Atomic cell (no
+   cross-domain contention on the hot path); [total_events] sums every
+   domain's cell, so on a single domain it behaves exactly like the old
+   process-wide counter.  Cells are registered once per domain and never
+   removed — a few words per domain ever spawned. *)
+let totals_mu = Mutex.create ()
+let totals : int Atomic.t list ref = ref []
+
+let domain_total : int Atomic.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let c = Atomic.make 0 in
+      Mutex.protect totals_mu (fun () -> totals := c :: !totals);
+      c)
+
+let total_events () =
+  let cells = Mutex.protect totals_mu (fun () -> !totals) in
+  List.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
+
+let domain_events () = Atomic.get (Domain.DLS.get domain_total)
+
 type t = {
   queue : (unit -> unit) Lcm_util.Heap.t;
   mutable now : int;
   mutable processed : int;
+  tally : int Atomic.t;  (* this domain's event cell, snapshotted at create *)
+  budget : budget option;  (* ambient cell budget at creation time, if any *)
 }
 
-let create () = { queue = Lcm_util.Heap.create (); now = 0; processed = 0 }
-
-(* Process-wide event tally across every engine ever created: benchmark
-   harnesses that build machines internally (e.g. the stress batch) can
-   still report simulated-events/sec by sampling this before and after. *)
-let total = ref 0
-
-let total_events () = !total
+let create () =
+  {
+    queue = Lcm_util.Heap.create ();
+    now = 0;
+    processed = 0;
+    tally = Domain.DLS.get domain_total;
+    budget = !(Domain.DLS.get ambient_budget);
+  }
 
 let now e = e.now
 
@@ -25,14 +87,40 @@ let after e ~delay f =
   let delay = max 0 delay in
   schedule e ~at:(e.now + delay) f
 
+(* Budget enforcement happens before the event is popped, so a raise leaves
+   the engine consistent (clock unmoved, event still queued) and fires at a
+   deterministic point: the same simulated event count and clock regardless
+   of how many sibling cells run on other domains. *)
+let check_budget e =
+  match e.budget with
+  | None -> ()
+  | Some b ->
+    if b.events_left <= 0 then
+      raise
+        (Budget_exhausted
+           {
+             events = (match b.max_events with Some n -> n | None -> max_int);
+             now = e.now;
+           });
+    b.events_left <- b.events_left - 1;
+    (match b.guard with
+    | None -> ()
+    | Some g ->
+      b.until_guard <- b.until_guard - 1;
+      if b.until_guard <= 0 then begin
+        b.until_guard <- guard_stride;
+        g ()
+      end)
+
 let step e =
   if Lcm_util.Heap.is_empty e.queue then false
   else begin
+    check_budget e;
     let t = Lcm_util.Heap.top_key e.queue in
     let f = Lcm_util.Heap.pop_exn e.queue in
     e.now <- t;
     e.processed <- e.processed + 1;
-    incr total;
+    Atomic.incr e.tally;
     f ();
     true
   end

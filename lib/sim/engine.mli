@@ -8,8 +8,33 @@
 
 type t
 
+exception Budget_exhausted of { events : int; now : int }
+(** Raised by {!step} when the ambient cell budget's simulated-event cap is
+    hit: [events] is the cap, [now] the clock of the engine being stepped.
+    Deterministic — a given cell raises at the same event count and clock
+    no matter what runs on other domains. *)
+
+exception Wall_clock_exceeded of { limit_s : float }
+(** Raised by the wall-clock guard a fleet installs via {!with_budget}
+    (the engine itself never reads host time). *)
+
+val with_budget :
+  ?max_events:int -> ?guard:(unit -> unit) -> (unit -> 'a) -> 'a
+(** [with_budget ?max_events ?guard f] runs [f] with an ambient,
+    domain-local budget charged by {e every} engine created inside [f] —
+    workloads that build machines internally are still covered.
+    [max_events] caps the total simulated events processed; exceeding it
+    raises {!Budget_exhausted} before the offending event runs, leaving the
+    engine consistent.  [guard] is called every few thousand events and may
+    raise (e.g. {!Wall_clock_exceeded}) to abort on host-side criteria.
+    Budgets nest; the previous ambient budget is restored on exit.  Engines
+    created {e before} the call are not charged.
+    @raise Invalid_argument if [max_events] is negative. *)
+
 val create : unit -> t
-(** A fresh engine with the clock at cycle 0 and no pending events. *)
+(** A fresh engine with the clock at cycle 0 and no pending events.
+    If an ambient {!with_budget} scope is active on this domain, the
+    engine charges that budget for every event it processes. *)
 
 val now : t -> int
 (** Current simulated time, in cycles. *)
@@ -42,4 +67,12 @@ val events_processed : t -> int
 val total_events : unit -> int
 (** Process-wide total of events processed across {e all} engines since
     program start.  Monotone; sample before/after a workload to attribute
-    events to it even when the workload constructs machines internally. *)
+    events to it even when the workload constructs machines internally.
+    Domain-safe: each domain tallies into its own cell ({!domain_events})
+    and this sums them, so concurrent fleet workers never contend. *)
+
+val domain_events : unit -> int
+(** Events processed by engines created on {e this} domain.  Sample
+    before/after a cell inside a fleet worker to attribute events to it
+    without seeing sibling cells on other domains.  Equal to
+    {!total_events} in a single-domain program. *)
