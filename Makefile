@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-paper perfbench doc clean examples trace-smoke stress sweep-smoke
+.PHONY: all build test bench bench-paper perfbench doc clean examples trace-smoke stress sweep-smoke fault-smoke
 
 all: build
 
@@ -34,6 +34,14 @@ trace-smoke:
 # word-for-word against a golden per-epoch model, all four policies.
 stress:
 	dune exec bin/lcm_sim.exe -- stress --cases 100 --seed 1
+
+# Bounded fixed-seed fault sweep: the differential stress harness across
+# all four policies over a deterministically unreliable interconnect
+# (chaos profile: drops + duplicates + jitter + link flaps).  A smaller
+# fixed-seed version runs as part of `dune runtest` (test_faults).
+fault-smoke:
+	dune exec bin/lcm_sim.exe -- stress --cases 40 --seed 1 \
+	  --fault-rate 0.05 --fault-profile chaos --fault-seed 7
 
 # Tiny parallel sweep through the fleet pool: exercises domain workers,
 # progress, and the JSON/CSV summary writers in a few seconds.  Also runs

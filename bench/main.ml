@@ -30,11 +30,48 @@ let jobs =
   in
   find 1
 
+(* --fault-rate R [--fault-profile NAME] [--fault-seed S]: run the whole
+   evaluation over a deterministically unreliable interconnect.  The
+   differential-validation and claims sections then double as an
+   end-to-end check that retransmission preserves every result. *)
+let faults =
+  let value_of flag =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  match value_of "--fault-rate" with
+  | None -> None
+  | Some r -> (
+    let rate =
+      match float_of_string_opt r with
+      | Some f -> f
+      | None -> failwith "bench: --fault-rate expects a number"
+    in
+    if rate < 0.0 then failwith "bench: --fault-rate must be in [0,1]"
+    else if rate = 0.0 then None
+    else
+      let profile = Option.value (value_of "--fault-profile") ~default:"drop" in
+      let seed =
+        match value_of "--fault-seed" with
+        | None -> 7
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some n -> n
+          | None -> failwith "bench: --fault-seed expects an integer")
+      in
+      match Lcm_net.Faults.of_profile profile ~rate ~seed with
+      | Ok plan -> Some plan
+      | Error e -> failwith ("bench: " ^ e))
+
 (* Every section is a fleet sweep; crashes/invariant violations in a cell
    must still abort the harness, hence rows_exn. *)
 let sweep cells = Sweep.rows_exn (Sweep.run ~jobs cells)
 
-let machine = Config.default_machine
+let machine = { Config.default_machine with Config.faults }
 
 let section title = Printf.printf "\n############ %s ############\n%!" title
 
@@ -47,6 +84,10 @@ let () =
     | Experiments.Paper -> "paper"
     | Experiments.Quick -> "quick"
     | Experiments.Tiny -> "tiny");
+  (match faults with
+  | Some plan ->
+    Printf.printf "fault plan: %s\n" (Lcm_net.Faults.to_string plan)
+  | None -> ());
 
   section "Figure 2: Stencil execution time";
   let fig2 = sweep (Experiments.figure2_cells ~scale machine) in

@@ -98,13 +98,49 @@ let phases_arg =
 let paper_arg =
   Arg.(value & flag & info [ "paper-scale" ] ~doc:"Use the paper's problem sizes.")
 
-let make_runtime ?barrier system schedule nodes topology capacity =
+(* --fault-rate/--fault-seed/--fault-profile combine into one optional
+   fault plan; rate 0 (the default) keeps the interconnect reliable. *)
+let fault_rate_arg =
+  Arg.(value & opt float 0.0
+       & info [ "fault-rate" ] ~docv:"P"
+           ~doc:"Inject deterministic network faults at intensity $(docv) \
+                 in [0,1] (0 disables).  Shape comes from \
+                 $(b,--fault-profile); replay with the same \
+                 $(b,--fault-seed).")
+
+let fault_seed_arg =
+  Arg.(value & opt int 7
+       & info [ "fault-seed" ] ~docv:"S"
+           ~doc:"Seed for the fault decision stream — a (profile, rate, \
+                 seed) triple replays bit-identically.")
+
+let fault_profile_arg =
+  Arg.(value & opt string "drop"
+       & info [ "fault-profile" ] ~docv:"NAME"
+           ~doc:"Fault plan shape: drop, dup, jitter, flap, chaos, or the \
+                 diagnostic drop-noretx (retransmission off — expect a \
+                 typed stall instead of silent data loss).")
+
+let faults_term =
+  let build rate seed profile =
+    if rate < 0.0 then
+      `Error (false, Printf.sprintf "fault rate %g not in [0,1]" rate)
+    else if rate = 0.0 then `Ok None
+    else
+      match Lcm_net.Faults.of_profile profile ~rate ~seed with
+      | Ok plan -> `Ok (Some plan)
+      | Error e -> `Error (false, e)
+  in
+  Term.(ret (const build $ fault_rate_arg $ fault_seed_arg $ fault_profile_arg))
+
+let make_runtime ?barrier ?faults system schedule nodes topology capacity =
   let machine =
     {
       Config.default_machine with
       Config.nnodes = nodes;
       topology;
       capacity_blocks = capacity;
+      faults;
     }
   in
   Config.make_runtime ?barrier machine system ~schedule
@@ -143,9 +179,11 @@ let finish_observability rt ~trace ~trace_out ~phases =
     print_string (Phases.render (Phases.of_log (Lcm_cstar.Runtime.phase_log rt)))
 
 let simple_bench name ~default_size ~default_iters ~run_fn =
-  let run system schedule nodes topology capacity barrier size iters stats paper
-      trace trace_out trace_cap phases =
-    let rt = make_runtime ~barrier system schedule nodes topology capacity in
+  let run system schedule nodes topology capacity barrier faults size iters
+      stats paper trace trace_out trace_cap phases =
+    let rt =
+      make_runtime ~barrier ?faults system schedule nodes topology capacity
+    in
     setup_observability rt ~trace ~trace_out ~trace_cap ~phases;
     report rt stats (run_fn rt ~size ~iters ~paper);
     finish_observability rt ~trace ~trace_out ~phases
@@ -153,7 +191,7 @@ let simple_bench name ~default_size ~default_iters ~run_fn =
   let term =
     Term.(
       const run $ system_arg $ schedule_arg $ nodes_arg $ topology_arg
-      $ capacity_arg $ barrier_arg $ size_arg default_size
+      $ capacity_arg $ barrier_arg $ faults_term $ size_arg default_size
       $ iters_arg default_iters $ stats_arg $ paper_arg $ trace_arg
       $ trace_out_arg $ trace_cap_arg $ phases_arg)
   in
@@ -279,9 +317,9 @@ let synthetic_cmd =
     Arg.(value & opt float 0.75
          & info [ "reads" ] ~docv:"FRACTION" ~doc:"Fraction of ops that read.")
   in
-  let run system schedule nodes topology sharing reads size iters stats trace
-      trace_out trace_cap phases =
-    let rt = make_runtime system schedule nodes topology None in
+  let run system schedule nodes topology faults sharing reads size iters stats
+      trace trace_out trace_cap phases =
+    let rt = make_runtime ?faults system schedule nodes topology None in
     setup_observability rt ~trace ~trace_out ~trace_cap ~phases;
     let p =
       {
@@ -299,8 +337,8 @@ let synthetic_cmd =
     (Cmd.info "synthetic" ~doc:"Configurable synthetic sharing workload.")
     Term.(
       const run $ system_arg $ schedule_arg $ nodes_arg $ topology_arg
-      $ sharing_arg $ reads_arg $ size_arg 8 $ iters_arg 4 $ stats_arg
-      $ trace_arg $ trace_out_arg $ trace_cap_arg $ phases_arg)
+      $ faults_term $ sharing_arg $ reads_arg $ size_arg 8 $ iters_arg 4
+      $ stats_arg $ trace_arg $ trace_out_arg $ trace_cap_arg $ phases_arg)
 
 let info_cmd =
   let run () =
@@ -432,10 +470,10 @@ let experiments_cmd =
          [ (Some true, info [ "progress" ] ~doc:"Force live progress on stderr.");
            (Some false, info [ "no-progress" ] ~doc:"Disable live progress.") ])
   in
-  let run suite scale jobs nodes topology max_events timeout summary_json
-      summary_csv progress =
+  let run suite scale jobs nodes topology faults max_events timeout
+      summary_json summary_csv progress =
     let machine =
-      { Config.default_machine with Config.nnodes = nodes; topology }
+      { Config.default_machine with Config.nnodes = nodes; topology; faults }
     in
     let families =
       match suite with
@@ -525,8 +563,8 @@ let experiments_cmd =
     Term.(
       ret
         (const run $ suite_arg $ scale_arg $ jobs_arg $ nodes_arg
-       $ topology_arg $ max_events_arg $ timeout_arg $ summary_json_arg
-       $ summary_csv_arg $ progress_arg))
+       $ topology_arg $ faults_term $ max_events_arg $ timeout_arg
+       $ summary_json_arg $ summary_csv_arg $ progress_arg))
 
 let stress_cmd =
   let policy_conv =
@@ -558,7 +596,11 @@ let stress_cmd =
     Arg.(value & opt int 1
          & info [ "seed" ] ~docv:"S" ~doc:"Generator stream seed.")
   in
-  let run cases seed policy jobs =
+  let run cases seed policy faults jobs =
+    (match faults with
+    | Some plan ->
+      Printf.printf "fault plan: %s\n%!" (Lcm_net.Faults.to_string plan)
+    | None -> ());
     let policies =
       match policy with Some p -> [ p ] | None -> Stress.all_policies
     in
@@ -566,7 +608,7 @@ let stress_cmd =
       List.filter_map
         (fun (p : Lcm_core.Policy.t) ->
           Printf.printf "policy %-14s %!" p.Lcm_core.Policy.name;
-          match Stress.run ~policy:p ~jobs ~cases ~seed () with
+          match Stress.run ~policy:p ?faults ~jobs ~cases ~seed () with
           | Ok () ->
             Printf.printf "%d/%d cases OK\n%!" cases cases;
             None
@@ -588,7 +630,10 @@ let stress_cmd =
              against a golden per-epoch model plus protocol invariants.  \
              Failures print a shrunk reproducer; rerun it with the printed \
              $(b,--seed)/$(b,--cases)/$(b,--policy).")
-    Term.(ret (const run $ cases_arg $ seed_arg $ policy_arg $ jobs_arg))
+    Term.(
+      ret
+        (const run $ cases_arg $ seed_arg $ policy_arg $ faults_term
+       $ jobs_arg))
 
 let trace_validate_cmd =
   let file_arg =

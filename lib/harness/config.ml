@@ -50,6 +50,7 @@ type machine = {
   capacity_blocks : int option;
   hw_cache_blocks : int option;
   seed : int;
+  faults : Lcm_net.Faults.t option;
 }
 
 let default_machine =
@@ -61,13 +62,14 @@ let default_machine =
     capacity_blocks = None;
     hw_cache_blocks = None;
     seed = 42;
+    faults = None;
   }
 
 let make_runtime ?detect ?barrier m system ~schedule =
   let mach =
     Lcm_tempest.Machine.create ~costs:m.costs ~topology:m.topology ~seed:m.seed
       ?capacity_blocks:m.capacity_blocks ?hw_cache_blocks:m.hw_cache_blocks
-      ~nnodes:m.nnodes
+      ?faults:m.faults ~nnodes:m.nnodes
       ~words_per_block:m.words_per_block ()
   in
   let proto = Lcm_core.Proto.install ?detect ?barrier ~policy:system.policy mach in

@@ -33,10 +33,13 @@ type machine = {
   capacity_blocks : int option;
   hw_cache_blocks : int option;
   seed : int;
+  faults : Lcm_net.Faults.t option;
+      (** interconnect fault plan; [None] = reliable transport *)
 }
 
 val default_machine : machine
-(** 32 nodes, 8-word (32-byte) blocks, arity-4 fat tree — the CM-5 shape. *)
+(** 32 nodes, 8-word (32-byte) blocks, arity-4 fat tree — the CM-5 shape,
+    with a reliable interconnect ([faults = None]). *)
 
 val make_runtime :
   ?detect:bool ->

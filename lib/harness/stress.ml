@@ -255,12 +255,12 @@ let exec_ops prog base mism si nid ops expected () =
       | Yield -> Memeff.yield ())
     ops expected
 
-let run_case prog =
+let run_case ?faults prog =
   let nwords = nwords_of prog in
   try
     let m =
       Machine.create ?capacity_blocks:prog.capacity_blocks
-        ?hw_cache_blocks:prog.hw_cache_blocks ~nnodes:prog.nnodes
+        ?hw_cache_blocks:prog.hw_cache_blocks ?faults ~nnodes:prog.nnodes
         ~words_per_block:prog.words_per_block ~topology:prog.topology ~seed:17
         ()
     in
@@ -330,6 +330,15 @@ let run_case prog =
   | Stress_failure msgs -> Error (String.concat "\n" msgs)
   | Failure msg -> Error ("exception: " ^ msg)
   | Invalid_argument msg -> Error ("invalid argument: " ^ msg)
+  | Lcm_sim.Engine.Stalled { clock; pending } ->
+    Error
+      (Printf.sprintf "stalled: no delivery progress at clock %d (%d pending)"
+         clock pending)
+  | Lcm_net.Network.Net_unreachable { src; dst; tag; attempts } ->
+    Error
+      (Printf.sprintf
+         "net unreachable: %s %d->%d gave up after %d attempts" tag src dst
+         attempts)
 
 (* ------------------------------------------------------------------ *)
 (* Program generation                                                  *)
@@ -579,13 +588,13 @@ let candidates prog =
   in
   drop_segment @ clear_node @ drop_op
 
-let shrink ?(max_runs = 300) prog =
+let shrink ?(max_runs = 300) ?faults prog =
   let budget = ref max_runs in
   let still_fails p =
     !budget > 0
     && begin
          decr budget;
-         Result.is_error (run_case p)
+         Result.is_error (run_case ?faults p)
        end
   in
   let rec go p =
@@ -599,25 +608,30 @@ let shrink ?(max_runs = 300) prog =
 (* Drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let report_failure prog err =
-  let small = shrink prog in
+let report_failure ?faults prog err =
+  let small = shrink ?faults prog in
   let small_err =
-    match run_case small with Error e -> e | Ok () -> err
+    match run_case ?faults small with Error e -> e | Ok () -> err
+  in
+  let fault_note =
+    match faults with
+    | None -> ""
+    | Some plan -> Printf.sprintf " faults=[%s]" (Lcm_net.Faults.to_string plan)
   in
   Format.asprintf
-    "stress case failed: seed=%d case=%d policy=%s@.%s@.@.minimal \
+    "stress case failed: seed=%d case=%d policy=%s%s@.%s@.@.minimal \
      reproducer (regenerate with: lcm_sim stress --seed %d --cases %d \
      --policy %s):@.%a@.minimal failure:@.%s"
-    prog.seed prog.case prog.policy.Policy.name err prog.seed (prog.case + 1)
-    prog.policy.Policy.name pp_prog small small_err
+    prog.seed prog.case prog.policy.Policy.name fault_note err prog.seed
+    (prog.case + 1) prog.policy.Policy.name pp_prog small small_err
 
-let check_case ~seed ~case ?policy () =
+let check_case ~seed ~case ?policy ?faults () =
   let prog = gen ~seed ~case ?policy () in
-  match run_case prog with
+  match run_case ?faults prog with
   | Ok () -> Ok ()
-  | Error err -> Error (report_failure prog err)
+  | Error err -> Error (report_failure ?faults prog err)
 
-let run ?policy ?(progress = fun _ -> ()) ?(jobs = 1) ~cases ~seed () =
+let run ?policy ?faults ?(progress = fun _ -> ()) ?(jobs = 1) ~cases ~seed () =
   let jobs = Lcm_fleet.Fleet.resolve_jobs jobs in
   if jobs <= 1 then
     (* sequential semantics: stop at the first failing case *)
@@ -625,7 +639,7 @@ let run ?policy ?(progress = fun _ -> ()) ?(jobs = 1) ~cases ~seed () =
       if i >= cases then Ok ()
       else begin
         progress i;
-        match check_case ~seed ~case:i ?policy () with
+        match check_case ~seed ~case:i ?policy ?faults () with
         | Ok () -> go (i + 1)
         | Error _ as e -> e
       end
@@ -641,7 +655,7 @@ let run ?policy ?(progress = fun _ -> ()) ?(jobs = 1) ~cases ~seed () =
           ( Printf.sprintf "stress case %d (seed %d)" i seed,
             fun () ->
               progress i;
-              check_case ~seed ~case:i ?policy () ))
+              check_case ~seed ~case:i ?policy ?faults () ))
     in
     let results = Lcm_fleet.Fleet.Pool.run ~jobs cells in
     let first_problem =

@@ -50,13 +50,19 @@ val gen : seed:int -> case:int -> ?policy:Lcm_core.Policy.t -> unit -> prog
     forces the memory-system policy; otherwise each case draws one of
     stache / lcm-scc / lcm-mcc / lcm-mcc-update. *)
 
-val run_case : prog -> (unit, string) result
+val run_case : ?faults:Lcm_net.Faults.t -> prog -> (unit, string) result
 (** Execute a program against the real stack and check it against the
     golden model.  [Error] carries every divergence found in the first
     diverging segment (load values, post-segment state, protocol
-    invariants), or the protocol exception (e.g. deadlock). *)
+    invariants), or the protocol exception (e.g. deadlock, a typed
+    {!Lcm_sim.Engine.Stalled} quiescence failure, or
+    {!Lcm_net.Network.Net_unreachable}).  [faults] runs the case over an
+    unreliable interconnect per the plan; because the golden model is
+    network-free, this is exactly the paper's fault-tolerance claim: with
+    retransmission enabled the final semantic state must be identical to
+    the fault-free run. *)
 
-val shrink : ?max_runs:int -> prog -> prog
+val shrink : ?max_runs:int -> ?faults:Lcm_net.Faults.t -> prog -> prog
 (** Greedily minimize a failing program: repeatedly drop segments, then
     whole per-node op lists, then single ops, keeping each candidate only
     if it still fails; stops at a fixpoint or after [max_runs] (default
@@ -67,7 +73,8 @@ val shrink : ?max_runs:int -> prog -> prog
 val pp_prog : Format.formatter -> prog -> unit
 
 val check_case :
-  seed:int -> case:int -> ?policy:Lcm_core.Policy.t -> unit ->
+  seed:int -> case:int -> ?policy:Lcm_core.Policy.t ->
+  ?faults:Lcm_net.Faults.t -> unit ->
   (unit, string) result
 (** {!gen} + {!run_case}; on failure, shrink and return a report with the
     seed/case provenance, the original failure, the printed minimal
@@ -75,6 +82,7 @@ val check_case :
 
 val run :
   ?policy:Lcm_core.Policy.t ->
+  ?faults:Lcm_net.Faults.t ->
   ?progress:(int -> unit) ->
   ?jobs:int ->
   cases:int ->

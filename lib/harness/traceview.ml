@@ -57,6 +57,12 @@ let render_event (ts, ev) =
   | Trace.Msg_recv { tag; src; dst; words } ->
     instant ~name:("recv " ^ tag) ~ts ~tid:dst
       ~args:[ ("src", src); ("words", words) ]
+  | Trace.Msg_drop { tag; src; dst; words } ->
+    instant ~name:("drop " ^ tag) ~ts ~tid:src
+      ~args:[ ("dst", dst); ("words", words) ]
+  | Trace.Msg_retx { tag; src; dst; words; attempt } ->
+    instant ~name:("retx " ^ tag) ~ts ~tid:src
+      ~args:[ ("dst", dst); ("words", words); ("attempt", attempt) ]
   | Trace.Fault { kind; node; addr; block } ->
     let name =
       match kind with

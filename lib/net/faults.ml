@@ -1,0 +1,102 @@
+type window = {
+  w_src : int option;
+  w_dst : int option;
+  from_t : int;
+  until_t : int;
+}
+
+type t = {
+  seed : int;
+  drop : float;
+  dup : float;
+  jitter : int;
+  down : window list;
+  retransmit : bool;
+  max_retries : int;
+  rto : int option;
+  stall_limit : int;
+}
+
+let default_stall_limit = 1_000_000
+
+let make ?(drop = 0.0) ?(dup = 0.0) ?(jitter = 0) ?(down = [])
+    ?(retransmit = true) ?(max_retries = 12) ?rto
+    ?(stall_limit = default_stall_limit) ~seed () =
+  if drop < 0.0 || drop > 1.0 then invalid_arg "Faults.make: drop not in [0,1]";
+  if dup < 0.0 || dup > 1.0 then invalid_arg "Faults.make: dup not in [0,1]";
+  if jitter < 0 then invalid_arg "Faults.make: jitter must be >= 0";
+  if max_retries < 0 then invalid_arg "Faults.make: max_retries must be >= 0";
+  (match rto with
+  | Some r when r <= 0 -> invalid_arg "Faults.make: rto must be positive"
+  | Some _ | None -> ());
+  if stall_limit <= 0 then invalid_arg "Faults.make: stall_limit must be positive";
+  List.iter
+    (fun w ->
+      if w.from_t < 0 || w.until_t < w.from_t then
+        invalid_arg "Faults.make: malformed down window")
+    down;
+  { seed; drop; dup; jitter; down; retransmit; max_retries; rto; stall_limit }
+
+let link_down t ~src ~dst ~at =
+  List.exists
+    (fun w ->
+      at >= w.from_t && at < w.until_t
+      && (match w.w_src with Some s -> s = src | None -> true)
+      && (match w.w_dst with Some d -> d = dst | None -> true))
+    t.down
+
+let profiles = [ "drop"; "dup"; "jitter"; "flap"; "chaos"; "drop-noretx" ]
+
+(* Profiles map one scalar --fault-rate knob onto a plan shape.  The
+   link-flap windows are fixed-position (derived from nothing but the
+   rate) so that a (profile, rate, seed) triple is a complete, replayable
+   description of the run. *)
+let of_profile name ~rate ~seed =
+  if rate < 0.0 || rate > 1.0 then
+    Error (Printf.sprintf "fault rate %g not in [0,1]" rate)
+  else
+    let jitter_of rate = 1 + int_of_float (rate *. 200.) in
+    let flap_windows rate =
+      (* three all-channel outages early in the run, each long enough to
+         force retransmission backoff but short enough that the default
+         retry cap rides them out *)
+      let dur = 200 + int_of_float (rate *. 4_000.) in
+      List.map
+        (fun t0 ->
+          { w_src = None; w_dst = None; from_t = t0; until_t = t0 + dur })
+        [ 2_000; 20_000; 90_000 ]
+    in
+    match String.lowercase_ascii (String.trim name) with
+    | "none" -> Ok (make ~seed ())
+    | "drop" -> Ok (make ~drop:rate ~seed ())
+    | "dup" -> Ok (make ~dup:rate ~seed ())
+    | "jitter" -> Ok (make ~jitter:(jitter_of rate) ~seed ())
+    | "flap" -> Ok (make ~down:(flap_windows rate) ~seed ())
+    | "chaos" ->
+      Ok
+        (make ~drop:rate ~dup:(rate /. 2.) ~jitter:(jitter_of rate)
+           ~down:(flap_windows rate) ~seed ())
+    | "drop-noretx" -> Ok (make ~drop:rate ~retransmit:false ~seed ())
+    | other ->
+      Error
+        (Printf.sprintf "unknown fault profile %S; pick one of: %s" other
+           (String.concat ", " profiles))
+
+let to_string t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "seed=%d" t.seed);
+  if t.drop > 0.0 then Buffer.add_string b (Printf.sprintf " drop=%g" t.drop);
+  if t.dup > 0.0 then Buffer.add_string b (Printf.sprintf " dup=%g" t.dup);
+  if t.jitter > 0 then Buffer.add_string b (Printf.sprintf " jitter=%d" t.jitter);
+  List.iter
+    (fun w ->
+      Buffer.add_string b
+        (Printf.sprintf " down[%s->%s %d,%d)"
+           (match w.w_src with Some s -> string_of_int s | None -> "*")
+           (match w.w_dst with Some d -> string_of_int d | None -> "*")
+           w.from_t w.until_t))
+    t.down;
+  Buffer.add_string b
+    (if t.retransmit then Printf.sprintf " retx<=%d" t.max_retries
+     else " no-retx");
+  Buffer.contents b

@@ -1,3 +1,12 @@
+module Rng = Lcm_util.Rng
+module Stats = Lcm_util.Stats
+
+exception
+  Net_unreachable of { src : int; dst : int; tag : string; attempts : int }
+
+(* Sender-side state of one in-flight reliable message. *)
+type rel_pending = { mutable acked : bool; mutable attempt : int }
+
 type t = {
   engine : Lcm_sim.Engine.t;
   costs : Lcm_sim.Costs.t;
@@ -9,15 +18,32 @@ type t = {
          previous message's arrival plus its transmission time.  Flat
          array: every message send reads and writes exactly one slot, so a
          hashed pair key would be pure overhead. *)
-  msgs : Lcm_util.Stats.Handle.counter;
-  words_sent : Lcm_util.Stats.Handle.counter;
-  channel_stall : Lcm_util.Stats.Handle.sample;
-  tag_counters : (string, Lcm_util.Stats.Handle.counter) Hashtbl.t;
+  msgs : Stats.Handle.counter;
+  words_sent : Stats.Handle.counter;
+  channel_stall : Stats.Handle.sample;
+  tag_counters : (string, Stats.Handle.counter) Hashtbl.t;
       (* memoized "msg.<tag>" handles; tags are a small fixed vocabulary *)
   mutable trace : Lcm_sim.Trace.t option;
+  (* --- fault injection + reliable transport (unused without a plan) --- *)
+  faults : Faults.t option;
+  frng : Rng.t;
+      (* one stream for every fault decision; the simulation is
+         single-threaded, so draw order — and hence the whole fault
+         pattern — is a deterministic function of (workload, plan) *)
+  rel_next : int array;  (* per channel: next seq to assign *)
+  rel_expected : int array;  (* per channel: next seq to deliver *)
+  rel_held : (int * int, int -> unit) Hashtbl.t;
+      (* (channel, seq) -> application continuation, parked until the
+         sequence gap below it is filled *)
+  h_drops : Stats.Handle.counter;
+  h_dups : Stats.Handle.counter;
+  h_retx : Stats.Handle.counter;
+  h_timeouts : Stats.Handle.counter;
+  h_dup_suppressed : Stats.Handle.counter;
+  retx_backoff : Stats.Handle.sample;
 }
 
-let create ~engine ~costs ~stats ~topology ~nnodes =
+let create ?faults ~engine ~costs ~stats ~topology ~nnodes () =
   {
     engine;
     costs;
@@ -25,20 +51,37 @@ let create ~engine ~costs ~stats ~topology ~nnodes =
     topology;
     nnodes;
     channel_free = Array.make (nnodes * nnodes) 0;
-    msgs = Lcm_util.Stats.counter stats "net.msgs";
-    words_sent = Lcm_util.Stats.counter stats "net.words";
-    channel_stall = Lcm_util.Stats.sample stats "net.channel_stall_cycles";
+    msgs = Stats.counter stats "net.msgs";
+    words_sent = Stats.counter stats "net.words";
+    channel_stall = Stats.sample stats "net.channel_stall_cycles";
     tag_counters = Hashtbl.create 32;
     trace = None;
+    faults;
+    frng =
+      Rng.create
+        ~seed:(match faults with Some p -> p.Faults.seed | None -> 0);
+    rel_next = Array.make (nnodes * nnodes) 0;
+    rel_expected = Array.make (nnodes * nnodes) 0;
+    rel_held = Hashtbl.create 16;
+    h_drops = Stats.counter stats "fault.drops";
+    h_dups = Stats.counter stats "fault.dups";
+    h_retx = Stats.counter stats "fault.retransmits";
+    h_timeouts = Stats.counter stats "fault.timeouts";
+    h_dup_suppressed = Stats.counter stats "fault.dup_suppressed";
+    retx_backoff = Stats.sample stats "net.retx_backoff_cycles";
   }
+
+let faults t = t.faults
 
 let set_trace t trace = t.trace <- trace
 
 let latency t ~src ~dst ~words =
-  let hops = Topology.hops t.topology ~src ~dst in
-  t.costs.Lcm_sim.Costs.msg_fixed
-  + (hops * t.costs.Lcm_sim.Costs.msg_per_hop)
-  + (words * t.costs.Lcm_sim.Costs.msg_per_word)
+  if src = dst then t.costs.Lcm_sim.Costs.msg_fixed
+  else
+    let hops = Topology.hops t.topology ~src ~dst in
+    t.costs.Lcm_sim.Costs.msg_fixed
+    + (hops * t.costs.Lcm_sim.Costs.msg_per_hop)
+    + (words * t.costs.Lcm_sim.Costs.msg_per_word)
 
 let transmission_time t ~words =
   max 1 (words * t.costs.Lcm_sim.Costs.msg_per_word)
@@ -47,18 +90,47 @@ let tag_counter t tag =
   match Hashtbl.find_opt t.tag_counters tag with
   | Some h -> h
   | None ->
-    let h = Lcm_util.Stats.counter t.stats ("msg." ^ tag) in
+    let h = Stats.counter t.stats ("msg." ^ tag) in
     Hashtbl.add t.tag_counters tag h;
     h
 
-let send t ~src ~dst ~words ?tag ~at k =
+let validate t ~src ~dst ~words ~at =
   if src < 0 || src >= t.nnodes then invalid_arg "Network.send: src out of range";
   if dst < 0 || dst >= t.nnodes then invalid_arg "Network.send: dst out of range";
-  Lcm_util.Stats.Handle.incr t.msgs;
-  Lcm_util.Stats.Handle.add t.words_sent words;
-  (match tag with
-  | Some tag -> Lcm_util.Stats.Handle.incr (tag_counter t tag)
+  if words <= 0 then invalid_arg "Network.send: words must be positive";
+  if at < 0 then invalid_arg "Network.send: at must be >= 0"
+
+let count t ~words tag =
+  Stats.Handle.incr t.msgs;
+  Stats.Handle.add t.words_sent words;
+  match tag with
+  | Some tag -> Stats.Handle.incr (tag_counter t tag)
+  | None -> ()
+
+(* Node-local traffic never touches the interconnect: it pays the fixed
+   protocol handoff cost and neither occupies a channel nor suffers
+   faults. *)
+let loopback t ~src ~words ?tag ~at k =
+  count t ~words tag;
+  let tag_name = Option.value tag ~default:"-" in
+  let lat = t.costs.Lcm_sim.Costs.msg_fixed in
+  let arrival = max (at + lat) (Lcm_sim.Engine.now t.engine) in
+  (match t.trace with
+  | Some tr ->
+    Lcm_sim.Trace.emit tr ~time:(arrival - lat)
+      (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst = src; words })
   | None -> ());
+  Lcm_sim.Engine.schedule t.engine ~at:arrival (fun () ->
+      (match t.trace with
+      | Some tr ->
+        Lcm_sim.Trace.emit tr ~time:arrival
+          (Lcm_sim.Trace.Msg_recv { tag = tag_name; src; dst = src; words })
+      | None -> ());
+      k ~arrival)
+
+(* One physical copy onto the wire: latency, channel occupancy, trace. *)
+let inject t ~src ~dst ~words ~tag ~at k =
+  count t ~words tag;
   let tag_name = Option.value tag ~default:"-" in
   let channel = (src * t.nnodes) + dst in
   (* FIFO with bandwidth: the channel stays occupied for the previous
@@ -74,7 +146,7 @@ let send t ~src ~dst ~words ?tag ~at k =
   in
   let stall = arrival - raw_arrival in
   if stall > 0 then
-    Lcm_util.Stats.Handle.observe t.channel_stall (float_of_int stall);
+    Stats.Handle.observe t.channel_stall (float_of_int stall);
   (match t.trace with
   | Some tr ->
     (* Stamp the send at the actual injection time: when the channel (or the
@@ -91,3 +163,147 @@ let send t ~src ~dst ~words ?tag ~at k =
           (Lcm_sim.Trace.Msg_recv { tag = tag_name; src; dst; words })
       | None -> ());
       k ~arrival)
+
+(* The lossy layer: decide each copy's fate from the plan's RNG stream,
+   then inject the survivors.  Dropped copies are lost at injection — they
+   never occupy the channel (the loss is modeled at the sender's network
+   interface, keeping the surviving traffic's timing independent of how
+   many ghosts preceded it).  Channel occupancy is monotone, so even
+   jittered copies keep per-channel FIFO; only drops + retransmission can
+   reorder, which the reliable layer's sequence numbers absorb. *)
+let faulty_send t (plan : Faults.t) ~src ~dst ~words ~tag ~at k =
+  let tag_name = Option.value tag ~default:"-" in
+  let t_decide = max at (Lcm_sim.Engine.now t.engine) in
+  let down = Faults.link_down plan ~src ~dst ~at:t_decide in
+  let drop1 = plan.drop > 0.0 && Rng.float t.frng 1.0 < plan.drop in
+  let dup = plan.dup > 0.0 && Rng.float t.frng 1.0 < plan.dup in
+  let drop2 = dup && plan.drop > 0.0 && Rng.float t.frng 1.0 < plan.drop in
+  let jitter () =
+    if plan.jitter > 0 then Rng.int t.frng (plan.jitter + 1) else 0
+  in
+  let jit1 = jitter () in
+  let jit2 = if dup then jitter () else 0 in
+  let copy ~dropped ~jit =
+    if dropped || down then begin
+      Stats.Handle.incr t.h_drops;
+      match t.trace with
+      | Some tr ->
+        Lcm_sim.Trace.emit tr ~time:t_decide
+          (Lcm_sim.Trace.Msg_drop { tag = tag_name; src; dst; words })
+      | None -> ()
+    end
+    else inject t ~src ~dst ~words ~tag ~at:(at + jit) k
+  in
+  copy ~dropped:drop1 ~jit:jit1;
+  if dup then begin
+    Stats.Handle.incr t.h_dups;
+    copy ~dropped:drop2 ~jit:jit2
+  end
+
+let send t ~src ~dst ~words ?tag ~at k =
+  validate t ~src ~dst ~words ~at;
+  if src = dst then loopback t ~src ~words ?tag ~at k
+  else (
+    match t.faults with
+    | None -> inject t ~src ~dst ~words ~tag ~at k
+    | Some plan -> faulty_send t plan ~src ~dst ~words ~tag ~at k)
+
+(* Reliable transport: sequence-numbered envelopes per channel, an ack per
+   received copy (itself lossy), receiver-side dedup + in-order release,
+   and sender-side timeout with exponential backoff up to the plan's retry
+   cap.  With no fault plan this is exactly [send] — zero envelope
+   overhead on the reliable-substrate configuration the paper assumes. *)
+let send_reliable t ~src ~dst ~words ?tag ~at k =
+  validate t ~src ~dst ~words ~at;
+  if src = dst then loopback t ~src ~words ?tag ~at k
+  else
+    let tag_name = Option.value tag ~default:"-" in
+    match t.faults with
+    | None -> inject t ~src ~dst ~words ~tag ~at k
+    | Some plan when not plan.retransmit ->
+      (* diagnostic mode: lose messages for good; the engine watchdog (or a
+         drained queue with suspended fibers) reports the stall *)
+      faulty_send t plan ~src ~dst ~words ~tag ~at k
+    | Some plan ->
+      let chan = (src * t.nnodes) + dst in
+      let seq = t.rel_next.(chan) in
+      t.rel_next.(chan) <- seq + 1;
+      let st = { acked = false; attempt = 0 } in
+      let rto0 =
+        match plan.rto with
+        | Some r -> r
+        | None ->
+          (* a round trip (envelope + 1-word ack) with headroom for jitter
+             and channel occupancy; a spurious retransmit is only wasted
+             bandwidth (dedup absorbs it), so err short rather than long *)
+          (2 * (latency t ~src ~dst ~words + latency t ~src:dst ~dst:src ~words:1))
+          + (4 * plan.jitter)
+          + (4 * transmission_time t ~words)
+          + 16
+      in
+      let deliver ~arrival =
+        (* Every received copy is acked — a duplicate means the previous
+           ack was (or may have been) lost. *)
+        faulty_send t plan ~src:dst ~dst:src ~words:1 ~tag:(Some "ack")
+          ~at:arrival (fun ~arrival:_ ->
+            st.acked <- true;
+            (* an ack landing is transport-level progress for the stall
+               watchdog even when the payload copy was a suppressed dup *)
+            Lcm_sim.Engine.notify_progress t.engine);
+        let expected = t.rel_expected.(chan) in
+        if seq < expected || Hashtbl.mem t.rel_held (chan, seq) then
+          Stats.Handle.incr t.h_dup_suppressed
+        else if seq = expected then begin
+          t.rel_expected.(chan) <- expected + 1;
+          Lcm_sim.Engine.notify_progress t.engine;
+          k ~arrival;
+          let rec drain () =
+            let nxt = t.rel_expected.(chan) in
+            match Hashtbl.find_opt t.rel_held (chan, nxt) with
+            | Some run ->
+              Hashtbl.remove t.rel_held (chan, nxt);
+              t.rel_expected.(chan) <- nxt + 1;
+              run arrival;
+              drain ()
+            | None -> ()
+          in
+          drain ()
+        end
+        else Hashtbl.replace t.rel_held (chan, seq) (fun a -> k ~arrival:a)
+      in
+      let rec transmit ~at =
+        st.attempt <- st.attempt + 1;
+        if st.attempt > 1 then begin
+          Stats.Handle.incr t.h_retx;
+          match t.trace with
+          | Some tr ->
+            Lcm_sim.Trace.emit tr
+              ~time:(max at (Lcm_sim.Engine.now t.engine))
+              (Lcm_sim.Trace.Msg_retx
+                 { tag = tag_name; src; dst; words; attempt = st.attempt })
+          | None -> ()
+        end;
+        faulty_send t plan ~src ~dst ~words ~tag ~at deliver;
+        let backoff = rto0 lsl min (st.attempt - 1) 16 in
+        let t_check =
+          max at (Lcm_sim.Engine.now t.engine) + backoff
+        in
+        Lcm_sim.Engine.schedule t.engine ~at:t_check (fun () ->
+            if st.acked then
+              (* A stale timer of a delivered message is evidence the run is
+                 advancing; without this, a long-backoff timer outliving the
+                 workload could trip the watchdog during the final drain. *)
+              Lcm_sim.Engine.notify_progress t.engine
+            else begin
+              Stats.Handle.incr t.h_timeouts;
+              if st.attempt > plan.max_retries then
+                raise
+                  (Net_unreachable
+                     { src; dst; tag = tag_name; attempts = st.attempt })
+              else begin
+                Stats.Handle.observe t.retx_backoff (float_of_int backoff);
+                transmit ~at:(Lcm_sim.Engine.now t.engine)
+              end
+            end)
+      in
+      transmit ~at

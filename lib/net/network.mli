@@ -11,24 +11,54 @@
     occupied for each message's {!transmission_time}, so consecutive
     messages on one channel arrive spaced by at least the earlier
     message's transmission time — back-to-back large messages serialize by
-    size, not by a fixed cycle. *)
+    size, not by a fixed cycle.
+
+    {b Loopback.}  A message with [src = dst] never touches the
+    interconnect: it is delivered at [at + msg_fixed] (clamped to the
+    engine clock), modeling the fixed protocol-handoff cost only — no
+    per-hop or per-word latency terms, no channel occupancy, and no fault
+    injection.  It still counts in ["net.msgs"]/["net.words"]/["msg.<tag>"].
+
+    {b Fault injection.}  A network created with a {!Faults} plan passes
+    every non-loopback {!send} through a lossy layer that may drop a
+    message, duplicate it, delay it by bounded jitter, or black-hole it
+    inside a link-down window — all decided from one {!Lcm_util.Rng}
+    stream seeded by the plan, so a (plan, workload) pair replays
+    bit-identically.  Dropped copies are lost at the sender's interface:
+    they bump ["fault.drops"] and emit {!Lcm_sim.Trace.Msg_drop}, but do
+    not occupy the channel or count as sent messages.  {!send_reliable}
+    layers exactly-once, in-order delivery on top. *)
 
 type t
 
+exception
+  Net_unreachable of { src : int; dst : int; tag : string; attempts : int }
+(** Raised (out of the engine loop) when a reliable send exhausted its
+    retransmission budget without an acknowledgement. *)
+
 val create :
+  ?faults:Faults.t ->
   engine:Lcm_sim.Engine.t ->
   costs:Lcm_sim.Costs.t ->
   stats:Lcm_util.Stats.t ->
   topology:Topology.t ->
   nnodes:int ->
+  unit ->
   t
+(** [faults] installs a fault plan (default: none — the reliable CM-5-style
+    transport the paper assumes, with {!send_reliable} equal to {!send}). *)
+
+val faults : t -> Faults.t option
+(** The fault plan this network was created with, if any. *)
 
 val set_trace : t -> Lcm_sim.Trace.t option -> unit
 (** Attach (or detach) a trace ring; when set, every send emits
     {!Lcm_sim.Trace.Msg_send} at the {e actual} injection time — the
     arrival minus the uncontended latency, which is later than the
     caller's [at] when the channel is occupied or the engine clock has
-    passed [at] — and {!Lcm_sim.Trace.Msg_recv} at arrival. *)
+    passed [at] — and {!Lcm_sim.Trace.Msg_recv} at arrival.  Under a fault
+    plan, dropped copies emit {!Lcm_sim.Trace.Msg_drop} and
+    retransmissions {!Lcm_sim.Trace.Msg_retx}. *)
 
 val send :
   t ->
@@ -47,11 +77,40 @@ val send :
     ["net.words"].  When channel occupancy or the engine clamp delays the
     message past its uncontended arrival, the delay is recorded in the
     ["net.channel_stall_cycles"] sample (one observation per stalled
-    message).
-    @raise Invalid_argument if [src] or [dst] is out of range. *)
+    message).  Under a fault plan this path is fire-and-forget: [k] may
+    run zero times (drop, link down) or twice (duplication).
+    @raise Invalid_argument if [src] or [dst] is out of range, [words] is
+    not positive, or [at] is negative. *)
+
+val send_reliable :
+  t ->
+  src:int ->
+  dst:int ->
+  words:int ->
+  ?tag:string ->
+  at:int ->
+  (arrival:int -> unit) ->
+  unit
+(** Like {!send}, but [k] runs {e exactly once}, and messages on one
+    channel are released to the application in send order even when fault
+    injection drops or duplicates copies.  Implementation: per-channel
+    sequence numbers, a receiver-side dedup/reorder buffer (suppressed
+    duplicates bump ["fault.dup_suppressed"]), an acknowledgement (1-word
+    ["ack"] message, itself subject to faults) per received copy, and a
+    sender-side engine timer with exponential backoff that retransmits
+    unacknowledged messages — bumping ["fault.retransmits"] /
+    ["fault.timeouts"] and observing the ["net.retx_backoff_cycles"]
+    sample — until the plan's retry cap.
+    Without a fault plan (or with [src = dst]) this is exactly {!send}: no
+    envelopes, no acks, no timers.  With a plan whose [retransmit] is
+    false it degrades to the lossy fire-and-forget path.
+    @raise Net_unreachable once a message exceeds [max_retries]
+    retransmissions (raised inside the engine loop, propagating out of
+    {!Lcm_sim.Engine.run}). *)
 
 val latency : t -> src:int -> dst:int -> words:int -> int
-(** The uncontended latency the model assigns to such a message. *)
+(** The uncontended latency the model assigns to such a message
+    ([msg_fixed] alone when [src = dst]). *)
 
 val transmission_time : t -> words:int -> int
 (** [max 1 (words * msg_per_word)] — how long a message of [words] keeps

@@ -7,6 +7,7 @@ type budget = {
 
 exception Budget_exhausted of { events : int; now : int }
 exception Wall_clock_exceeded of { limit_s : float }
+exception Stalled of { clock : int; pending : int }
 
 (* How many events run between calls to the wall-clock guard.  The guard
    costs a system call (gettimeofday), so it is amortized; the stride is
@@ -64,7 +65,25 @@ type t = {
   mutable processed : int;
   tally : int Atomic.t;  (* this domain's event cell, snapshotted at create *)
   budget : budget option;  (* ambient cell budget at creation time, if any *)
+  mutable stall_limit : int option;
+      (* quiescence watchdog: raise Stalled when events have *executed*
+         more than this many cycles past the last notify_progress —
+         catches livelocks where events keep firing (e.g. retransmission
+         timers) but nothing semantically advances.  Judged on [now], not
+         on the next pending timestamp, and only once [stall_min_events]
+         events have run without progress: a sparse schedule (one long
+         compute phase followed by a burst of sends) is not a stall. *)
+  mutable last_progress : int;
+  mutable quiet_events : int;  (* events executed since last_progress *)
 }
+
+(* Cycle distance alone cannot tell a livelock from a legitimate silent
+   jump — a node computing locally for longer than the stall limit, then
+   injecting its next messages.  A livelock also keeps *executing* events
+   (timers re-arming), so the watchdog additionally requires this many
+   events since the last progress mark.  Far below any real livelock's
+   event count, far above a phase boundary's burst of non-delivery events. *)
+let stall_min_events = 64
 
 let create () =
   {
@@ -73,6 +92,9 @@ let create () =
     processed = 0;
     tally = Domain.DLS.get domain_total;
     budget = !(Domain.DLS.get ambient_budget);
+    stall_limit = None;
+    last_progress = 0;
+    quiet_events = 0;
   }
 
 let now e = e.now
@@ -112,14 +134,39 @@ let check_budget e =
         g ()
       end)
 
+let set_stall_limit e limit =
+  (match limit with
+  | Some n when n <= 0 -> invalid_arg "Engine.set_stall_limit: limit must be positive"
+  | Some _ | None -> ());
+  e.stall_limit <- limit;
+  e.last_progress <- e.now;
+  e.quiet_events <- 0
+
+let notify_progress e =
+  e.last_progress <- e.now;
+  e.quiet_events <- 0
+
 let step e =
   if Lcm_util.Heap.is_empty e.queue then false
   else begin
     check_budget e;
+    (* The watchdog fires before the next event is popped, so the raise
+       leaves the queue intact for post-mortem inspection.  It compares
+       the *executed* clock against the last progress mark and requires a
+       run of [stall_min_events] progress-free events: only sustained
+       event activity with nothing semantically advancing — e.g.
+       retransmission timers re-arming forever — trips it. *)
+    (match e.stall_limit with
+    | Some limit
+      when e.now - e.last_progress > limit
+           && e.quiet_events >= stall_min_events ->
+      raise (Stalled { clock = e.now; pending = Lcm_util.Heap.length e.queue })
+    | Some _ | None -> ());
     let t = Lcm_util.Heap.top_key e.queue in
     let f = Lcm_util.Heap.pop_exn e.queue in
     e.now <- t;
     e.processed <- e.processed + 1;
+    e.quiet_events <- e.quiet_events + 1;
     Atomic.incr e.tally;
     f ();
     true

@@ -18,6 +18,15 @@ exception Wall_clock_exceeded of { limit_s : float }
 (** Raised by the wall-clock guard a fleet installs via {!with_budget}
     (the engine itself never reads host time). *)
 
+exception Stalled of { clock : int; pending : int }
+(** Raised by {!step} when a quiescence watchdog is armed (see
+    {!set_stall_limit}) and a sustained run of events has {e executed}
+    more than the limit past the last {!notify_progress}: [clock] is the
+    executed clock at the trip point, [pending] the number of still-queued
+    events.  Turns a lost-message livelock — retransmission timers firing
+    forever with no semantic progress — into a diagnosable, deterministic
+    failure instead of an unbounded run. *)
+
 val with_budget :
   ?max_events:int -> ?guard:(unit -> unit) -> (unit -> 'a) -> 'a
 (** [with_budget ?max_events ?guard f] runs [f] with an ambient,
@@ -46,6 +55,25 @@ val schedule : t -> at:int -> (unit -> unit) -> unit
 val after : t -> delay:int -> (unit -> unit) -> unit
 (** [after e ~delay f] is [schedule e ~at:(now e + delay) f].
     A negative [delay] is treated as 0. *)
+
+val set_stall_limit : t -> int option -> unit
+(** Arm ([Some limit]) or disarm ([None]) the quiescence watchdog; arming
+    also counts as progress.  While armed, {!step} raises {!Stalled} once
+    events have {e executed} more than [limit] cycles past the last
+    {!notify_progress} — and at least a few dozen of them have run since
+    it — with another event still pending.  The check is on the executed
+    clock, never on the next pending timestamp, and a lone silent jump
+    does not satisfy the event-count arm, so a sparse schedule — one long
+    compute phase followed by a burst of sends — is not mistaken for a
+    stall.  The network's reliable path notifies on every application
+    delivery and every ack, so the watchdog only fires when events keep
+    firing without the simulation advancing (e.g. every copy of a message
+    being dropped faster than it is retransmitted).
+    @raise Invalid_argument if the limit is not positive. *)
+
+val notify_progress : t -> unit
+(** Record that the simulation made semantic progress now (see
+    {!set_stall_limit}).  Cheap; safe to call with no watchdog armed. *)
 
 val step : t -> bool
 (** Process the single earliest pending event, advancing the clock to its

@@ -3,6 +3,8 @@ type fault_kind = Read | Write
 type event =
   | Msg_send of { tag : string; src : int; dst : int; words : int }
   | Msg_recv of { tag : string; src : int; dst : int; words : int }
+  | Msg_drop of { tag : string; src : int; dst : int; words : int }
+  | Msg_retx of { tag : string; src : int; dst : int; words : int; attempt : int }
   | Fault of { kind : fault_kind; node : int; addr : int; block : int }
   | Directive of { node : int; name : string }
   | Barrier_enter of { node : int }
@@ -41,6 +43,10 @@ let render = function
     Printf.sprintf "msg %s %d->%d (%dw)" tag src dst words
   | Msg_recv { tag; src; dst; words } ->
     Printf.sprintf "recv %s %d->%d (%dw)" tag src dst words
+  | Msg_drop { tag; src; dst; words } ->
+    Printf.sprintf "drop %s %d->%d (%dw)" tag src dst words
+  | Msg_retx { tag; src; dst; words; attempt } ->
+    Printf.sprintf "retx#%d %s %d->%d (%dw)" attempt tag src dst words
   | Fault { kind; node; addr; block } ->
     Printf.sprintf "%s fault node %d addr %d (block %d)"
       (match kind with Read -> "read" | Write -> "write")

@@ -17,6 +17,12 @@ type event =
       (** Message injected on channel [(src, dst)]. *)
   | Msg_recv of { tag : string; src : int; dst : int; words : int }
       (** Message delivered; recorded at its arrival time. *)
+  | Msg_drop of { tag : string; src : int; dst : int; words : int }
+      (** Message lost to fault injection (random drop or link-down window);
+          recorded at the time the loss was decided. *)
+  | Msg_retx of { tag : string; src : int; dst : int; words : int; attempt : int }
+      (** Reliable-transport retransmission: attempt number [attempt] (2 =
+          first retransmit) of an unacknowledged message. *)
   | Fault of { kind : fault_kind; node : int; addr : int; block : int }
       (** Access-control violation trapped on [node]. *)
   | Directive of { node : int; name : string }

@@ -71,12 +71,19 @@ let la_mask = la_slots - 1
 
 let create ?(costs = Lcm_sim.Costs.default)
     ?(topology = Lcm_net.Topology.Fat_tree { arity = 4 }) ?(seed = 42)
-    ?capacity_blocks ?hw_cache_blocks ~nnodes ~words_per_block () =
+    ?capacity_blocks ?hw_cache_blocks ?faults ~nnodes ~words_per_block () =
   let engine = Lcm_sim.Engine.create () in
   let stats = Lcm_util.Stats.create () in
   let network =
-    Lcm_net.Network.create ~engine ~costs ~stats ~topology ~nnodes
+    Lcm_net.Network.create ?faults ~engine ~costs ~stats ~topology ~nnodes ()
   in
+  (* A lossy interconnect can livelock (drops outpacing retransmission);
+     arm the engine's quiescence watchdog so that surfaces as a typed
+     Stalled instead of an unbounded run. *)
+  (match faults with
+  | Some plan ->
+    Lcm_sim.Engine.set_stall_limit engine (Some plan.Lcm_net.Faults.stall_limit)
+  | None -> ());
   let gmem = Lcm_mem.Gmem.create ~nnodes ~words_per_block in
   (match hw_cache_blocks with
   | Some n when n <= 0 ->
@@ -345,8 +352,11 @@ let set_read_observer t f = t.on_read_hit <- f
 
 let send t ~src ~dst ~words ~tag ~at k =
   (* The network layer records Msg_send/Msg_recv; this layer records the
-     protocol-processor occupancy interval the message induces. *)
-  Lcm_net.Network.send t.m_network ~src ~dst ~words ~tag ~at
+     protocol-processor occupancy interval the message induces.  Protocol
+     traffic always takes the reliable path: without a fault plan it is
+     the plain send, with one it gets exactly-once in-order delivery, so
+     the protocol handlers never see drops or duplicates. *)
+  Lcm_net.Network.send_reliable t.m_network ~src ~dst ~words ~tag ~at
     (fun ~arrival ->
       let dnode = t.m_nodes.(dst) in
       let start = max arrival dnode.handler_free in
@@ -357,6 +367,11 @@ let send t ~src ~dst ~words ~tag ~at k =
       k dnode ~now:finish)
 
 let resume n ~now ~cost retry =
+  (* A fiber coming back to life is semantic progress for the quiescence
+     watchdog (no-op unless one is armed). *)
+  (match n.node_machine with
+  | Some m -> Lcm_sim.Engine.notify_progress m.m_engine
+  | None -> ());
   n.node_clock <- max n.node_clock now + cost;
   retry ()
 
@@ -492,6 +507,10 @@ let spawn t n ?(on_done = fun () -> ()) f =
                 let at = max n.node_clock (Lcm_sim.Engine.now t.m_engine) in
                 Lcm_sim.Engine.schedule t.m_engine ~at (fun () ->
                     n.node_clock <- max n.node_clock at;
+                    (* a fiber picking its compute back up is semantic
+                       progress for the stall watchdog — a yield-heavy
+                       phase must not read as a livelock *)
+                    Lcm_sim.Engine.notify_progress t.m_engine;
                     continue k ()))
           | Memeff.Directive d ->
             Some
@@ -502,6 +521,21 @@ let spawn t n ?(on_done = fun () -> ()) f =
 
 let run_to_quiescence ?limit t =
   Lcm_sim.Engine.run ?limit t.m_engine;
+  if
+    t.m_active_fibers > 0
+    && (match Lcm_net.Network.faults t.m_network with
+       | Some plan -> not plan.Lcm_net.Faults.retransmit
+       | None -> false)
+  then
+    (* Under a fault plan without retransmission a drained queue with
+       suspended fibers is the expected outcome of a lost message, not a
+       protocol bug: report it as the typed stall. *)
+    raise
+      (Lcm_sim.Engine.Stalled
+         {
+           clock = Lcm_sim.Engine.now t.m_engine;
+           pending = t.m_active_fibers;
+         });
   if t.m_active_fibers > 0 then begin
     let tail =
       match t.trace with

@@ -36,6 +36,7 @@ val create :
   ?seed:int ->
   ?capacity_blocks:int ->
   ?hw_cache_blocks:int ->
+  ?faults:Lcm_net.Faults.t ->
   nnodes:int ->
   words_per_block:int ->
   unit ->
@@ -46,7 +47,10 @@ val create :
     cache).  [hw_cache_blocks] adds a direct-mapped per-node hardware cache
     of that many block slots above node memory: accesses that miss it pay
     {!Lcm_sim.Costs.t.hw_miss} extra cycles (default: no hardware cache —
-    every local access costs one cycle). *)
+    every local access costs one cycle).  [faults] makes the interconnect
+    unreliable per the plan (see {!Lcm_net.Faults}): protocol messaging
+    then rides {!Lcm_net.Network.send_reliable} and the engine's quiescence
+    watchdog is armed with the plan's stall limit. *)
 
 (** {1 Machine accessors} *)
 
@@ -147,8 +151,15 @@ val spawn : t -> node -> ?on_done:(unit -> unit) -> (unit -> unit) -> unit
 val active_fibers : t -> int
 
 val run_to_quiescence : ?limit:int -> t -> unit
-(** Drain the event queue.  @raise Failure if fibers remain suspended after
-    the queue empties (protocol deadlock) or [limit] events are exceeded. *)
+(** Drain the event queue.
+    @raise Failure if fibers remain suspended after the queue empties
+    (protocol deadlock) or [limit] events are exceeded.
+    @raise Lcm_sim.Engine.Stalled instead of the deadlock [Failure] when
+    the machine runs a fault plan with retransmission disabled — losing a
+    message for good makes suspended fibers the expected outcome, and the
+    typed stall identifies it deterministically.  Also propagated from the
+    engine watchdog, and {!Lcm_net.Network.Net_unreachable} from an
+    exhausted retransmission budget. *)
 
 val max_clock : t -> int
 (** Maximum node CPU clock — the phase completion time. *)

@@ -150,14 +150,25 @@ let sample_mean s name =
 
 type summary = { count : int; mean : float; min : float; max : float }
 
+(* Only called on observed series (count > 0): an empty series has no
+   min/max, so summarizing it would have to invent values (the old 0.0
+   placeholder was indistinguishable from a real all-zero sample).
+   Empty series are instead omitted from [samples] and [None] from
+   [summary]. *)
 let summarize (r : sample) =
-  let mean = if r.count > 0 then r.sum /. float_of_int r.count else 0.0 in
-  let min = if r.count > 0 then r.min else 0.0 in
-  let max = if r.count > 0 then r.max else 0.0 in
-  { count = r.count; mean; min; max }
+  { count = r.count; mean = r.sum /. float_of_int r.count; min = r.min;
+    max = r.max }
+
+let summary s name =
+  match Hashtbl.find_opt s.samples name with
+  | Some r when r.count > 0 -> Some (summarize r)
+  | Some _ | None -> None
 
 let samples s =
-  Hashtbl.fold (fun name r acc -> (name, summarize r) :: acc) s.samples []
+  Hashtbl.fold
+    (fun name (r : sample) acc ->
+      if r.count > 0 then (name, summarize r) :: acc else acc)
+    s.samples []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let sorted_bindings table =

@@ -92,11 +92,17 @@ val gauges : t -> (string * int) list
 (** All gauges, sorted by name. *)
 
 type summary = { count : int; mean : float; min : float; max : float }
-(** Digest of one observation series.  [mean]/[min]/[max] are 0 when the
-    series is empty (rather than the internal ±infinity sentinels). *)
+(** Digest of one non-empty observation series ([count > 0] always —
+    empty series have no meaningful min/max and are never summarized). *)
+
+val summary : t -> string -> summary option
+(** [summary s name] digests series [name], or [None] if it was never
+    observed — distinguishable from a real all-zero sample, which reports
+    [Some { count; mean = 0.; min = 0.; max = 0. }]. *)
 
 val samples : t -> (string * summary) list
-(** All observation series, summarized, sorted by name. *)
+(** All {e observed} series, summarized, sorted by name; series that were
+    never observed (e.g. only resolved as handles) are omitted. *)
 
 val merge_into : dst:t -> t -> unit
 (** [merge_into ~dst src] adds every counter and every sample of [src]

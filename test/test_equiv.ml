@@ -59,15 +59,18 @@ let workloads =
       (fun s -> (Printf.sprintf "unstructured48/%s" s.Config.label, fun () -> run_unstructured s))
       systems
 
-(* Recorded on the pre-optimization build (seed commit of this PR). *)
+(* Re-recorded after the loopback bugfix (src = dst messages now cost
+   msg_fixed only and skip channel occupancy): cycle/counter/trace digests
+   moved for the workloads that self-send; every [mem] digest is
+   unchanged — the fix is timing-only. *)
 let expected =
   [
-    ("workload stencil24/Stache+copy", "cycles=26284 mem=274d3d7a1bd7c09 counters=54847cb36a98abb2 trace=9f2410e0e5ea402a/1752");
-    ("workload stencil24/LCM-scc", "cycles=106344 mem=3a5dbccc5e12b3c5 counters=86437832b1d7d936 trace=e3914ce73005f72c/11904");
+    ("workload stencil24/Stache+copy", "cycles=26188 mem=274d3d7a1bd7c09 counters=879e8156f83f27c9 trace=9e90a8e1f7c1e321/1752");
+    ("workload stencil24/LCM-scc", "cycles=104640 mem=3a5dbccc5e12b3c5 counters=5b311973d41d11c7 trace=81000cf0ee326505/11904");
     ("workload stencil24/LCM-mcc", "cycles=68730 mem=3a5dbccc5e12b3c5 counters=480383b2591287bf trace=ac8641ee1c9d2677/5124");
     ("workload stencil24/LCM-mcc-update", "cycles=62034 mem=3a5dbccc5e12b3c5 counters=4bece52298a2c81d trace=daaee9872eb4cdfb/4536");
-    ("workload unstructured48/Stache+copy", "cycles=27015 mem=148971b3a90edd71 counters=19464a6a055cfc61 trace=648efb4ebab7a481/2187");
-    ("workload unstructured48/LCM-scc", "cycles=31562 mem=708485218d1d7b20 counters=c276579d0212dda6 trace=3b59d525ceba9f9d/3559");
+    ("workload unstructured48/Stache+copy", "cycles=27049 mem=148971b3a90edd71 counters=4c2e3e52f447ac67 trace=9803138ffa5aeb3f/2187");
+    ("workload unstructured48/LCM-scc", "cycles=31562 mem=708485218d1d7b20 counters=c276579d0212dda6 trace=8b923102f9fb0a35/3559");
     ("workload unstructured48/LCM-mcc", "cycles=23013 mem=708485218d1d7b20 counters=457de1507267e27a trace=f5972616b544234/2809");
     ("workload unstructured48/LCM-mcc-update", "cycles=16209 mem=708485218d1d7b20 counters=9a517cc7bac4722a trace=c00282dd205d1a4f/2235");
   ]

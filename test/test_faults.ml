@@ -1,0 +1,418 @@
+(* Tests for deterministic network fault injection and the reliable
+   (ack/timeout/retransmission) transport layered on top. *)
+
+open Lcm_net
+module Engine = Lcm_sim.Engine
+module Stats = Lcm_util.Stats
+
+let mk_net ?faults () =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let net =
+    Network.create ?faults ~engine ~costs:Lcm_sim.Costs.default ~stats
+      ~topology:Topology.Crossbar ~nnodes:4 ()
+  in
+  (engine, stats, net)
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_make_validation () =
+  let bad msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  bad "Faults.make: drop not in [0,1]" (fun () ->
+      ignore (Faults.make ~drop:1.5 ~seed:1 ()));
+  bad "Faults.make: dup not in [0,1]" (fun () ->
+      ignore (Faults.make ~dup:(-0.1) ~seed:1 ()));
+  bad "Faults.make: jitter must be >= 0" (fun () ->
+      ignore (Faults.make ~jitter:(-1) ~seed:1 ()));
+  bad "Faults.make: max_retries must be >= 0" (fun () ->
+      ignore (Faults.make ~max_retries:(-1) ~seed:1 ()));
+  bad "Faults.make: rto must be positive" (fun () ->
+      ignore (Faults.make ~rto:0 ~seed:1 ()));
+  bad "Faults.make: stall_limit must be positive" (fun () ->
+      ignore (Faults.make ~stall_limit:0 ~seed:1 ()));
+  bad "Faults.make: malformed down window" (fun () ->
+      ignore
+        (Faults.make
+           ~down:[ { Faults.w_src = None; w_dst = None; from_t = 10; until_t = 5 } ]
+           ~seed:1 ()))
+
+let test_profiles_parse () =
+  List.iter
+    (fun name ->
+      match Faults.of_profile name ~rate:0.1 ~seed:3 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "profile %s rejected: %s" name e)
+    ("none" :: Faults.profiles);
+  Alcotest.(check bool) "unknown profile rejected" true
+    (Result.is_error (Faults.of_profile "gremlins" ~rate:0.1 ~seed:3));
+  Alcotest.(check bool) "rate out of range rejected" true
+    (Result.is_error (Faults.of_profile "drop" ~rate:1.5 ~seed:3));
+  (match Faults.of_profile "drop-noretx" ~rate:0.2 ~seed:3 with
+  | Ok plan ->
+    Alcotest.(check bool) "noretx profile disables retransmission" false
+      plan.Faults.retransmit
+  | Error e -> Alcotest.fail e)
+
+let test_link_down_windows () =
+  let plan =
+    Faults.make
+      ~down:
+        [
+          { Faults.w_src = None; w_dst = Some 2; from_t = 100; until_t = 200 };
+          { Faults.w_src = Some 1; w_dst = None; from_t = 300; until_t = 301 };
+        ]
+      ~seed:1 ()
+  in
+  let check msg want ~src ~dst ~at =
+    Alcotest.(check bool) msg want (Faults.link_down plan ~src ~dst ~at)
+  in
+  check "inside dst window" true ~src:0 ~dst:2 ~at:150;
+  check "window start inclusive" true ~src:3 ~dst:2 ~at:100;
+  check "window end exclusive" false ~src:3 ~dst:2 ~at:200;
+  check "other dst unaffected" false ~src:0 ~dst:1 ~at:150;
+  check "src window" true ~src:1 ~dst:3 ~at:300;
+  check "src window other src" false ~src:0 ~dst:3 ~at:300
+
+(* ------------------------------------------------------------------ *)
+(* Engine quiescence watchdog                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_stall_watchdog () =
+  (* an endless timer chain — events keep executing, nothing advances —
+     must trip the watchdog deterministically instead of running forever *)
+  let e = Engine.create () in
+  Engine.set_stall_limit e (Some 100);
+  let rec tick () = Engine.after e ~delay:40 tick in
+  tick ();
+  (try
+     Engine.run e;
+     Alcotest.fail "expected Stalled"
+   with Engine.Stalled { clock; pending } ->
+     (* both arms must hold: > 100 cycles past progress AND >= 64 quiet
+        events executed — the chain runs 64 ticks (40 cycles apart), then
+        the check before tick 65 fires *)
+     Alcotest.(check int) "stall clock" (64 * 40) clock;
+     Alcotest.(check int) "pending events" 1 pending);
+  (* notify_progress resets both the cycle window and the event count *)
+  let e = Engine.create () in
+  Engine.set_stall_limit e (Some 100);
+  let n = ref 0 in
+  let rec tick () =
+    incr n;
+    if !n mod 50 = 0 then Engine.notify_progress e;
+    if !n < 200 then Engine.after e ~delay:40 tick
+  in
+  tick ();
+  Engine.run e;
+  Alcotest.(check int) "ran to completion" (199 * 40) (Engine.now e)
+
+let test_engine_sparse_schedule_is_not_a_stall () =
+  (* A long silent gap — a node computing locally far past the stall
+     limit, then injecting a burst of sends — is not a livelock: the
+     watchdog judges the executed clock, not the next pending timestamp,
+     and a handful of progress-free events never satisfies its event-count
+     arm.  (Regression: the weak-scaling bench tripped a spurious Stalled
+     on exactly this shape.) *)
+  let e = Engine.create () in
+  Engine.set_stall_limit e (Some 100);
+  Engine.schedule e ~at:50 (fun () -> ());
+  (* burst of progress-free events way beyond the window *)
+  for i = 0 to 9 do
+    Engine.schedule e ~at:(5000 + i) (fun () -> ())
+  done;
+  Engine.run e;
+  Alcotest.(check int) "jumped the gap" 5009 (Engine.now e)
+
+(* ------------------------------------------------------------------ *)
+(* Lossy path: drops are deterministic and counted                     *)
+(* ------------------------------------------------------------------ *)
+
+let lossy_workload plan =
+  let engine, stats, net = mk_net ~faults:plan () in
+  let delivered = ref 0 in
+  for i = 0 to 99 do
+    Network.send net ~src:(i mod 3) ~dst:3 ~words:4 ~tag:"w" ~at:(i * 7)
+      (fun ~arrival:_ -> incr delivered)
+  done;
+  Engine.run engine;
+  (!delivered, Stats.counters stats, Stats.samples stats)
+
+let test_lossy_drops_replay () =
+  let plan = Faults.make ~drop:0.2 ~dup:0.1 ~jitter:5 ~seed:11 () in
+  let d1, c1, s1 = lossy_workload plan in
+  let d2, c2, s2 = lossy_workload plan in
+  Alcotest.(check int) "same deliveries" d1 d2;
+  Alcotest.(check bool) "some drops happened" true
+    (List.assoc "fault.drops" c1 > 0);
+  Alcotest.(check bool) "some dups happened" true
+    (List.assoc "fault.dups" c1 > 0);
+  Alcotest.(check bool) "identical counters" true (c1 = c2);
+  Alcotest.(check bool) "identical samples" true (s1 = s2);
+  (* a different fault seed gives a different (but still valid) outcome *)
+  let _, c3, _ = lossy_workload (Faults.make ~drop:0.2 ~dup:0.1 ~jitter:5 ~seed:12 ()) in
+  Alcotest.(check bool) "different seed, different decisions" true (c1 <> c3)
+
+let test_link_down_blackholes () =
+  (* all channels down for the whole run: nothing is delivered, and the
+     drops are counted *)
+  let plan =
+    Faults.make
+      ~down:[ { Faults.w_src = None; w_dst = None; from_t = 0; until_t = 1_000_000 } ]
+      ~seed:1 ()
+  in
+  let engine, stats, net = mk_net ~faults:plan () in
+  let delivered = ref 0 in
+  Network.send net ~src:0 ~dst:1 ~words:4 ~tag:"w" ~at:0 (fun ~arrival:_ ->
+      incr delivered);
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 !delivered;
+  Alcotest.(check int) "drop counted" 1 (Stats.get stats "fault.drops");
+  Alcotest.(check int) "not counted as sent" 0 (Stats.get stats "net.msgs")
+
+(* ------------------------------------------------------------------ *)
+(* Reliable path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_reliable_without_plan_is_plain_send () =
+  let engine, stats, net = mk_net () in
+  let arrived = ref (-1) in
+  Network.send_reliable net ~src:0 ~dst:1 ~words:8 ~tag:"t" ~at:100
+    (fun ~arrival -> arrived := arrival);
+  Engine.run engine;
+  Alcotest.(check int) "same arrival as send"
+    (100 + Network.latency net ~src:0 ~dst:1 ~words:8)
+    !arrived;
+  Alcotest.(check int) "no acks" 1 (Stats.get stats "net.msgs");
+  Alcotest.(check int) "no retransmits" 0 (Stats.get stats "fault.retransmits")
+
+let test_reliable_exactly_once_under_drops () =
+  let plan = Faults.make ~drop:0.25 ~dup:0.15 ~jitter:4 ~seed:5 () in
+  let engine, stats, net = mk_net ~faults:plan () in
+  let n = 60 in
+  let counts = Array.make n 0 in
+  let order = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let src = i mod 3 in
+    Network.send_reliable net ~src ~dst:3 ~words:4 ~tag:"w" ~at:(i * 3)
+      (fun ~arrival:_ ->
+        counts.(i) <- counts.(i) + 1;
+        let prev = Option.value (Hashtbl.find_opt order src) ~default:[] in
+        Hashtbl.replace order src (i :: prev))
+  done;
+  Engine.run engine;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "message %d delivered once" i) 1 c)
+    counts;
+  Hashtbl.iter
+    (fun src l ->
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | [ _ ] | [] -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "channel %d->3 released in send order" src)
+        true
+        (increasing (List.rev l)))
+    order;
+  Alcotest.(check bool) "retransmissions happened" true
+    (Stats.get stats "fault.retransmits" > 0)
+
+let test_reliable_rides_out_link_flap () =
+  (* the link is down when the message is first sent; retransmission
+     backoff must carry it past the window *)
+  let plan =
+    Faults.make
+      ~down:[ { Faults.w_src = None; w_dst = None; from_t = 0; until_t = 400 } ]
+      ~rto:50 ~seed:2 ()
+  in
+  let engine, stats, net = mk_net ~faults:plan () in
+  let arrived = ref (-1) in
+  Network.send_reliable net ~src:0 ~dst:1 ~words:4 ~tag:"w" ~at:0
+    (fun ~arrival -> arrived := arrival);
+  Engine.run engine;
+  Alcotest.(check bool) "delivered after the window" true (!arrived >= 400);
+  Alcotest.(check bool) "timeouts recorded" true
+    (Stats.get stats "fault.timeouts" > 0);
+  Alcotest.(check bool) "backoff sample recorded" true
+    (Stats.sample_count stats "net.retx_backoff_cycles" > 0)
+
+let test_reliable_unreachable_after_retry_cap () =
+  let plan = Faults.make ~drop:1.0 ~rto:8 ~max_retries:3 ~seed:1 () in
+  let engine, stats, net = mk_net ~faults:plan () in
+  Network.send_reliable net ~src:0 ~dst:1 ~words:4 ~tag:"req" ~at:0
+    (fun ~arrival:_ -> Alcotest.fail "must never deliver");
+  (try
+     Engine.run engine;
+     Alcotest.fail "expected Net_unreachable"
+   with Network.Net_unreachable { src; dst; tag; attempts } ->
+     Alcotest.(check int) "src" 0 src;
+     Alcotest.(check int) "dst" 1 dst;
+     Alcotest.(check string) "tag" "req" tag;
+     Alcotest.(check bool) "attempts exceed cap" true (attempts > 3));
+  Alcotest.(check int) "every copy dropped" (Stats.get stats "fault.drops")
+    (4 (* initial + 3 retries *))
+
+let prop_reliable_exactly_once =
+  (* any seeded plan with drop < 1 and retransmission on delivers every
+     reliable send exactly once, in per-channel order; replaying the same
+     (plan, workload) yields identical fault counters *)
+  QCheck.Test.make ~name:"reliable transport: exactly-once under any plan"
+    ~count:60
+    QCheck.(
+      quad (int_bound 1000)
+        (pair (int_bound 30) (int_bound 30))
+        (int_bound 20)
+        (list_of_size Gen.(1 -- 25) (triple (int_bound 3) (int_bound 2) (int_range 1 16))))
+    (fun (fseed, (drop_pct, dup_pct), jitter, msgs) ->
+      let plan =
+        Faults.make
+          ~drop:(float_of_int drop_pct /. 100.)
+          ~dup:(float_of_int dup_pct /. 100.)
+          ~jitter ~max_retries:30 ~seed:fseed ()
+      in
+      let run () =
+        let engine, stats, net = mk_net ~faults:plan () in
+        let n = List.length msgs in
+        let counts = Array.make n 0 in
+        let order = Hashtbl.create 8 in
+        List.iteri
+          (fun i (src, doff, words) ->
+            let dst = (src + 1 + doff) mod 4 in
+            Network.send_reliable net ~src ~dst ~words ~tag:"p" ~at:(i * 2)
+              (fun ~arrival:_ ->
+                counts.(i) <- counts.(i) + 1;
+                let chan = (src, dst) in
+                let prev =
+                  Option.value (Hashtbl.find_opt order chan) ~default:[]
+                in
+                Hashtbl.replace order chan (i :: prev)))
+          msgs;
+        Engine.run engine;
+        (counts, order, Stats.counters stats)
+      in
+      let counts, order, ctrs = run () in
+      let _, _, ctrs2 = run () in
+      Array.for_all (fun c -> c = 1) counts
+      && Hashtbl.fold
+           (fun _ l acc ->
+             let rec increasing = function
+               | a :: (b :: _ as rest) -> a < b && increasing rest
+               | [ _ ] | [] -> true
+             in
+             acc && increasing (List.rev l))
+           order true
+      && ctrs = ctrs2)
+
+(* ------------------------------------------------------------------ *)
+(* Full stack: stress harness over an unreliable interconnect          *)
+(* ------------------------------------------------------------------ *)
+
+let fault_stress_policy policy () =
+  let plan =
+    match Lcm_net.Faults.of_profile "chaos" ~rate:0.05 ~seed:7 with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  match
+    Lcm_harness.Stress.run ~policy ~faults:plan ~cases:6 ~seed:1 ()
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_noretx_stalls_deterministically () =
+  (* losing messages for good must surface as a typed stall, not a hang,
+     and identically on every run *)
+  let plan = Faults.make ~drop:0.3 ~retransmit:false ~seed:7 () in
+  let outcome () =
+    Lcm_harness.Stress.check_case ~seed:1 ~case:0
+      ~policy:Lcm_core.Policy.stache ~faults:plan ()
+  in
+  match (outcome (), outcome ()) with
+  | Error e1, Error e2 ->
+    Alcotest.(check bool) "reported as a stall" true
+      (let has_sub s sub =
+         let n = String.length s and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+         go 0
+       in
+       has_sub e1 "stalled" || has_sub e1 "unreachable");
+    Alcotest.(check string) "deterministic failure report" e1 e2
+  | _ -> Alcotest.fail "expected the lossy no-retx run to fail"
+
+(* ------------------------------------------------------------------ *)
+(* Stats.summary option (empty-sample bugfix)                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_summary_option () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "never-observed series has no summary" true
+    (Stats.summary s "nope" = None);
+  (* resolving a handle without writing must not create a summary *)
+  let h = Stats.sample s "resolved_only" in
+  ignore h;
+  Alcotest.(check bool) "resolved-but-unwritten has no summary" true
+    (Stats.summary s "resolved_only" = None);
+  Alcotest.(check (list string)) "samples listing omits empty series" []
+    (List.map fst (Stats.samples s));
+  (* a real all-zero observation is distinguishable from absence *)
+  Stats.observe s "zeros" 0.0;
+  (match Stats.summary s "zeros" with
+  | Some sm ->
+    Alcotest.(check int) "count" 1 sm.Stats.count;
+    Alcotest.(check (float 0.0)) "min" 0.0 sm.Stats.min;
+    Alcotest.(check (float 0.0)) "max" 0.0 sm.Stats.max
+  | None -> Alcotest.fail "observed series must have a summary");
+  Stats.observe s "xs" 4.0;
+  Stats.observe s "xs" 2.0;
+  match Stats.summary s "xs" with
+  | Some sm ->
+    Alcotest.(check int) "count" 2 sm.Stats.count;
+    Alcotest.(check (float 1e-9)) "mean" 3.0 sm.Stats.mean;
+    Alcotest.(check (float 0.0)) "min" 2.0 sm.Stats.min;
+    Alcotest.(check (float 0.0)) "max" 4.0 sm.Stats.max
+  | None -> Alcotest.fail "observed series must have a summary"
+
+let () =
+  Alcotest.run "lcm_faults"
+    [
+      ( "plans",
+        [
+          ("make validation", `Quick, test_make_validation);
+          ("profiles parse", `Quick, test_profiles_parse);
+          ("link-down windows", `Quick, test_link_down_windows);
+        ] );
+      ( "watchdog",
+        [
+          ("engine stall watchdog", `Quick, test_engine_stall_watchdog);
+          ("sparse schedule is not a stall", `Quick,
+           test_engine_sparse_schedule_is_not_a_stall);
+        ] );
+      ( "lossy",
+        [
+          ("drops replay bit-identically", `Quick, test_lossy_drops_replay);
+          ("link down blackholes", `Quick, test_link_down_blackholes);
+        ] );
+      ( "reliable",
+        [
+          ("no plan = plain send", `Quick, test_reliable_without_plan_is_plain_send);
+          ("exactly once under drops", `Quick, test_reliable_exactly_once_under_drops);
+          ("rides out link flap", `Quick, test_reliable_rides_out_link_flap);
+          ("unreachable after retry cap", `Quick,
+           test_reliable_unreachable_after_retry_cap);
+          QCheck_alcotest.to_alcotest prop_reliable_exactly_once;
+        ] );
+      ( "full stack",
+        [
+          ("stache under chaos", `Quick, fault_stress_policy Lcm_core.Policy.stache);
+          ("lcm-scc under chaos", `Quick, fault_stress_policy Lcm_core.Policy.lcm_scc);
+          ("lcm-mcc under chaos", `Quick, fault_stress_policy Lcm_core.Policy.lcm_mcc);
+          ("lcm-mcc-update under chaos", `Quick,
+           fault_stress_policy Lcm_core.Policy.lcm_mcc_update);
+          ("no-retx stalls deterministically", `Quick,
+           test_noretx_stalls_deterministically);
+        ] );
+      ( "stats",
+        [ ("summary is optional", `Quick, test_stats_summary_option) ] );
+    ]

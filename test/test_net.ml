@@ -52,7 +52,7 @@ let mk_net () =
   let stats = Lcm_util.Stats.create () in
   let net =
     Network.create ~engine ~costs:Lcm_sim.Costs.default ~stats
-      ~topology:Topology.Crossbar ~nnodes:4
+      ~topology:Topology.Crossbar ~nnodes:4 ()
   in
   (engine, stats, net)
 
@@ -82,7 +82,7 @@ let test_network_fifo_per_channel () =
   (* Second message is smaller (lower latency) but must not overtake. *)
   Network.send net ~src:0 ~dst:1 ~words:32 ~tag:"big" ~at:0 (fun ~arrival:_ ->
       log := "big" :: !log);
-  Network.send net ~src:0 ~dst:1 ~words:0 ~tag:"small" ~at:1 (fun ~arrival:_ ->
+  Network.send net ~src:0 ~dst:1 ~words:1 ~tag:"small" ~at:1 (fun ~arrival:_ ->
       log := "small" :: !log);
   Lcm_sim.Engine.run engine;
   Alcotest.(check (list string)) "fifo" [ "big"; "small" ] (List.rev !log)
@@ -92,7 +92,7 @@ let test_network_distinct_channels_independent () =
   let log = ref [] in
   Network.send net ~src:0 ~dst:1 ~words:32 ~tag:"slow" ~at:0 (fun ~arrival:_ ->
       log := "slow" :: !log);
-  Network.send net ~src:2 ~dst:3 ~words:0 ~tag:"fast" ~at:0 (fun ~arrival:_ ->
+  Network.send net ~src:2 ~dst:3 ~words:1 ~tag:"fast" ~at:0 (fun ~arrival:_ ->
       log := "fast" :: !log);
   Lcm_sim.Engine.run engine;
   Alcotest.(check (list string)) "no cross-channel ordering" [ "fast"; "slow" ]
@@ -101,13 +101,52 @@ let test_network_distinct_channels_independent () =
 let test_network_bad_node () =
   let _, _, net = mk_net () in
   Alcotest.check_raises "dst range" (Invalid_argument "Network.send: dst out of range")
-    (fun () -> Network.send net ~src:0 ~dst:4 ~words:0 ~at:0 (fun ~arrival:_ -> ()))
+    (fun () -> Network.send net ~src:0 ~dst:4 ~words:1 ~at:0 (fun ~arrival:_ -> ()))
+
+let test_network_rejects_nonpositive_words () =
+  let _, _, net = mk_net () in
+  Alcotest.check_raises "zero words"
+    (Invalid_argument "Network.send: words must be positive") (fun () ->
+      Network.send net ~src:0 ~dst:1 ~words:0 ~at:0 (fun ~arrival:_ -> ()));
+  Alcotest.check_raises "negative words"
+    (Invalid_argument "Network.send: words must be positive") (fun () ->
+      Network.send net ~src:0 ~dst:1 ~words:(-3) ~at:0 (fun ~arrival:_ -> ()))
+
+let test_network_rejects_negative_at () =
+  let _, _, net = mk_net () in
+  Alcotest.check_raises "negative at"
+    (Invalid_argument "Network.send: at must be >= 0") (fun () ->
+      Network.send net ~src:0 ~dst:1 ~words:1 ~at:(-1) (fun ~arrival:_ -> ()))
+
+let test_network_loopback_semantics () =
+  (* src = dst: delivered at [at + msg_fixed], counted, but no channel
+     occupancy — a later loopback is not serialized behind it, and the
+     loopback does not delay real channel traffic. *)
+  let engine, stats, net = mk_net () in
+  let c = Lcm_sim.Costs.default in
+  let arrivals = ref [] in
+  Network.send net ~src:2 ~dst:2 ~words:8 ~tag:"self" ~at:100 (fun ~arrival ->
+      arrivals := ("a", arrival) :: !arrivals);
+  Network.send net ~src:2 ~dst:2 ~words:8 ~tag:"self" ~at:100 (fun ~arrival ->
+      arrivals := ("b", arrival) :: !arrivals);
+  Lcm_sim.Engine.run engine;
+  let fixed = c.Lcm_sim.Costs.msg_fixed in
+  Alcotest.(check (list (pair string int)))
+    "both arrive at at + msg_fixed, no serialization"
+    [ ("a", 100 + fixed); ("b", 100 + fixed) ]
+    (List.rev !arrivals);
+  Alcotest.(check int) "loopback latency is msg_fixed" fixed
+    (Network.latency net ~src:2 ~dst:2 ~words:8);
+  Alcotest.(check int) "loopback messages counted" 2
+    (Lcm_util.Stats.get stats "net.msgs");
+  Alcotest.(check int) "loopback words counted" 16
+    (Lcm_util.Stats.get stats "net.words")
 
 let test_network_clamps_to_engine_now () =
   let engine, _, net = mk_net () in
   Lcm_sim.Engine.schedule engine ~at:10_000 (fun () ->
       (* a handler reacting to an old message sends "in the past" *)
-      Network.send net ~src:0 ~dst:1 ~words:0 ~tag:"late" ~at:0 (fun ~arrival ->
+      Network.send net ~src:0 ~dst:1 ~words:1 ~tag:"late" ~at:0 (fun ~arrival ->
           Alcotest.(check bool) "not before now" true (arrival >= 10_000)));
   Lcm_sim.Engine.run engine
 
@@ -134,17 +173,22 @@ let prop_network_channel_occupancy =
      min 1) — FIFO order falls out of the spacing. *)
   QCheck.Test.make ~name:"per-channel arrivals spaced by transmission time"
     ~count:100
-    QCheck.(list_of_size Gen.(1 -- 30) (triple (int_bound 3) (int_bound 3) (int_bound 40)))
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 30)
+        (triple (int_bound 3) (int_bound 2) (int_range 1 40)))
     (fun msgs ->
       let engine = Lcm_sim.Engine.create () in
       let stats = Lcm_util.Stats.create () in
       let net =
         Network.create ~engine ~costs:Lcm_sim.Costs.default ~stats
-          ~topology:Topology.Crossbar ~nnodes:4
+          ~topology:Topology.Crossbar ~nnodes:4 ()
       in
       let log = Hashtbl.create 16 in
       List.iter
-        (fun (src, dst, words) ->
+        (fun (src, doff, words) ->
+          (* loopback channels have no occupancy; keep src <> dst *)
+          let dst = (src + 1 + doff) mod 4 in
           Network.send net ~src ~dst ~words ~tag:"p" ~at:0 (fun ~arrival ->
               let chan = (src, dst) in
               let prev = Option.value (Hashtbl.find_opt log chan) ~default:[] in
@@ -166,13 +210,13 @@ let prop_network_delivers_everything_fifo =
   (* random message batches: every message delivered exactly once, and
      per-channel delivery order matches send order *)
   QCheck.Test.make ~name:"all messages delivered, FIFO per channel" ~count:60
-    QCheck.(list (triple (int_bound 3) (int_bound 3) (int_bound 40)))
+    QCheck.(list (triple (int_bound 3) (int_bound 3) (int_range 1 40)))
     (fun msgs ->
       let engine = Lcm_sim.Engine.create () in
       let stats = Lcm_util.Stats.create () in
       let net =
         Network.create ~engine ~costs:Lcm_sim.Costs.default ~stats
-          ~topology:Topology.Crossbar ~nnodes:4
+          ~topology:Topology.Crossbar ~nnodes:4 ()
       in
       let delivered = Hashtbl.create 16 in
       List.iteri
@@ -325,6 +369,10 @@ let () =
           ("bandwidth serializes", `Quick, test_network_bandwidth_serializes);
           ("channels independent", `Quick, test_network_distinct_channels_independent);
           ("bad node", `Quick, test_network_bad_node);
+          ("rejects nonpositive words", `Quick,
+           test_network_rejects_nonpositive_words);
+          ("rejects negative at", `Quick, test_network_rejects_negative_at);
+          ("loopback semantics", `Quick, test_network_loopback_semantics);
           ("clamps to now", `Quick, test_network_clamps_to_engine_now);
           ("stall sample and send stamp", `Quick,
            test_network_stall_sample_and_send_stamp);

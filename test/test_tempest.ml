@@ -302,9 +302,9 @@ let test_handler_occupancy_serializes () =
      completion time reflects the first's occupancy *)
   let m = mk () in
   let times = ref [] in
-  Machine.send m ~src:0 ~dst:2 ~words:0 ~tag:"a" ~at:0 (fun _ ~now ->
+  Machine.send m ~src:0 ~dst:2 ~words:1 ~tag:"a" ~at:0 (fun _ ~now ->
       times := now :: !times);
-  Machine.send m ~src:1 ~dst:2 ~words:0 ~tag:"b" ~at:0 (fun _ ~now ->
+  Machine.send m ~src:1 ~dst:2 ~words:1 ~tag:"b" ~at:0 (fun _ ~now ->
       times := now :: !times);
   Machine.run_to_quiescence m;
   match List.rev !times with
