@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-paper perfbench doc clean examples trace-smoke stress sweep-smoke fault-smoke
+.PHONY: all build test bench bench-paper perfbench doc clean examples trace-smoke stress sweep-smoke fault-smoke policy-matrix
 
 all: build
 
@@ -31,12 +31,20 @@ trace-smoke:
 	dune exec bin/lcm_sim.exe -- trace-validate /tmp/lcm_trace_smoke.json
 
 # Differential protocol stress test: seeded random programs checked
-# word-for-word against a golden per-epoch model, all four policies.
+# word-for-word against a golden per-epoch model, every registered policy
+# (directory and snooping-bus families alike).
 stress:
 	dune exec bin/lcm_sim.exe -- stress --cases 100 --seed 1
 
+# Policy-matrix smoke: for every policy in the registry, a bounded
+# fingerprint determinism check (same seed twice must digest
+# bit-identically), a cross-policy checksum agreement check, and a short
+# differential stress sweep.  Also runs as part of `dune runtest`.
+policy-matrix:
+	dune exec test/test_policy_matrix.exe
+
 # Bounded fixed-seed fault sweep: the differential stress harness across
-# all four policies over a deterministically unreliable interconnect
+# every registered policy over a deterministically unreliable interconnect
 # (chaos profile: drops + duplicates + jitter + link flaps).  A smaller
 # fixed-seed version runs as part of `dune runtest` (test_faults).
 fault-smoke:

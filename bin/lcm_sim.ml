@@ -28,7 +28,8 @@ let topology_conv =
 let system_arg =
   Arg.(value & opt system_conv Config.lcm_mcc
        & info [ "system"; "protocol"; "p" ] ~docv:"SYSTEM"
-           ~doc:"Memory system: stache, lcm-scc or lcm-mcc.")
+           ~doc:(Printf.sprintf "Memory system: %s."
+                   (String.concat ", " Lcm_core.Policy.names)))
 
 let schedule_arg =
   Arg.(value & opt schedule_conv Lcm_cstar.Schedule.Static
@@ -347,7 +348,16 @@ let info_cmd =
     Printf.printf "default machine: %d nodes, %d-word blocks, topology %s\n"
       m.Config.nnodes m.Config.words_per_block
       (Lcm_net.Topology.to_string m.Config.topology);
-    Printf.printf "systems: stache | lcm-scc | lcm-mcc | lcm-mcc-update\n\n";
+    Printf.printf "systems:\n";
+    List.iter
+      (fun (i : Lcm_core.Policy.info) ->
+        let spellings =
+          String.concat "|" (i.Lcm_core.Policy.policy.Lcm_core.Policy.name
+                             :: i.Lcm_core.Policy.aliases)
+        in
+        Printf.printf "  %-28s %s\n" spellings i.Lcm_core.Policy.summary)
+      Lcm_core.Policy.all;
+    Printf.printf "\n";
     Printf.printf "cost model (cycles):\n";
     List.iter
       (fun (k, v) -> Printf.printf "  %-22s %d\n" k v)
@@ -576,8 +586,10 @@ let stress_cmd =
   let policy_arg =
     Arg.(value & opt (some policy_conv) None
          & info [ "policy" ] ~docv:"POLICY"
-             ~doc:"Restrict to one policy (stache, lcm-scc, lcm-mcc or \
-                   lcm-mcc-update); default runs every policy.")
+             ~doc:(Printf.sprintf
+                     "Restrict to one policy (%s); default runs every \
+                      registered policy."
+                     (String.concat ", " Lcm_core.Policy.names)))
   in
   let cases_arg =
     let positive_int =

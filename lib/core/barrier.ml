@@ -55,6 +55,8 @@ let release_time ~costs ~style ~join_times =
     let rec depth n = if n <= 1 then 0 else 1 + depth ((n + arity - 1) / arity) in
     joined + (depth n * msg_cost costs)
 
+let spellings = "constant, flat or tree:<arity>"
+
 let of_string s =
   match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
   | [ "constant" ] -> Ok Constant
@@ -63,7 +65,9 @@ let of_string s =
     match int_of_string_opt a with
     | Some arity when arity >= 2 -> Ok (Tree arity)
     | Some _ | None -> Error "tree: expected arity >= 2")
-  | _ -> Error (Printf.sprintf "unknown barrier style %S" s)
+  | _ ->
+    Error
+      (Printf.sprintf "unknown barrier style %S (expected %s)" s spellings)
 
 let to_string = function
   | Constant -> "constant"

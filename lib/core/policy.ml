@@ -1,44 +1,151 @@
 type write_grant = Exclusive | Lcm_copy
 
-type t = {
-  name : string;
+type directory = {
   parallel_write_grant : write_grant;
   local_clean_copies : bool;
   update_on_reconcile : bool;
 }
 
+type snoop = { exclusive_state : bool; owned_state : bool }
+
+type family = Directory of directory | Snoop of snoop
+
+type t = { name : string; family : family }
+
 let stache =
   {
     name = "stache";
-    parallel_write_grant = Exclusive;
-    local_clean_copies = false;
-    update_on_reconcile = false;
+    family =
+      Directory
+        {
+          parallel_write_grant = Exclusive;
+          local_clean_copies = false;
+          update_on_reconcile = false;
+        };
   }
 
 let lcm_scc =
   {
     name = "lcm-scc";
-    parallel_write_grant = Lcm_copy;
-    local_clean_copies = false;
-    update_on_reconcile = false;
+    family =
+      Directory
+        {
+          parallel_write_grant = Lcm_copy;
+          local_clean_copies = false;
+          update_on_reconcile = false;
+        };
   }
 
 let lcm_mcc =
   {
     name = "lcm-mcc";
-    parallel_write_grant = Lcm_copy;
-    local_clean_copies = true;
-    update_on_reconcile = false;
+    family =
+      Directory
+        {
+          parallel_write_grant = Lcm_copy;
+          local_clean_copies = true;
+          update_on_reconcile = false;
+        };
   }
 
-let lcm_mcc_update = { lcm_mcc with name = "lcm-mcc-update"; update_on_reconcile = true }
+let lcm_mcc_update =
+  {
+    name = "lcm-mcc-update";
+    family =
+      Directory
+        {
+          parallel_write_grant = Lcm_copy;
+          local_clean_copies = true;
+          update_on_reconcile = true;
+        };
+  }
+
+let msi =
+  { name = "msi"; family = Snoop { exclusive_state = false; owned_state = false } }
+
+let mesi =
+  { name = "mesi"; family = Snoop { exclusive_state = true; owned_state = false } }
+
+let moesi =
+  { name = "moesi"; family = Snoop { exclusive_state = true; owned_state = true } }
+
+(* ------------------------------------------------------------------ *)
+(* The registry: the single source of truth for which policies exist.  *)
+(* Every other list of policies (the stress harness, the harness       *)
+(* Config systems, the lcm_sim CLI choices) derives from [all].        *)
+(* ------------------------------------------------------------------ *)
+
+type info = { policy : t; label : string; aliases : string list; summary : string }
+
+let all =
+  [
+    {
+      policy = stache;
+      label = "Stache+copy";
+      aliases = [];
+      summary = "directory; sequentially-consistent single-writer (baseline)";
+    };
+    {
+      policy = lcm_scc;
+      label = "LCM-scc";
+      aliases = [ "scc" ];
+      summary = "directory; LCM, single clean copy at the home";
+    };
+    {
+      policy = lcm_mcc;
+      label = "LCM-mcc";
+      aliases = [ "mcc" ];
+      summary = "directory; LCM, clean copies on every caching node";
+    };
+    {
+      policy = lcm_mcc_update;
+      label = "LCM-mcc-update";
+      aliases = [ "mcc-update"; "update" ];
+      summary = "directory; LCM-mcc with update-based reconciliation";
+    };
+    {
+      policy = msi;
+      label = "MSI";
+      aliases = [];
+      summary = "snooping bus; Modified/Shared/Invalid";
+    };
+    {
+      policy = mesi;
+      label = "MESI";
+      aliases = [];
+      summary = "snooping bus; MSI plus a silent-upgrade Exclusive state";
+    };
+    {
+      policy = moesi;
+      label = "MOESI";
+      aliases = [];
+      summary = "snooping bus; MESI plus an Owned dirty-sharing state";
+    };
+  ]
+
+let policies = List.map (fun i -> i.policy) all
+
+let names = List.map (fun i -> i.policy.name) all
+
+let spellings =
+  (* every accepted spelling, canonical name first — the vocabulary the
+     parse error enumerates *)
+  List.map (fun i -> String.concat "|" (i.policy.name :: i.aliases)) all
 
 let of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "stache" -> Ok stache
-  | "lcm-scc" | "scc" -> Ok lcm_scc
-  | "lcm-mcc" | "mcc" -> Ok lcm_mcc
-  | "lcm-mcc-update" | "mcc-update" | "update" -> Ok lcm_mcc_update
-  | other -> Error (Printf.sprintf "unknown protocol %S" other)
+  let key = String.lowercase_ascii (String.trim s) in
+  match
+    List.find_opt (fun i -> i.policy.name = key || List.mem key i.aliases) all
+  with
+  | Some i -> Ok i.policy
+  | None ->
+    Error
+      (Printf.sprintf "unknown protocol %S (expected one of: %s)" key
+         (String.concat ", " spellings))
 
-let is_lcm p = p.parallel_write_grant = Lcm_copy
+let is_lcm p =
+  match p.family with
+  | Directory d -> d.parallel_write_grant = Lcm_copy
+  | Snoop _ -> false
+
+let is_snoop p = match p.family with Snoop _ -> true | Directory _ -> false

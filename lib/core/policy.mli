@@ -1,21 +1,23 @@
-(** Reconcilable Shared Memory policies.
+(** Coherence-policy descriptions and the policy registry.
 
-    Section 3 of the paper defines RSM as a family of protocols that differ
-    in exactly two program-controlled decisions:
+    A {!t} is pure data naming a point in the protocol design space; the
+    engine that interprets it lives in {!Proto}.  Two families exist:
 
-    + the action taken in response to a {e request} for a location — in
-      particular, whether a write request receives an exclusive copy (after
-      invalidating all others, as in conventional coherent memory) or an
-      {e LCM copy} that is private, writable and allowed to coexist with
-      other writable copies; and
-    + how multiple returned copies are {e reconciled} at the home —
-      overwrite for exclusive copies, per-word last-writer-wins or a
-      registered {!Reduction.t} for LCM copies.
+    - {b Directory} — the paper's RSM family (Section 3): a home-node
+      full-directory protocol whose members differ in exactly two
+      program-controlled decisions: whether a write request receives an
+      exclusive copy (after invalidating all others, as in conventional
+      coherent memory) or an {e LCM copy} that is private, writable and
+      allowed to coexist with other writable copies; and how returned
+      copies reconcile at the home.
+    - {b Snoop} — conventional snooping-bus invalidation protocols
+      (MSI/MESI/MOESI) riding the shared-bus interconnect model
+      ({!Lcm_net.Bus}); the comparison baseline for the directory-vs-bus
+      crossover experiments.
 
-    A {!t} captures the request-side decisions; the reconcile side is the
-    per-region reduction registry held by the protocol engine.  The three
-    systems measured in the paper are {!stache}, {!lcm_scc} and
-    {!lcm_mcc}. *)
+    The {!all} registry is the single source of truth for which policies
+    exist: the stress harness, the harness [Config] systems and the
+    [lcm_sim] CLI choices all derive their lists from it. *)
 
 type write_grant =
   | Exclusive
@@ -24,8 +26,7 @@ type write_grant =
       (** loosely-coherent behaviour: a private inconsistent copy;
           memory reconciles at the next [reconcile_copies] *)
 
-type t = {
-  name : string;
+type directory = {
   parallel_write_grant : write_grant;
       (** what a write fault during a parallel phase receives *)
   local_clean_copies : bool;
@@ -40,6 +41,21 @@ type t = {
           at reconcile time but saves the re-fetch when consumers
           re-reference. *)
 }
+
+type snoop = {
+  exclusive_state : bool;
+      (** MESI/MOESI: a read miss with no other cached copy fills
+          Exclusive, so the first store upgrades silently (no bus
+          transaction) *)
+  owned_state : bool;
+      (** MOESI: a Modified line hit by a bus read downgrades to Owned and
+          keeps supplying the dirty data cache-to-cache instead of writing
+          memory back *)
+}
+
+type family = Directory of directory | Snoop of snoop
+
+type t = { name : string; family : family }
 
 val stache : t
 (** The baseline: user-level sequentially-consistent directory protocol
@@ -56,7 +72,50 @@ val lcm_mcc_update : t
     of modified blocks are refreshed in place at [reconcile_copies] rather
     than invalidated. *)
 
+val msi : t
+(** Snooping-bus invalidation protocol with Modified/Shared/Invalid line
+    states. *)
+
+val mesi : t
+(** MSI plus the Exclusive state: unshared read fills upgrade to Modified
+    without a bus transaction. *)
+
+val moesi : t
+(** MESI plus the Owned state: dirty data is shared cache-to-cache without
+    a memory writeback until the owner evicts. *)
+
+(** {1 The registry} *)
+
+type info = {
+  policy : t;
+  label : string;
+      (** presentation label (e.g. "Stache+copy", "MESI") — the harness
+          Config system labels and figure legends derive from it *)
+  aliases : string list;  (** accepted [of_string] spellings besides [name] *)
+  summary : string;  (** one-line description for [--help] and docs *)
+}
+
+val all : info list
+(** Every registered policy, in presentation order (the four directory
+    policies, then MSI/MESI/MOESI). *)
+
+val policies : t list
+(** [List.map (fun i -> i.policy) all]. *)
+
+val names : string list
+(** Canonical names, in registry order. *)
+
+val spellings : string list
+(** Every accepted spelling per policy, canonical name first, joined with
+    ["|"] (e.g. ["lcm-mcc-update|mcc-update|update"]) — the vocabulary the
+    parse error and the CLI help enumerate. *)
+
 val of_string : string -> (t, string) result
-(** Accepts ["stache"], ["lcm-scc"], ["lcm-mcc"], ["lcm-mcc-update"]. *)
+(** Case-insensitive lookup by canonical name or alias.  The error message
+    enumerates every accepted spelling. *)
 
 val is_lcm : t -> bool
+(** Whether parallel-phase writes receive private LCM copies (the
+    directory family with [Lcm_copy] grants). *)
+
+val is_snoop : t -> bool

@@ -1,0 +1,1127 @@
+module ISet = Lcm_util.Nodeset
+module Machine = Lcm_tempest.Machine
+module Memeff = Lcm_tempest.Memeff
+module Tag = Lcm_tempest.Tag
+module Block = Lcm_mem.Block
+module Gmem = Lcm_mem.Gmem
+module Mask = Lcm_util.Mask
+module Stats = Lcm_util.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Directory state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type dstate =
+  | Home_owned  (* master valid at home; no remote copies *)
+  | Shared of ISet.t  (* read-only copies at these remote nodes *)
+  | Exclusive of int  (* one remote writable copy; master stale *)
+
+type want = Want_ro | Want_rw | Want_lcm
+
+type waiter = { want : want; requester : int }
+
+type busy =
+  | Recalling of waiter
+  | Invalidating of { mutable acks_left : int; waiter : waiter }
+
+type entry = {
+  block : int;
+  mutable dstate : dstate;
+  mutable busy : busy option;
+  waiting : waiter Queue.t;
+  mutable lcm_holders : ISet.t;  (* nodes granted an LCM copy this epoch *)
+  mutable shadow : Block.t option;  (* pending reconciled value *)
+  mutable shadow_mask : Mask.t;  (* words merged into the shadow *)
+  mutable shadow_epoch : int;
+  mutable readers : ISet.t;  (* parallel-phase readers (detection only) *)
+  mutable readers_epoch : int;
+}
+
+(* Reconciliation barrier bookkeeping. *)
+type rstate = {
+  mutable joined : int;
+  mutable join_time : int;
+  join_times : int array;  (* per-node join instants *)
+  done_times : int array;
+      (* per-node completion instants: the join, raised by any sweep
+         invalidation acks the node's homes receive — the inputs to the
+         barrier-release model *)
+  mutable inval_acks_left : int;
+  mutable last_ack_time : int;
+  mutable finished : bool;
+}
+
+(* Counters on the protocol fast paths, resolved once at [install] so the
+   handlers never hash a counter name (see Stats.Handle).  Names are
+   unchanged — these are aliases, not new counters. *)
+type handles = {
+  h_fetch_local : Stats.Handle.counter;
+  h_fetch_remote : Stats.Handle.counter;
+  h_recalls : Stats.Handle.counter;
+  h_invals : Stats.Handle.counter;
+  h_writebacks : Stats.Handle.counter;
+  h_marks : Stats.Handle.counter;
+  h_mark_local : Stats.Handle.counter;
+  h_mark_remote : Stats.Handle.counter;
+  h_implicit_marks : Stats.Handle.counter;
+  h_flush_blocks : Stats.Handle.counter;
+  h_flushes_received : Stats.Handle.counter;
+  h_conflicts : Stats.Handle.counter;
+  h_snapshot_refreshes : Stats.Handle.counter;
+  h_local_restores : Stats.Handle.counter;
+  h_clean_copies : Stats.Handle.counter;
+  h_live_clean_copies : Stats.Handle.counter;
+  h_peak_clean_copies : Stats.Handle.gauge;
+  h_reconcile_invals : Stats.Handle.counter;
+  h_reconcile_updates : Stats.Handle.counter;
+  h_reconciled_blocks : Stats.Handle.counter;
+  h_barrier_wait : Stats.Handle.counter;
+  h_strict_invals : Stats.Handle.counter;
+  h_survived_invals : Stats.Handle.counter;
+  h_stale_pins : Stats.Handle.counter;
+  h_stale_refreshes : Stats.Handle.counter;
+}
+
+let resolve_handles s =
+  {
+    h_fetch_local = Stats.counter s "proto.fetch_local";
+    h_fetch_remote = Stats.counter s "proto.fetch_remote";
+    h_recalls = Stats.counter s "proto.recalls";
+    h_invals = Stats.counter s "proto.invals";
+    h_writebacks = Stats.counter s "proto.writebacks";
+    h_marks = Stats.counter s "lcm.marks";
+    h_mark_local = Stats.counter s "lcm.mark_local";
+    h_mark_remote = Stats.counter s "lcm.mark_remote";
+    h_implicit_marks = Stats.counter s "lcm.implicit_marks";
+    h_flush_blocks = Stats.counter s "lcm.flush_blocks";
+    h_flushes_received = Stats.counter s "lcm.flushes_received";
+    h_conflicts = Stats.counter s "lcm.conflicts";
+    h_snapshot_refreshes = Stats.counter s "lcm.snapshot_refreshes";
+    h_local_restores = Stats.counter s "lcm.local_restores";
+    h_clean_copies = Stats.counter s "lcm.clean_copies";
+    h_live_clean_copies = Stats.counter s "lcm.live_clean_copies";
+    h_peak_clean_copies = Stats.gauge s "lcm.peak_clean_copies";
+    h_reconcile_invals = Stats.counter s "lcm.reconcile_invals";
+    h_reconcile_updates = Stats.counter s "lcm.reconcile_updates";
+    h_reconciled_blocks = Stats.counter s "lcm.reconciled_blocks";
+    h_barrier_wait = Stats.counter s "lcm.barrier_wait_cycles";
+    h_strict_invals = Stats.counter s "detect.strict_invals";
+    h_survived_invals = Stats.counter s "stale.survived_invals";
+    h_stale_pins = Stats.counter s "stale.pins";
+    h_stale_refreshes = Stats.counter s "stale.refreshes";
+  }
+
+type t = {
+  mach : Machine.t;
+  pol : Policy.t;
+  dp : Policy.directory;  (* the directory-family knobs of [pol] *)
+  hs : handles;
+  barrier : Barrier.style;
+  detect : bool;
+  strict_detection : bool;
+  entries : (int, entry) Hashtbl.t;
+  reductions : (int, Reduction.t) Hashtbl.t;  (* block -> operator *)
+  pending_retries : (int, (unit -> unit) list) Hashtbl.t array;  (* per node *)
+  pending_marks : int list ref array;
+      (* per node: blocks marked Lcm_modified since the last flush — so
+         flush_copies touches only marked blocks instead of scanning the
+         whole line table (which is quadratic at scale) *)
+  pending_flush_acks : int array;
+  awaiting_join : bool array;
+  stale_pins : (int, unit) Hashtbl.t array;
+  mutable conflicts : Detect.conflict list;
+  mutable races : Detect.race list;
+  mutable rec_state : rstate option;
+}
+
+let policy t = t.pol
+let machine t = t.mach
+
+let wpb t = Gmem.words_per_block (Machine.gmem t.mach)
+let home_of t b = Gmem.home_of_block (Machine.gmem t.mach) b
+
+let ctrl_words = 2
+let data_words t = wpb t + 2
+
+let get_entry t b =
+  ignore (Machine.master t.mach b);
+  match Hashtbl.find t.entries b with
+  | e -> e
+  | exception Not_found ->
+    let e =
+      {
+        block = b;
+        dstate = Home_owned;
+        busy = None;
+        waiting = Queue.create ();
+        lcm_holders = ISet.empty;
+        shadow = None;
+        shadow_mask = Mask.empty;
+        shadow_epoch = -1;
+        readers = ISet.empty;
+        readers_epoch = -1;
+      }
+    in
+    Hashtbl.add t.entries b e;
+    e
+
+(* Record a parallel-phase reader for race detection (§7.2); readers sets
+   left over from earlier epochs are lazily reset.  Called both from
+   [serve] (remote reads fault and reach the home) and from the machine's
+   read observer (the home's own reads hit its always-readable backing
+   line and never fault). *)
+let note_reader t e node =
+  if t.detect && Machine.phase t.mach = `Parallel then begin
+    if e.readers_epoch <> Machine.epoch t.mach then begin
+      e.readers <- ISet.empty;
+      e.readers_epoch <- Machine.epoch t.mach
+    end;
+    e.readers <- ISet.add node e.readers
+  end
+
+(* §5.1 memory accounting: clean copies (home pending copies and mcc local
+   snapshots) exist only during a parallel call; track the live gauge and
+   its high-water mark.  Decrements for local snapshots happen in
+   Machine.drop_line / install_line when their lines disappear. *)
+let clean_copy_created t =
+  Stats.Handle.incr t.hs.h_clean_copies;
+  Stats.Handle.add t.hs.h_live_clean_copies 1;
+  Stats.Handle.set_max t.hs.h_peak_clean_copies
+    (Stats.Handle.value t.hs.h_live_clean_copies)
+
+(* The home's backing line mirrors the directory state so that the home
+   CPU's own accesses obey coherence: Writable when home-owned, Read_only
+   when shared, Invalid when a remote node holds the block exclusively. *)
+let set_home_tag t b tag =
+  let home = Machine.node t.mach (home_of t b) in
+  match Machine.find_line home b with
+  | Some line when line.Machine.tag = Tag.Lcm_modified ->
+    (* The home's line is currently a private LCM copy (the home CPU marked
+       its own block); the backing-store role is suspended until the flush
+       returns it.  Master reads at the home still go via [master]. *)
+    ()
+  | Some line -> line.Machine.tag <- tag
+  | None ->
+    ignore (Machine.install_line home b ~data:(Machine.master t.mach b) ~tag)
+
+(* Re-install the home backing line as an alias of the master copy (unless
+   the home CPU currently holds a private LCM copy of its own block). *)
+let realias_home_line t b ~tag =
+  let home = Machine.node t.mach (home_of t b) in
+  match Machine.find_line home b with
+  | Some line when line.Machine.tag = Tag.Lcm_modified -> ()
+  | Some _ | None ->
+    Machine.drop_line home b;
+    ignore (Machine.install_line home b ~data:(Machine.master t.mach b) ~tag)
+
+let sharers_of = function
+  | Shared s -> s
+  | Home_owned | Exclusive _ -> ISet.empty
+
+(* ------------------------------------------------------------------ *)
+(* Requester side                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let want_tag = function
+  | Want_ro -> "get_ro"
+  | Want_rw -> "get_rw"
+  | Want_lcm -> "get_lcm"
+
+let note_mark t nid b =
+  t.pending_marks.(nid) := b :: !(t.pending_marks.(nid))
+
+(* Install a granted copy and resume any fibers waiting on the block. *)
+let recv_data t node b data tag ~now =
+  let line = Machine.install_line node b ~data ~tag in
+  if tag = Tag.Lcm_modified then begin
+    note_mark t (Machine.id node) b;
+    if t.dp.Policy.local_clean_copies then begin
+      line.Machine.local_clean <- Some (Block.copy data);
+      clean_copy_created t
+    end
+  end;
+  let nid = Machine.id node in
+  let retries =
+    match Hashtbl.find_opt t.pending_retries.(nid) b with
+    | Some rs -> List.rev rs
+    | None -> []
+  in
+  Hashtbl.remove t.pending_retries.(nid) b;
+  Machine.resume node ~now
+    ~cost:(Machine.costs t.mach).Lcm_sim.Costs.block_install (fun () ->
+      List.iter (fun retry -> retry ()) retries)
+
+let rec request t node b want ~retry =
+  let nid = Machine.id node in
+  let pending = Hashtbl.find_opt t.pending_retries.(nid) b in
+  Hashtbl.replace t.pending_retries.(nid) b
+    (retry :: Option.value pending ~default:[]);
+  match pending with
+  | Some _ -> () (* a request for this block is already in flight *)
+  | None ->
+    let home = home_of t b in
+    Stats.Handle.incr
+      (if home = nid then t.hs.h_fetch_local else t.hs.h_fetch_remote);
+    Machine.send t.mach ~src:nid ~dst:home ~words:ctrl_words ~tag:(want_tag want)
+      ~at:(Machine.clock node) (fun _home_node ~now ->
+        home_recv_get t b { want; requester = nid } ~now)
+
+(* ------------------------------------------------------------------ *)
+(* Home side                                                           *)
+(* ------------------------------------------------------------------ *)
+
+and home_recv_get t b w ~now =
+  let e = get_entry t b in
+  match e.busy with
+  | Some _ -> Queue.add w e.waiting
+  | None -> serve t e w ~now
+
+(* Reply with a copy of the master under the given tag.  When the
+   requester IS the home the grant completes synchronously with the
+   directory transition (the home's memory is the master: non-LCM grants
+   re-alias the backing line rather than copying).  A deferred self-message
+   would leave a window in which a later remote grant invalidates the home
+   line only for the in-flight install to resurrect it. *)
+and reply_data t e requester kind ~now =
+  let b = e.block in
+  let home = home_of t b in
+  let master = Machine.master t.mach b in
+  let tag, mtag =
+    match kind with
+    | Want_ro -> (Tag.Read_only, "data_ro")
+    | Want_rw -> (Tag.Writable, "data_rw")
+    | Want_lcm -> (Tag.Lcm_modified, "data_lcm")
+  in
+  if requester = home then
+    let data = if kind = Want_lcm then Block.copy master else master in
+    recv_data t (Machine.node t.mach home) b data tag ~now
+  else
+    let data = Block.copy master in
+    Machine.send t.mach ~src:home ~dst:requester ~words:(data_words t)
+      ~tag:mtag ~at:now (fun rnode ~now -> recv_data t rnode b data tag ~now)
+
+and serve t e w ~now =
+  let b = e.block in
+  match (e.dstate, w.want) with
+  | Exclusive owner, _ when owner <> w.requester ->
+    (* Recall the remote writable copy before serving anyone. *)
+    e.busy <- Some (Recalling w);
+    Stats.Handle.incr t.hs.h_recalls;
+    let home = home_of t b in
+    Machine.send t.mach ~src:home ~dst:owner ~words:ctrl_words ~tag:"recall"
+      ~at:now (fun onode ~now -> owner_recv_recall t b onode ~now)
+  | Exclusive owner, (Want_ro | Want_rw | Want_lcm) ->
+    (* A request from the recorded owner cannot happen: an owner only loses
+       its copy by eviction or recall, and the corresponding Put travels
+       the same FIFO channel ahead of any new request, clearing the
+       exclusive state first.  Serving the (stale) master here would be a
+       silent corruption — fail loudly instead. *)
+    failwith
+      (Printf.sprintf
+         "Proto: block %d: request from recorded exclusive owner %d" b owner)
+  | (Home_owned | Shared _), Want_ro ->
+    (* the home itself is never listed as a sharer: its line re-aliases *)
+    (if w.requester <> home_of t b then begin
+       e.dstate <- Shared (ISet.add w.requester (sharers_of e.dstate));
+       set_home_tag t b Tag.Read_only
+     end);
+    note_reader t e w.requester;
+    reply_data t e w.requester Want_ro ~now
+  | (Home_owned | Shared _), Want_rw ->
+    let home = home_of t b in
+    let others = ISet.remove w.requester (sharers_of e.dstate) in
+    if ISet.is_empty others then begin
+      (* The home owning the master IS exclusive ownership: no directory
+         state change, just a writable re-alias of the backing line. *)
+      if w.requester = home then e.dstate <- Home_owned
+      else begin
+        e.dstate <- Exclusive w.requester;
+        set_home_tag t b Tag.Invalid
+      end;
+      reply_data t e w.requester Want_rw ~now
+    end
+    else begin
+      let busy = Invalidating { acks_left = ISet.cardinal others; waiter = w } in
+      e.busy <- Some busy;
+      let home = home_of t b in
+      ISet.iter
+        (fun sharer ->
+          Stats.Handle.incr t.hs.h_invals;
+          Machine.send t.mach ~src:home ~dst:sharer ~words:ctrl_words
+            ~tag:"inval" ~at:now (fun snode ~now ->
+              sharer_recv_inval t b snode ~now
+                ~ack:(fun ~now ->
+                  Machine.send t.mach ~src:(Machine.id snode) ~dst:home
+                    ~words:ctrl_words ~tag:"inval_ack" ~at:now
+                    (fun _ ~now -> home_recv_inval_ack t b ~now))))
+        others
+    end
+  | (Home_owned | Shared _), Want_lcm ->
+    (* Grant a private, inconsistent copy of the phase-start value.  A
+       remote requester also registers as a sharer so that the
+       post-reconcile invalidation sweep (and any later exclusive grant)
+       reaches the restored read-only copy LCM-mcc keeps. *)
+    (if w.requester <> home_of t b then begin
+       e.dstate <- Shared (ISet.add w.requester (sharers_of e.dstate));
+       set_home_tag t b Tag.Read_only
+     end);
+    e.lcm_holders <- ISet.add w.requester e.lcm_holders;
+    reply_data t e w.requester Want_lcm ~now
+
+and drain t e ~now =
+  if e.busy = None && not (Queue.is_empty e.waiting) then begin
+    let w = Queue.pop e.waiting in
+    serve t e w ~now;
+    drain t e ~now
+  end
+
+and owner_recv_recall t b onode ~now =
+  let home = home_of t b in
+  let nid = Machine.id onode in
+  match Machine.find_line onode b with
+  | Some line when line.Machine.tag = Tag.Writable ->
+    let data = Block.copy line.Machine.data in
+    Machine.drop_line onode b;
+    Stats.Handle.incr t.hs.h_writebacks;
+    Machine.send t.mach ~src:nid ~dst:home ~words:(data_words t) ~tag:"put"
+      ~at:now (fun _ ~now -> home_recv_put t b (Some data) ~from:nid ~mark:false ~now)
+  | Some _ | None ->
+    (* Already evicted or marked: the corresponding Put travelled first on
+       this FIFO channel, so the home's master is already current. *)
+    Machine.send t.mach ~src:nid ~dst:home ~words:ctrl_words ~tag:"recall_nack"
+      ~at:now (fun _ ~now -> home_recv_recall_nack t b ~now)
+
+and home_recv_put t b data ~from ~mark ~now =
+  let e = get_entry t b in
+  let master = Machine.master t.mach b in
+  (match data with Some d -> Block.blit ~src:d ~dst:master | None -> ());
+  (match e.dstate with
+  | Exclusive o when o = from ->
+    e.dstate <- Home_owned;
+    realias_home_line t b ~tag:Tag.Writable
+  | Exclusive _ | Home_owned | Shared _ -> ());
+  if mark then e.lcm_holders <- ISet.add from e.lcm_holders;
+  (match e.busy with
+  | Some (Recalling w) ->
+    e.busy <- None;
+    serve t e w ~now;
+    drain t e ~now
+  | Some (Invalidating _) | None -> ())
+
+and home_recv_recall_nack t b ~now =
+  let e = get_entry t b in
+  match e.busy with
+  | Some (Recalling w) ->
+    e.busy <- None;
+    serve t e w ~now;
+    drain t e ~now
+  | Some (Invalidating _) | None -> ()
+
+and home_recv_inval_ack t b ~now =
+  let e = get_entry t b in
+  match e.busy with
+  | Some (Invalidating i) ->
+    i.acks_left <- i.acks_left - 1;
+    if i.acks_left = 0 then begin
+      if i.waiter.requester = home_of t b then e.dstate <- Home_owned
+      else begin
+        e.dstate <- Exclusive i.waiter.requester;
+        set_home_tag t b Tag.Invalid
+      end;
+      reply_data t e i.waiter.requester Want_rw ~now;
+      e.busy <- None;
+      drain t e ~now
+    end
+  | Some (Recalling _) | None -> ()
+
+and sharer_recv_inval t b snode ~now ~ack =
+  let nid = Machine.id snode in
+  if Hashtbl.mem t.stale_pins.(nid) b then
+    Stats.Handle.incr t.hs.h_survived_invals
+  else begin
+    match Machine.find_line snode b with
+    | Some line when not line.Lcm_tempest.Machine.is_home_line ->
+      Machine.drop_line snode b
+    | Some _ | None -> ()
+  end;
+  ack ~now
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_fault t node ~addr ~retry =
+  let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
+  request t node b Want_ro ~retry
+
+(* Helpers of [mark_parallel], hoisted so the hot path allocates no
+   closures. *)
+let snapshot_clean t node (line : Machine.line) ~costs =
+  if t.dp.Policy.local_clean_copies then begin
+    (match line.Machine.local_clean with
+    | Some clean -> Block.blit ~src:line.Machine.data ~dst:clean
+    | None ->
+      line.Machine.local_clean <- Some (Block.copy line.Machine.data);
+      clean_copy_created t);
+    Stats.Handle.incr t.hs.h_snapshot_refreshes;
+    Machine.advance_clock node costs.Lcm_sim.Costs.local_copy
+  end
+
+let unalias_if_home t (line : Machine.line) ~home ~nid ~b =
+  if home = nid && line.Machine.data == Machine.master t.mach b then
+    line.Machine.data <- Block.copy line.Machine.data
+
+(* mark_modification: obtain (or upgrade to) a private writable copy of the
+   block holding [addr].  Local upgrades need no communication except for a
+   remotely-owned exclusive block, whose current value must first reach the
+   home so that reconciliation baselines are correct. *)
+let rec mark t node ~addr ~retry =
+  let g = Machine.gmem t.mach in
+  let b = Gmem.block_of_addr g addr in
+  if Machine.phase t.mach = `Sequential then
+    (* mark_modification outside a parallel call degrades to an ordinary
+       coherent write acquire: there is nothing to reconcile against. *)
+    match Machine.find_line node b with
+    | Some line when Tag.writable line.Lcm_tempest.Machine.tag -> retry ()
+    | Some _ | None -> request t node b Want_rw ~retry
+  else mark_parallel t node ~addr ~retry
+
+and mark_parallel t node ~addr ~retry =
+  Stats.Handle.incr t.hs.h_marks;
+  let g = Machine.gmem t.mach in
+  let b = Gmem.block_of_addr g addr in
+  let nid = Machine.id node in
+  let home = home_of t b in
+  if home = nid then ignore (Machine.master t.mach b);
+  let costs = Machine.costs t.mach in
+  match Machine.find_line node b with
+  | Some line when line.Machine.tag = Tag.Lcm_modified -> retry ()
+  | Some line when line.Machine.tag = Tag.Writable ->
+    Stats.Handle.incr t.hs.h_mark_local;
+    if home = nid then begin
+      unalias_if_home t line ~home ~nid ~b;
+      let e = get_entry t b in
+      e.lcm_holders <- ISet.add nid e.lcm_holders
+    end
+    else begin
+      (* Remote exclusive owner: push the current value home (it is the
+         phase-start value) and keep a private copy.  FIFO ordering
+         guarantees the Put precedes any flush from this node. *)
+      let data = Block.copy line.Machine.data in
+      Machine.send t.mach ~src:nid ~dst:home ~words:(data_words t)
+        ~tag:"put_mark" ~at:(Machine.clock node) (fun _ ~now ->
+          home_recv_put t b (Some data) ~from:nid ~mark:true ~now)
+    end;
+    line.Machine.tag <- Tag.Lcm_modified;
+    line.Machine.dirty <- Mask.empty;
+    note_mark t nid b;
+    snapshot_clean t node line ~costs;
+    Machine.advance_clock node costs.Lcm_sim.Costs.block_install;
+    retry ()
+  | Some line when line.Machine.tag = Tag.Read_only ->
+    Stats.Handle.incr t.hs.h_mark_local;
+    unalias_if_home t line ~home ~nid ~b;
+    (if home = nid then
+       let e = get_entry t b in
+       e.lcm_holders <- ISet.add nid e.lcm_holders);
+    line.Machine.tag <- Tag.Lcm_modified;
+    line.Machine.dirty <- Mask.empty;
+    note_mark t nid b;
+    snapshot_clean t node line ~costs;
+    Machine.advance_clock node costs.Lcm_sim.Costs.block_install;
+    retry ()
+  | Some _ | None ->
+    Stats.Handle.incr t.hs.h_mark_remote;
+    request t node b Want_lcm ~retry
+
+let write_fault t node ~addr ~retry =
+  let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
+  match (Machine.phase t.mach, t.dp.Policy.parallel_write_grant) with
+  | `Parallel, Policy.Lcm_copy ->
+    (* Unannotated write during a parallel phase: LCM detects the unusual
+       case and handles it as an implicit mark_modification. *)
+    Stats.Handle.incr t.hs.h_implicit_marks;
+    mark t node ~addr ~retry
+  | (`Sequential | `Parallel), (Policy.Exclusive | Policy.Lcm_copy) ->
+    request t node b Want_rw ~retry
+
+(* ------------------------------------------------------------------ *)
+(* Flushing and reconciliation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A node joined the reconcile barrier once all its flushes are acked. *)
+let try_finish_reconcile t ~now:_ =
+  match t.rec_state with
+  | Some r when (not r.finished) && r.joined = Machine.nnodes t.mach
+                && r.inval_acks_left = 0 ->
+    r.finished <- true;
+    let barrier_release =
+      Barrier.release_time ~costs:(Machine.costs t.mach) ~style:t.barrier
+        ~join_times:r.done_times
+    in
+    let release = max barrier_release r.last_ack_time in
+    (* Per-node wait: each node idles from when it finished its own work
+       (done_times) until the collective release. *)
+    Array.iter
+      (fun done_t ->
+        Stats.Handle.add t.hs.h_barrier_wait (release - done_t))
+      r.done_times;
+    Machine.set_all_clocks t.mach release;
+    Machine.incr_epoch t.mach;
+    Machine.trace_emit t.mach ~time:release
+      (Machine.Trace.Barrier_release { nnodes = Machine.nnodes t.mach });
+    Machine.trace_emit t.mach ~time:release
+      (Machine.Trace.Epoch_advance { epoch = Machine.epoch t.mach });
+    Machine.set_phase t.mach `Sequential
+  | Some _ | None -> ()
+
+(* Merge one returned copy into the block's pending (shadow) value: the
+   reconciliation point of RSM.  Creates the epoch's clean copy on first
+   touch; applies the registered reduction operator or per-word
+   last-writer-wins with conflict detection. *)
+let merge_flush t b data mask ~from ~epoch =
+  let e = get_entry t b in
+  if epoch <> Machine.epoch t.mach then
+    failwith "Proto: flush from a stale epoch";
+  let master = Machine.master t.mach b in
+  (match e.shadow with
+  | Some _ when e.shadow_epoch = epoch -> ()
+  | Some _ | None ->
+    e.shadow <- Some (Block.copy master);
+    e.shadow_mask <- Mask.empty;
+    e.shadow_epoch <- epoch;
+    clean_copy_created t);
+  let shadow = match e.shadow with Some s -> s | None -> assert false in
+  (match Hashtbl.find_opt t.reductions b with
+  | Some op ->
+    Mask.iter mask (fun i ->
+        shadow.(i) <-
+          op.Reduction.combine ~clean:master.(i) ~current:shadow.(i)
+            ~incoming:data.(i))
+  | None ->
+    let overlap = Mask.inter mask e.shadow_mask in
+    if not (Mask.is_empty overlap) then begin
+      Stats.Handle.incr t.hs.h_conflicts;
+      if t.detect then
+        t.conflicts <- { Detect.block = b; words = overlap; writer = from } :: t.conflicts
+    end;
+    Block.merge_masked ~src:data ~dst:shadow ~mask);
+  e.shadow_mask <- Mask.union e.shadow_mask mask;
+  e.lcm_holders <- ISet.remove from e.lcm_holders;
+  (if t.dp.Policy.local_clean_copies && from <> home_of t b then
+     e.dstate <- Shared (ISet.add from (sharers_of e.dstate)));
+  Stats.Handle.incr t.hs.h_flushes_received
+
+let rec home_recv_flush t b data mask ~from ~epoch ~now =
+  merge_flush t b data mask ~from ~epoch;
+  let home = home_of t b in
+  Machine.send t.mach ~src:home ~dst:from ~words:ctrl_words ~tag:"flush_ack"
+    ~at:now (fun fnode ~now ->
+      let nid = Machine.id fnode in
+      t.pending_flush_acks.(nid) <- t.pending_flush_acks.(nid) - 1;
+      if t.awaiting_join.(nid) && t.pending_flush_acks.(nid) = 0 then begin
+        t.awaiting_join.(nid) <- false;
+        match t.rec_state with
+        | Some r ->
+          r.joined <- r.joined + 1;
+          r.join_time <- max r.join_time now;
+          r.join_times.(nid) <- now;
+          r.done_times.(nid) <- max r.done_times.(nid) now;
+          Machine.trace_emit t.mach ~time:now
+            (Machine.Trace.Barrier_enter { node = nid });
+          if r.joined = Machine.nnodes t.mach then start_sweep t ~now
+        | None -> ()
+      end)
+
+(* flush_copies(): return every locally-modified LCM block to its home.
+   scc drops the local copy (the next access refetches the clean value);
+   mcc reinitialises it from the local clean copy and keeps it readable. *)
+and flush_node t node =
+  let costs = Machine.costs t.mach in
+  let nid = Machine.id node in
+  let epoch = Machine.epoch t.mach in
+  let blocks = List.sort_uniq Int.compare !(t.pending_marks.(nid)) in
+  t.pending_marks.(nid) := [];
+  List.iter
+    (fun b ->
+      match Machine.find_line node b with
+      | None -> () (* evicted mid-phase: its flush already went home *)
+      | Some line when line.Machine.tag <> Tag.Lcm_modified -> ()
+      | Some line ->
+        if Mask.is_empty line.Machine.dirty then begin
+          (* Marked but never written: the copy still equals the clean
+             value, so it can simply revert to a read-only copy. *)
+          line.Machine.tag <- Tag.Read_only
+        end
+        else begin
+          Stats.Handle.incr t.hs.h_flush_blocks;
+          let data = Block.copy line.Machine.data in
+          let mask = line.Machine.dirty in
+          Machine.advance_clock node costs.Lcm_sim.Costs.local_copy;
+          let home = home_of t b in
+          if home = nid then begin
+            (* flushing a locally-homed block is a local memory operation:
+               merge into the pending copy on the spot *)
+            Machine.advance_clock node costs.Lcm_sim.Costs.local_copy;
+            merge_flush t b data mask ~from:nid ~epoch
+          end
+          else begin
+            t.pending_flush_acks.(nid) <- t.pending_flush_acks.(nid) + 1;
+            Machine.send t.mach ~src:nid ~dst:home ~words:(data_words t + 1)
+              ~tag:"flush" ~at:(Machine.clock node) (fun _ ~now ->
+                home_recv_flush t b data mask ~from:nid ~epoch ~now)
+          end;
+          if t.dp.Policy.local_clean_copies then begin
+            (match line.Machine.local_clean with
+            | Some clean -> Block.blit ~src:clean ~dst:line.Machine.data
+            | None ->
+              (* An implicit mark on a block fetched before the policy took
+                 effect cannot happen: mcc snapshots at every mark/fill. *)
+              assert false);
+            line.Machine.tag <- Tag.Read_only;
+            line.Machine.dirty <- Mask.empty;
+            Stats.Handle.incr t.hs.h_local_restores;
+            Machine.advance_clock node costs.Lcm_sim.Costs.local_copy
+          end
+          else Machine.drop_line node b
+        end)
+    blocks
+
+(* Promote shadows to the new global state and invalidate outstanding
+   copies of every modified block. *)
+and start_sweep t ~now =
+  let r = match t.rec_state with Some r -> r | None -> assert false in
+  let epoch = Machine.epoch t.mach in
+  let sweep_time = max r.join_time now in
+  let blocks =
+    Hashtbl.fold (fun b _ acc -> b :: acc) t.entries [] |> List.sort Int.compare
+  in
+  List.iter
+    (fun b ->
+      let e = match Hashtbl.find_opt t.entries b with Some e -> e | None -> assert false in
+      (* Strict detection (§7.3): actual races need every read-only copy
+         flushed at synchronization points, so that the next phase's reads
+         fault and register — otherwise a copy cached in an earlier phase
+         satisfies reads invisibly. *)
+      let modified_this_epoch =
+        match e.shadow with Some _ -> e.shadow_epoch = epoch | None -> false
+      in
+      (if t.strict_detection && not modified_this_epoch then begin
+         let home = home_of t b in
+         let targets = ISet.remove home (sharers_of e.dstate) in
+         ISet.iter
+           (fun target ->
+             r.inval_acks_left <- r.inval_acks_left + 1;
+             Stats.Handle.incr t.hs.h_strict_invals;
+             Machine.send t.mach ~src:home ~dst:target ~words:ctrl_words
+               ~tag:"inval" ~at:sweep_time (fun snode ~now ->
+                 sharer_recv_inval t b snode ~now ~ack:(fun ~now ->
+                     Machine.send t.mach ~src:(Machine.id snode) ~dst:home
+                       ~words:ctrl_words ~tag:"inval_ack" ~at:now
+                       (fun _ ~now ->
+                         r.inval_acks_left <- r.inval_acks_left - 1;
+                         r.last_ack_time <- max r.last_ack_time now;
+                         r.done_times.(home) <- max r.done_times.(home) now;
+                         try_finish_reconcile t ~now))))
+           targets;
+         if not (ISet.is_empty targets) then begin
+           e.dstate <- Home_owned;
+           realias_home_line t b ~tag:Tag.Writable
+         end
+       end);
+      (match e.shadow with
+      | Some shadow when e.shadow_epoch = epoch ->
+        Block.blit ~src:shadow ~dst:(Machine.master t.mach b);
+        e.shadow <- None;
+        Stats.Handle.add t.hs.h_live_clean_copies (-1);
+        Stats.Handle.incr t.hs.h_reconciled_blocks;
+        if t.detect && e.readers_epoch = epoch && not (ISet.is_empty e.readers)
+        then
+          t.races <-
+            { Detect.block = b; readers = ISet.elements e.readers } :: t.races;
+        (* Invalidate every outstanding copy; the home line re-aliases the
+           new master. *)
+        let home = home_of t b in
+        let targets =
+          ISet.remove home (ISet.union (sharers_of e.dstate) e.lcm_holders)
+        in
+        let ack_from snode ~now =
+          Machine.send t.mach ~src:(Machine.id snode) ~dst:home
+            ~words:ctrl_words ~tag:"inval_ack" ~at:now (fun _ ~now ->
+              r.inval_acks_left <- r.inval_acks_left - 1;
+              r.last_ack_time <- max r.last_ack_time now;
+              r.done_times.(home) <- max r.done_times.(home) now;
+              try_finish_reconcile t ~now)
+        in
+        if t.dp.Policy.update_on_reconcile then begin
+          (* update-based reconciliation: push the new value into every
+             outstanding read-only copy instead of invalidating it *)
+          let fresh = Block.copy (Machine.master t.mach b) in
+          ISet.iter
+            (fun target ->
+              r.inval_acks_left <- r.inval_acks_left + 1;
+              Stats.Handle.incr t.hs.h_reconcile_updates;
+              Machine.send t.mach ~src:home ~dst:target ~words:(data_words t)
+                ~tag:"update" ~at:sweep_time (fun snode ~now ->
+                  (match Machine.find_line snode b with
+                  | Some line
+                    when line.Machine.tag = Tag.Read_only
+                         && not (Hashtbl.mem t.stale_pins.(Machine.id snode) b)
+                    ->
+                    Block.blit ~src:fresh ~dst:line.Machine.data
+                  | Some _ | None -> () (* dropped, pinned or upgraded *));
+                  ack_from snode ~now))
+            targets;
+          (* copies stay valid: the sharer set survives reconciliation *)
+          if ISet.is_empty targets then begin
+            e.dstate <- Home_owned;
+            realias_home_line t b ~tag:Tag.Writable
+          end
+          else begin
+            e.dstate <- Shared targets;
+            realias_home_line t b ~tag:Tag.Read_only
+          end
+        end
+        else begin
+          ISet.iter
+            (fun target ->
+              r.inval_acks_left <- r.inval_acks_left + 1;
+              Stats.Handle.incr t.hs.h_reconcile_invals;
+              Machine.send t.mach ~src:home ~dst:target ~words:ctrl_words
+                ~tag:"inval" ~at:sweep_time (fun snode ~now ->
+                  sharer_recv_inval t b snode ~now ~ack:(fun ~now ->
+                      ack_from snode ~now)))
+            targets;
+          e.dstate <- Home_owned;
+          realias_home_line t b ~tag:Tag.Writable
+        end
+      | Some _ | None -> ());
+      e.lcm_holders <- ISet.empty;
+      e.readers <- ISet.empty)
+    blocks;
+  try_finish_reconcile t ~now
+
+let reconcile t =
+  if Machine.active_fibers t.mach > 0 then
+    failwith "Proto.reconcile: fibers still running";
+  let nnodes = Machine.nnodes t.mach in
+  let r =
+    {
+      joined = 0;
+      join_time = 0;
+      join_times = Array.make nnodes 0;
+      done_times = Array.make nnodes 0;
+      inval_acks_left = 0;
+      last_ack_time = 0;
+      finished = false;
+    }
+  in
+  t.rec_state <- Some r;
+  for i = 0 to nnodes - 1 do
+    t.awaiting_join.(i) <- true
+  done;
+  for i = 0 to nnodes - 1 do
+    let node = Machine.node t.mach i in
+    flush_node t node;
+    if t.pending_flush_acks.(i) = 0 then begin
+      t.awaiting_join.(i) <- false;
+      r.joined <- r.joined + 1;
+      r.join_time <- max r.join_time (Machine.clock node);
+      r.join_times.(i) <- Machine.clock node;
+      r.done_times.(i) <- max r.done_times.(i) (Machine.clock node);
+      Machine.trace_emit t.mach ~time:(Machine.clock node)
+        (Machine.Trace.Barrier_enter { node = i })
+    end
+  done;
+  if r.joined = nnodes then
+    start_sweep t ~now:(Lcm_sim.Engine.now (Machine.engine t.mach));
+  Machine.run_to_quiescence t.mach;
+  (match t.rec_state with
+  | Some r when r.finished -> ()
+  | Some _ | None -> failwith "Proto.reconcile: barrier did not complete");
+  t.rec_state <- None
+
+let begin_parallel t =
+  if Machine.active_fibers t.mach > 0 then
+    failwith "Proto.begin_parallel: fibers still running";
+  Machine.set_phase t.mach `Parallel
+
+(* ------------------------------------------------------------------ *)
+(* Directives, eviction, installation                                  *)
+(* ------------------------------------------------------------------ *)
+
+let note_directive t node name =
+  Machine.trace_emit t.mach ~time:(Machine.clock node)
+    (Machine.Trace.Directive { node = Machine.id node; name })
+
+let directive t node d ~retry =
+  match d with
+  | Memeff.Mark_modification addr ->
+    note_directive t node "mark_modification";
+    if Policy.is_lcm t.pol then mark t node ~addr ~retry
+    else retry () (* Stache: C** code compiled for LCM run unchanged *)
+  | Memeff.Flush_copies ->
+    note_directive t node "flush_copies";
+    if Policy.is_lcm t.pol then flush_node t node;
+    retry ()
+  | Stale.Pin_stale addr ->
+    note_directive t node "pin_stale";
+    let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
+    Hashtbl.replace t.stale_pins.(Machine.id node) b ();
+    Stats.Handle.incr t.hs.h_stale_pins;
+    retry ()
+  | Stale.Refresh addr ->
+    note_directive t node "refresh";
+    let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
+    let nid = Machine.id node in
+    Hashtbl.remove t.stale_pins.(nid) b;
+    (match Machine.find_line node b with
+    | Some line when not line.Machine.is_home_line ->
+      Machine.drop_line node b;
+      Stats.Handle.incr t.hs.h_stale_refreshes
+    | Some _ | None -> ());
+    retry ()
+  | _ -> failwith "Proto: unknown memory-system directive"
+
+let evict t node b line =
+  let nid = Machine.id node in
+  let home = home_of t b in
+  match line.Machine.tag with
+  | Tag.Invalid -> ()
+  | Tag.Read_only ->
+    Machine.send t.mach ~src:nid ~dst:home ~words:ctrl_words ~tag:"evict_ro"
+      ~at:(Machine.clock node) (fun _ ~now:_ ->
+        let e = get_entry t b in
+        match e.dstate with
+        | Shared s -> e.dstate <- Shared (ISet.remove nid s)
+        | Home_owned | Exclusive _ -> ())
+  | Tag.Writable ->
+    let data = Block.copy line.Machine.data in
+    Stats.Handle.incr t.hs.h_writebacks;
+    Machine.send t.mach ~src:nid ~dst:home ~words:(data_words t) ~tag:"put"
+      ~at:(Machine.clock node) (fun _ ~now ->
+        home_recv_put t b (Some data) ~from:nid ~mark:false ~now)
+  | Tag.Lcm_modified ->
+    if not (Mask.is_empty line.Machine.dirty) then begin
+      let data = Block.copy line.Machine.data in
+      let mask = line.Machine.dirty in
+      let epoch = Machine.epoch t.mach in
+      Stats.Handle.incr t.hs.h_flush_blocks;
+      if home = nid then merge_flush t b data mask ~from:nid ~epoch
+      else begin
+        t.pending_flush_acks.(nid) <- t.pending_flush_acks.(nid) + 1;
+        Machine.send t.mach ~src:nid ~dst:home ~words:(data_words t + 1)
+          ~tag:"flush" ~at:(Machine.clock node) (fun _ ~now ->
+            home_recv_flush t b data mask ~from:nid ~epoch ~now)
+      end
+    end
+
+let register_reduction t ~base ~nwords op =
+  List.iter
+    (fun b -> Hashtbl.replace t.reductions b op)
+    (Gmem.region_blocks (Machine.gmem t.mach) base ~nwords)
+
+let conflicts t = List.rev t.conflicts
+let races t = List.rev t.races
+
+let rec dump_block t b =
+  match home_of t b with
+  | exception Invalid_argument _ -> Printf.sprintf "block %d: unallocated" b
+  | home -> dump_block_at t b ~home
+
+and dump_block_at t b ~home =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "block %d (home %d): " b home);
+  (match Hashtbl.find_opt t.entries b with
+  | None -> Buffer.add_string buf "no directory entry"
+  | Some e ->
+    (match e.dstate with
+    | Home_owned -> Buffer.add_string buf "home-owned"
+    | Exclusive o -> Buffer.add_string buf (Printf.sprintf "exclusive@%d" o)
+    | Shared s ->
+      Buffer.add_string buf
+        (Printf.sprintf "shared{%s}"
+           (String.concat "," (List.map string_of_int (ISet.elements s)))));
+    if not (ISet.is_empty e.lcm_holders) then
+      Buffer.add_string buf
+        (Printf.sprintf " lcm{%s}"
+           (String.concat "," (List.map string_of_int (ISet.elements e.lcm_holders))));
+    (match e.shadow with
+    | Some _ when e.shadow_epoch = Machine.epoch t.mach ->
+      Buffer.add_string buf
+        (Printf.sprintf " shadow%s" (Format.asprintf "%a" Mask.pp e.shadow_mask))
+    | Some _ | None -> ());
+    if e.busy <> None then Buffer.add_string buf " BUSY";
+    if not (Queue.is_empty e.waiting) then
+      Buffer.add_string buf (Printf.sprintf " %d-waiting" (Queue.length e.waiting)));
+  Buffer.add_string buf "; copies:";
+  Array.iter
+    (fun node ->
+      match Machine.find_line node b with
+      | Some line ->
+        Buffer.add_string buf
+          (Printf.sprintf " %d:%s" (Machine.id node) (Tag.to_string line.Machine.tag))
+      | None -> ())
+    (Machine.nodes t.mach);
+  Buffer.contents buf
+
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let nnodes = Machine.nnodes t.mach in
+  let parallel = Machine.phase t.mach = `Parallel in
+  Hashtbl.iter
+    (fun b (e : entry) ->
+      let home = home_of t b in
+      let master = Machine.master t.mach b in
+      (if e.busy <> None then err "block %d: busy transaction while quiescent" b);
+      (if not (Queue.is_empty e.waiting) then
+         err "block %d: %d queued waiters while quiescent" b
+           (Queue.length e.waiting));
+      (if (not parallel) && e.shadow <> None && e.shadow_epoch = Machine.epoch t.mach
+       then err "block %d: pending shadow outside a parallel phase" b);
+      (if (not parallel) && not (ISet.is_empty e.lcm_holders) then
+         err "block %d: LCM holders outside a parallel phase" b);
+      (match e.dstate with
+      | Exclusive owner ->
+        (if owner = home then err "block %d: home listed as remote owner" b);
+        (match Machine.find_line (Machine.node t.mach owner) b with
+        | Some line when line.Machine.tag = Tag.Writable -> ()
+        | Some line ->
+          err "block %d: owner %d holds a %s line, not Writable" b owner
+            (Tag.to_string line.Machine.tag)
+        | None -> err "block %d: owner %d holds no line" b owner);
+        for nid = 0 to nnodes - 1 do
+          if nid <> owner then
+            match Machine.find_line (Machine.node t.mach nid) b with
+            | Some line when Tag.readable line.Machine.tag ->
+              err "block %d: node %d holds a copy while %d is exclusive" b nid
+                owner
+            | Some _ | None -> ()
+        done
+      | Shared sharers ->
+        ISet.iter
+          (fun nid ->
+            if nid < 0 || nid >= nnodes then
+              err "block %d: sharer %d out of range" b nid
+            else
+              match Machine.find_line (Machine.node t.mach nid) b with
+              | Some line when line.Machine.tag = Tag.Writable ->
+                err "block %d: sharer %d holds a Writable line" b nid
+              | Some line
+                when line.Machine.tag = Tag.Read_only && (not parallel)
+                     && not (Block.equal line.Machine.data master) ->
+                err "block %d: sharer %d's read-only copy differs from master"
+                  b nid
+              | Some _ | None -> () (* dropped/evicted copies are fine *))
+          sharers
+      | Home_owned -> ());
+      (* the home backing line, unless privately marked, mirrors the master *)
+      (match Machine.find_line (Machine.node t.mach home) b with
+      | Some line
+        when line.Machine.tag <> Tag.Lcm_modified
+             && Tag.readable line.Machine.tag
+             && not (Block.equal line.Machine.data master) ->
+        err "block %d: home backing line differs from master" b
+      | Some _ | None -> ());
+      (* no node but the home may hold an unmarked Writable copy unless the
+         directory says so *)
+      for nid = 0 to nnodes - 1 do
+        if nid <> home then
+          match Machine.find_line (Machine.node t.mach nid) b with
+          | Some line when line.Machine.tag = Tag.Writable -> (
+            match e.dstate with
+            | Exclusive o when o = nid -> ()
+            | _ -> err "block %d: node %d holds Writable without ownership" b nid)
+          | Some line
+            when line.Machine.tag = Tag.Lcm_modified && not parallel ->
+            err "block %d: node %d holds an LCM copy outside a parallel phase" b
+              nid
+          | Some _ | None -> ()
+      done)
+    t.entries;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let peek t addr =
+  let g = Machine.gmem t.mach in
+  let b = Gmem.block_of_addr g addr in
+  let off = Gmem.offset_in_block g addr in
+  match Hashtbl.find_opt t.entries b with
+  | Some { dstate = Exclusive owner; _ } -> (
+    match Machine.find_line (Machine.node t.mach owner) b with
+    | Some line -> line.Machine.data.(off)
+    | None -> (Machine.master t.mach b).(off))
+  | Some _ | None -> (Machine.master t.mach b).(off)
+
+let poke t addr v =
+  let g = Machine.gmem t.mach in
+  let b = Gmem.block_of_addr g addr in
+  let off = Gmem.offset_in_block g addr in
+  (match Hashtbl.find_opt t.entries b with
+  | Some e -> (
+    match (e.dstate, e.shadow) with
+    | Home_owned, None -> ()
+    | _ -> failwith "Proto.poke: block has outstanding copies")
+  | None -> ());
+  (Machine.master t.mach b).(off) <- v
+
+let install ?(detect = false) ?(strict_detection = false)
+    ?(capacity_evictions = true) ?(barrier = Barrier.Constant) ~policy:pol
+    mach =
+  let dp =
+    match pol.Policy.family with
+    | Policy.Directory d -> d
+    | Policy.Snoop _ ->
+      invalid_arg "Proto_dir.install: snooping policies ride the bus engine"
+  in
+  if strict_detection && not detect then
+    invalid_arg "Proto.install: strict_detection requires detect";
+  if strict_detection && dp.Policy.update_on_reconcile then
+    invalid_arg
+      "Proto.install: strict detection is incompatible with update-based \
+       reconciliation (updated copies satisfy reads without faulting, so \
+       races would go unrecorded)";
+  let nnodes = Machine.nnodes mach in
+  let t =
+    {
+      mach;
+      pol;
+      dp;
+      hs = resolve_handles (Machine.stats mach);
+      barrier;
+      detect;
+      strict_detection;
+      entries = Hashtbl.create 4096;
+      reductions = Hashtbl.create 64;
+      pending_retries = Array.init nnodes (fun _ -> Hashtbl.create 16);
+      pending_marks = Array.init nnodes (fun _ -> ref []);
+      pending_flush_acks = Array.make nnodes 0;
+      awaiting_join = Array.make nnodes false;
+      stale_pins = Array.init nnodes (fun _ -> Hashtbl.create 8);
+      conflicts = [];
+      races = [];
+      rec_state = None;
+    }
+  in
+  Machine.set_handlers mach
+    ~read_fault:(fun node ~addr ~retry -> read_fault t node ~addr ~retry)
+    ~write_fault:(fun node ~addr ~retry -> write_fault t node ~addr ~retry)
+    ~directive:(fun node d ~retry -> directive t node d ~retry);
+  if capacity_evictions then
+    Machine.set_evict_handler mach (fun node b line -> evict t node b line);
+  if detect then
+    (* Home reads hit the always-readable backing line and never fault, so
+       they are invisible to [serve]; without this observer a race where
+       the home reads a block another node LCM-modifies in the same phase
+       goes unreported.  The tag filter keeps the home's own
+       mark-and-write accesses (its line re-aliased as Lcm_modified) from
+       counting the writer as its own reader. *)
+    Machine.set_read_observer mach
+      (Some
+         (fun node b line ->
+           if
+             line.Machine.is_home_line
+             && line.Machine.tag <> Tag.Lcm_modified
+             && Machine.id node = home_of t b
+           then note_reader t (get_entry t b) (Machine.id node)));
+  t

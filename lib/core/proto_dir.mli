@@ -1,28 +1,23 @@
-(** The protocol engine facade — the paper's primary contribution, plus
-    the snooping-bus baseline family.
+(** The directory-family RSM protocol engine — the paper's primary
+    contribution.  Use {!Proto} unless you specifically need this engine:
+    the facade dispatches on the policy's family and presents one type for
+    directory and snooping policies alike.
 
-    A {!Policy.t}'s family selects the engine at {!install} time:
+    One generic home-directory protocol engine, parameterised by a
+    directory-family {!Policy.t}, implements all three memory systems the
+    paper measures:
 
-    - {b Directory} policies ride the generic home-directory engine
-      ({!Proto_dir}), which implements all the memory systems the paper
-      measures — {b Stache} (sequentially-consistent user-level directory
-      protocol: single-writer invalidation coherence, home-based full
-      directory, the node's memory as a large cache for remote blocks),
-      {b LCM-scc} (loosely-coherent memory with a single clean copy at
-      the home node), {b LCM-mcc} (clean copies on every caching node)
-      and {b LCM-mcc-update} (update-based reconciliation);
-    - {b Snoop} policies ride the shared-bus engine ({!Proto_snoop}):
-      MSI, MESI and MOESI over an arbitrated broadcast bus with
-      cache-to-cache supply — the hardware baseline the directory
-      protocols are traditionally compared against.
+    - {b Stache} — sequentially-consistent user-level directory protocol:
+      single-writer invalidation coherence, home-based full directory, the
+      node's memory as a large cache for remote blocks;
+    - {b LCM-scc} — loosely-coherent memory with a single clean copy at the
+      home node;
+    - {b LCM-mcc} — LCM with clean copies on every caching node.
 
-    Either engine installs itself on a {!Lcm_tempest.Machine.t}: it owns
-    the read-fault, write-fault, directive and eviction hooks.  The
-    directory engine consists of message-driven state machines at each
-    block's home plus a thin requester side; the bus engine serializes
-    misses through bus arbitration and applies snoop reactions atomically
-    at transaction completion.  Everything above this layer is
-    engine-agnostic.
+    The engine installs itself on a {!Lcm_tempest.Machine.t}: it owns the
+    read-fault, write-fault, directive and eviction hooks, and consists of
+    message-driven state machines at each block's home plus a thin
+    requester side.
 
     {2 LCM operation (Section 5.1 of the paper)}
 
@@ -54,11 +49,9 @@ val install :
   Lcm_tempest.Machine.t ->
   t
 (** [install ~policy machine] registers the protocol on [machine] and
-    returns the instance handle.  The engine follows
-    [policy.family]; with a snooping policy, [detect] and
-    [strict_detection] are inert (detection is an LCM reconciliation
-    feature) and home backing lines are disabled, so install must run
-    before any block is touched.  [detect] enables reconcile-time
+    returns the instance handle.  [policy] must belong to the
+    [Policy.Directory] family ([Invalid_argument] otherwise — snooping
+    policies ride {!Proto_snoop}).  [detect] enables reconcile-time
     write/write-conflict and read/write-race recording (default false).
     [strict_detection] additionally flushes {e every} outstanding read-only
     copy at each reconciliation, so that races involving reads cached in an

@@ -1,0 +1,554 @@
+(* The snooping-bus protocol engine: MSI/MESI/MOESI over Lcm_net.Bus.
+
+   Division of labour: Snoop holds the pure per-policy transition tables;
+   this engine owns transport (bus transactions and their arbitration),
+   waiter queues (per-node pending fault retries), the writeback buffer,
+   and barrier bookkeeping.  Every bus transaction's state changes happen
+   atomically in its completion callback, so the engine needs no "busy"
+   directory states: concurrent requests simply serialize through bus
+   arbitration.
+
+   Memory model: the machine's master copies are the (centralized) memory
+   image.  Home backing lines are disabled (Machine.set_home_backing
+   false) — a node's accesses to blocks homed locally fault and arbitrate
+   for the bus exactly like everyone else's; only the fetch counters
+   distinguish local from remote homes, for comparability with the
+   directory engine.  A node's locally-homed cached lines are exempt from
+   capacity eviction (the machine treats them as that node's share of
+   memory), which mirrors the directory engine's home-line exemption.
+
+   The writeback race the tables cannot express: evicting an M or O line
+   removes the line now but its FLUSH transaction only reaches memory at
+   a later bus grant.  The evicted data sits in a writeback buffer that
+   every intervening transaction snoops first — a BUS_RD/BUS_RDX granted
+   between the eviction and the FLUSH is supplied from the buffer, and
+   the FLUSH itself becomes a no-op if the buffer entry was consumed. *)
+
+module Machine = Lcm_tempest.Machine
+module Memeff = Lcm_tempest.Memeff
+module Tag = Lcm_tempest.Tag
+module Block = Lcm_mem.Block
+module Gmem = Lcm_mem.Gmem
+module Stats = Lcm_util.Stats
+module Bus = Lcm_net.Bus
+
+type handles = {
+  h_fetch_local : Stats.Handle.counter;
+  h_fetch_remote : Stats.Handle.counter;
+  h_writebacks : Stats.Handle.counter;
+  h_barrier_wait : Stats.Handle.counter;
+  h_snoop_hits : Stats.Handle.counter;
+  h_c2c : Stats.Handle.counter;
+  h_upgr_races : Stats.Handle.counter;
+  h_wb_supplies : Stats.Handle.counter;
+}
+
+let resolve_handles s =
+  {
+    h_fetch_local = Stats.counter s "proto.fetch_local";
+    h_fetch_remote = Stats.counter s "proto.fetch_remote";
+    h_writebacks = Stats.counter s "proto.writebacks";
+    h_barrier_wait = Stats.counter s "lcm.barrier_wait_cycles";
+    h_snoop_hits = Stats.counter s "bus.snoop_hits";
+    h_c2c = Stats.counter s "bus.c2c_transfers";
+    h_upgr_races = Stats.counter s "bus.upgr_races";
+    h_wb_supplies = Stats.counter s "bus.wb_supplies";
+  }
+
+type t = {
+  mach : Machine.t;
+  pol : Policy.t;
+  sp : Policy.snoop;
+  hs : handles;
+  bus : Bus.t;
+  barrier : Barrier.style;
+  states : (int, Snoop.state array) Hashtbl.t;  (* block -> per-node state *)
+  wb : (int, Block.t) Hashtbl.t;  (* in-flight evicted dirty data *)
+  reductions : (int, Reduction.t) Hashtbl.t;
+      (* accepted for API parity; reductions execute as coherent rmws, so
+         the operator table is not consulted by this engine *)
+  pending_retries : (int, (unit -> unit) list) Hashtbl.t array;  (* per node *)
+}
+
+let policy t = t.pol
+let machine t = t.mach
+
+let wpb t = Gmem.words_per_block (Machine.gmem t.mach)
+let home_of t b = Gmem.home_of_block (Machine.gmem t.mach) b
+
+let ctrl_words = 2
+let data_words t = wpb t + 2
+
+let states_of t b =
+  match Hashtbl.find_opt t.states b with
+  | Some sts -> sts
+  | None ->
+    let sts = Array.make (Machine.nnodes t.mach) Snoop.I in
+    Hashtbl.add t.states b sts;
+    sts
+
+let state t b nid = (states_of t b).(nid)
+
+(* Transition one cache: keep the state table and the machine's line table
+   in lockstep.  [data] refreshes (or provides, for installs) the line
+   contents; installs always carry a private copy, never an alias of the
+   master. *)
+let set_state t b nid st ?data () =
+  (states_of t b).(nid) <- st;
+  let node = Machine.node t.mach nid in
+  match st with
+  | Snoop.I -> Machine.drop_line node b
+  | st -> (
+    let tag = Snoop.tag_of_state st in
+    match Machine.find_line node b with
+    | Some line ->
+      line.Machine.tag <- tag;
+      (match data with
+      | Some d -> Block.blit ~src:d ~dst:line.Machine.data
+      | None -> ())
+    | None ->
+      let data =
+        match data with Some d -> d | None -> assert false (* install needs data *)
+      in
+      ignore (Machine.install_line node b ~data ~tag))
+
+(* Consume the writeback buffer: the evicted dirty value is the freshest
+   copy of the block, so any transaction touching the block retires it to
+   memory first.  The still-queued FLUSH then finds nothing and no-ops. *)
+let drain_wb t b ~consumed_by_transaction =
+  match Hashtbl.find_opt t.wb b with
+  | Some data ->
+    Block.blit ~src:data ~dst:(Machine.master t.mach b);
+    Hashtbl.remove t.wb b;
+    if consumed_by_transaction then Stats.Handle.incr t.hs.h_wb_supplies
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Bus transactions (each body runs atomically at grant completion)    *)
+(* ------------------------------------------------------------------ *)
+
+let resume_waiters t b nid ~now =
+  let retries =
+    match Hashtbl.find_opt t.pending_retries.(nid) b with
+    | Some rs -> List.rev rs
+    | None -> []
+  in
+  Hashtbl.remove t.pending_retries.(nid) b;
+  Machine.resume (Machine.node t.mach nid) ~now
+    ~cost:(Machine.costs t.mach).Lcm_sim.Costs.block_install (fun () ->
+      List.iter (fun retry -> retry ()) retries)
+
+let do_bus_rd t b nid ~now =
+  drain_wb t b ~consumed_by_transaction:true;
+  let sts = states_of t b in
+  let supplier = ref None in
+  let others_present = ref false in
+  Array.iteri
+    (fun m st ->
+      if m <> nid && st <> Snoop.I then begin
+        others_present := true;
+        Stats.Handle.incr t.hs.h_snoop_hits;
+        let r = Snoop.on_bus_rd t.sp st in
+        let line =
+          match Machine.find_line (Machine.node t.mach m) b with
+          | Some l -> l
+          | None -> failwith "Proto_snoop: snooped state without a line"
+        in
+        if r.Snoop.supplies && !supplier = None then
+          supplier := Some (Block.copy line.Machine.data);
+        if r.Snoop.writes_memory then
+          Block.blit ~src:line.Machine.data ~dst:(Machine.master t.mach b);
+        set_state t b m r.Snoop.next ()
+      end)
+    sts;
+  let data =
+    match !supplier with
+    | Some d ->
+      Stats.Handle.incr t.hs.h_c2c;
+      d
+    | None -> Block.copy (Machine.master t.mach b)
+  in
+  let st = Snoop.fill_on_read t.sp ~others_present:!others_present in
+  set_state t b nid st ~data ();
+  Machine.tracef t.mach ~time:now "bus_rd node=%d block=%d fill=%s" nid b
+    (Snoop.state_to_string st);
+  resume_waiters t b nid ~now
+
+(* Core of BUS_RDX, shared with the upgrade-miss conversion: collect the
+   dirty holder's data (if any), invalidate every other copy, install the
+   requester Modified.  Memory may stay stale — the requester is the new
+   single owner. *)
+let do_bus_rdx t b nid ~now =
+  drain_wb t b ~consumed_by_transaction:true;
+  let sts = states_of t b in
+  let supplier = ref None in
+  Array.iteri
+    (fun m st ->
+      if m <> nid && st <> Snoop.I then begin
+        Stats.Handle.incr t.hs.h_snoop_hits;
+        let r = Snoop.on_bus_rdx st in
+        (if r.Snoop.supplies && !supplier = None then
+           match Machine.find_line (Machine.node t.mach m) b with
+           | Some line -> supplier := Some (Block.copy line.Machine.data)
+           | None -> failwith "Proto_snoop: snooped state without a line");
+        set_state t b m r.Snoop.next ()
+      end)
+    sts;
+  let data =
+    match !supplier with
+    | Some d ->
+      Stats.Handle.incr t.hs.h_c2c;
+      d
+    | None -> Block.copy (Machine.master t.mach b)
+  in
+  set_state t b nid Snoop.fill_on_write ~data ();
+  Machine.tracef t.mach ~time:now "bus_rdx node=%d block=%d" nid b;
+  resume_waiters t b nid ~now
+
+let do_bus_upgr t b nid ~now =
+  match state t b nid with
+  | Snoop.I ->
+    (* Our shared copy was invalidated while we arbitrated: the upgrade
+       has nothing to upgrade and converts to a full read-exclusive in
+       the same bus slot. *)
+    Stats.Handle.incr t.hs.h_upgr_races;
+    do_bus_rdx t b nid ~now
+  | Snoop.S | Snoop.O ->
+    drain_wb t b ~consumed_by_transaction:true;
+    let sts = states_of t b in
+    Array.iteri
+      (fun m st ->
+        if m <> nid && st <> Snoop.I then begin
+          Stats.Handle.incr t.hs.h_snoop_hits;
+          set_state t b m (Snoop.on_bus_rdx st).Snoop.next ()
+        end)
+      sts;
+    set_state t b nid Snoop.fill_on_write ();
+    Machine.tracef t.mach ~time:now "bus_upgr node=%d block=%d" nid b;
+    resume_waiters t b nid ~now
+  | Snoop.E | Snoop.M ->
+    (* already exclusive (e.g. a racing transaction's supplier bookkeeping
+       upgraded us); just complete *)
+    set_state t b nid Snoop.fill_on_write ();
+    resume_waiters t b nid ~now
+
+let do_bus_flush t b ~now =
+  (match Hashtbl.find_opt t.wb b with
+  | Some data ->
+    Block.blit ~src:data ~dst:(Machine.master t.mach b);
+    Hashtbl.remove t.wb b
+  | None -> () (* consumed by an intervening transaction *));
+  Machine.tracef t.mach ~time:now "bus_flush block=%d" b
+
+(* ------------------------------------------------------------------ *)
+(* Fault handling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One in-flight transaction per (node, block): later faults pile their
+   retries onto the pending entry and resume with the grant. *)
+let request t node b ~retry ~issue =
+  let nid = Machine.id node in
+  let pending = Hashtbl.find_opt t.pending_retries.(nid) b in
+  Hashtbl.replace t.pending_retries.(nid) b
+    (retry :: Option.value pending ~default:[]);
+  match pending with
+  | Some _ -> () (* a transaction for this block is already arbitrating *)
+  | None ->
+    Stats.Handle.incr
+      (if home_of t b = nid then t.hs.h_fetch_local else t.hs.h_fetch_remote);
+    issue ()
+
+let read_fault t node ~addr ~retry =
+  let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
+  let nid = Machine.id node in
+  request t node b ~retry ~issue:(fun () ->
+      Bus.transact t.bus ~kind:Bus.Rd ~at:(Machine.clock node)
+        ~words:(data_words t) (fun ~now -> do_bus_rd t b nid ~now))
+
+let write_fault t node ~addr ~retry =
+  let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
+  let nid = Machine.id node in
+  match state t b nid with
+  | st when Snoop.silent_upgrade_ok st ->
+    (* MESI/MOESI: the Exclusive holder upgrades without a transaction —
+       the fault trap already charged is the whole cost. *)
+    set_state t b nid Snoop.fill_on_write ();
+    Machine.resume node ~now:(Machine.clock node) ~cost:0 retry
+  | Snoop.S | Snoop.O ->
+    request t node b ~retry ~issue:(fun () ->
+        Bus.transact t.bus ~kind:Bus.Upgr ~at:(Machine.clock node)
+          ~words:ctrl_words (fun ~now -> do_bus_upgr t b nid ~now))
+  | Snoop.M ->
+    (* the line is writable; the fault raced a concurrent install *)
+    Machine.resume node ~now:(Machine.clock node) ~cost:0 retry
+  | Snoop.I | Snoop.E ->
+    request t node b ~retry ~issue:(fun () ->
+        Bus.transact t.bus ~kind:Bus.Rdx ~at:(Machine.clock node)
+          ~words:(data_words t) (fun ~now -> do_bus_rdx t b nid ~now))
+
+(* Capacity eviction: dirty states stage their data in the writeback
+   buffer and arbitrate for a FLUSH slot; clean states drop silently. *)
+let evict t node b (line : Machine.line) =
+  let nid = Machine.id node in
+  let st = state t b nid in
+  (states_of t b).(nid) <- Snoop.I;
+  (* the machine removes the line after this handler returns *)
+  if Snoop.writeback_on_evict st then begin
+    Stats.Handle.incr t.hs.h_writebacks;
+    Hashtbl.replace t.wb b (Block.copy line.Machine.data);
+    Bus.transact t.bus ~kind:Bus.Flush ~at:(Machine.clock node)
+      ~words:(data_words t) (fun ~now -> do_bus_flush t b ~now)
+  end
+
+let note_directive t node name =
+  Machine.trace_emit t.mach ~time:(Machine.clock node)
+    (Machine.Trace.Directive { node = Machine.id node; name })
+
+(* LCM and stale-data directives are memory-system hints with no meaning
+   under a coherent bus: programs compiled for LCM run unchanged (the
+   paper's portability argument), so every directive degrades to a no-op
+   rather than an error. *)
+let directive t node d ~retry =
+  (match d with
+  | Memeff.Mark_modification _ -> note_directive t node "mark_modification"
+  | Memeff.Flush_copies -> note_directive t node "flush_copies"
+  | Stale.Pin_stale _ -> note_directive t node "pin_stale"
+  | Stale.Refresh _ -> note_directive t node "refresh"
+  | _ -> failwith "Proto_snoop: unknown memory-system directive");
+  retry ()
+
+(* ------------------------------------------------------------------ *)
+(* Phases                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let begin_parallel t =
+  if Machine.active_fibers t.mach > 0 then
+    failwith "Proto.begin_parallel: fibers still running";
+  Machine.set_phase t.mach `Parallel
+
+(* Bus protocols are coherent: reconciliation is just the end-of-phase
+   barrier (drain, synchronize clocks, advance the epoch).  The same
+   Barrier timing models price it, so directory-vs-snoop comparisons use
+   identical barrier costs. *)
+let reconcile t =
+  if Machine.active_fibers t.mach > 0 then
+    failwith "Proto.reconcile: fibers still running";
+  Machine.run_to_quiescence t.mach;
+  let nnodes = Machine.nnodes t.mach in
+  let join_times =
+    Array.init nnodes (fun i -> Machine.clock (Machine.node t.mach i))
+  in
+  Array.iteri
+    (fun i jt ->
+      Machine.trace_emit t.mach ~time:jt (Machine.Trace.Barrier_enter { node = i }))
+    join_times;
+  let release =
+    Barrier.release_time ~costs:(Machine.costs t.mach) ~style:t.barrier
+      ~join_times
+  in
+  Array.iter
+    (fun jt -> Stats.Handle.add t.hs.h_barrier_wait (release - jt))
+    join_times;
+  Machine.set_all_clocks t.mach release;
+  Machine.incr_epoch t.mach;
+  Machine.trace_emit t.mach ~time:release
+    (Machine.Trace.Barrier_release { nnodes });
+  Machine.trace_emit t.mach ~time:release
+    (Machine.Trace.Epoch_advance { epoch = Machine.epoch t.mach });
+  Machine.set_phase t.mach `Sequential
+
+let register_reduction t ~base ~nwords op =
+  List.iter
+    (fun b -> Hashtbl.replace t.reductions b op)
+    (Gmem.region_blocks (Machine.gmem t.mach) base ~nwords)
+
+let conflicts _ = []
+let races _ = []
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dump_block t b =
+  match home_of t b with
+  | exception Invalid_argument _ -> Printf.sprintf "block %d: unallocated" b
+  | home ->
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "block %d (home %d, %s):" b home t.pol.Policy.name);
+    (match Hashtbl.find_opt t.states b with
+    | None -> Buffer.add_string buf " untouched"
+    | Some sts ->
+      Array.iteri
+        (fun nid st ->
+          if st <> Snoop.I then
+            Buffer.add_string buf
+              (Printf.sprintf " %d:%s" nid (Snoop.state_to_string st)))
+        sts);
+    if Hashtbl.mem t.wb b then Buffer.add_string buf " WB-PENDING";
+    Buffer.contents buf
+
+let owner_state = function Snoop.M | Snoop.O | Snoop.E -> true | _ -> false
+
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  if Hashtbl.length t.wb > 0 then
+    Hashtbl.iter
+      (fun b _ -> err "block %d: writeback buffered while quiescent" b)
+      t.wb;
+  Array.iteri
+    (fun nid tbl ->
+      Hashtbl.iter
+        (fun b _ -> err "block %d: node %d has a pending retry while quiescent" b nid)
+        tbl)
+    t.pending_retries;
+  Hashtbl.iter
+    (fun b sts ->
+      let master = Machine.master t.mach b in
+      let owners = ref [] and sharers = ref [] in
+      Array.iteri
+        (fun nid st ->
+          if not (Snoop.valid t.sp st) then
+            err "block %d: node %d in state %s, invalid under %s" b nid
+              (Snoop.state_to_string st) t.pol.Policy.name;
+          (match st with
+          | Snoop.M | Snoop.O | Snoop.E -> owners := (nid, st) :: !owners
+          | Snoop.S -> sharers := nid :: !sharers
+          | Snoop.I -> ());
+          match st with
+          | Snoop.I -> (
+            match Machine.find_line (Machine.node t.mach nid) b with
+            | Some line when line.Machine.tag <> Tag.Invalid ->
+              err "block %d: node %d caches a line in state I" b nid
+            | Some _ | None -> ())
+          | st -> (
+            match Machine.find_line (Machine.node t.mach nid) b with
+            | None -> err "block %d: node %d in state %s holds no line" b nid
+                        (Snoop.state_to_string st)
+            | Some line when line.Machine.tag <> Snoop.tag_of_state st ->
+              err "block %d: node %d state %s but tag %s" b nid
+                (Snoop.state_to_string st)
+                (Tag.to_string line.Machine.tag)
+            | Some _ -> ()))
+        sts;
+      (match !owners with
+      | [] | [ _ ] -> ()
+      | os ->
+        err "block %d: multiple owner states: %s" b
+          (String.concat ", "
+             (List.map
+                (fun (n, s) -> Printf.sprintf "%d:%s" n (Snoop.state_to_string s))
+                os)));
+      (match !owners with
+      | [ (onid, (Snoop.M | Snoop.E)) ] when !sharers <> [] ->
+        err "block %d: sharers coexist with node %d's exclusive state" b onid
+      | _ -> ());
+      (* data: with no dirty owner, every copy equals memory; with an
+         Owned holder, the sharers equal the owner (memory may be stale) *)
+      let truth =
+        match !owners with
+        | [ (onid, (Snoop.M | Snoop.O)) ] -> (
+          match Machine.find_line (Machine.node t.mach onid) b with
+          | Some line -> line.Machine.data
+          | None -> master)
+        | _ -> master
+      in
+      Array.iteri
+        (fun nid st ->
+          if st <> Snoop.I && not (owner_state st) then
+            match Machine.find_line (Machine.node t.mach nid) b with
+            | Some line when not (Block.equal line.Machine.data truth) ->
+              err "block %d: node %d's %s copy diverges from %s" b nid
+                (Snoop.state_to_string st)
+                (match !owners with
+                | [ (_, (Snoop.M | Snoop.O)) ] -> "the owner"
+                | _ -> "memory")
+            | Some _ | None -> ())
+        sts;
+      (* E is clean: it must equal memory *)
+      List.iter
+        (fun (nid, st) ->
+          if st = Snoop.E then
+            match Machine.find_line (Machine.node t.mach nid) b with
+            | Some line when not (Block.equal line.Machine.data master) ->
+              err "block %d: node %d's Exclusive copy diverges from memory" b nid
+            | Some _ | None -> ())
+        !owners)
+    t.states;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let peek t addr =
+  let g = Machine.gmem t.mach in
+  let b = Gmem.block_of_addr g addr in
+  let off = Gmem.offset_in_block g addr in
+  let from_owner () =
+    match Hashtbl.find_opt t.states b with
+    | None -> None
+    | Some sts ->
+      let found = ref None in
+      Array.iteri
+        (fun nid st ->
+          if !found = None && owner_state st then
+            match Machine.find_line (Machine.node t.mach nid) b with
+            | Some line -> found := Some line.Machine.data.(off)
+            | None -> ())
+        sts;
+      !found
+  in
+  (* an in-flight writeback is fresher than memory *)
+  match from_owner () with
+  | Some v -> v
+  | None -> (
+    match Hashtbl.find_opt t.wb b with
+    | Some data -> data.(off)
+    | None -> (Machine.master t.mach b).(off))
+
+let poke t addr v =
+  let g = Machine.gmem t.mach in
+  let b = Gmem.block_of_addr g addr in
+  let off = Gmem.offset_in_block g addr in
+  (match Hashtbl.find_opt t.states b with
+  | Some sts ->
+    Array.iteri
+      (fun nid st ->
+        if st <> Snoop.I then
+          failwith
+            (Printf.sprintf "Proto.poke: block %d cached at node %d" b nid))
+      sts
+  | None -> ());
+  (Machine.master t.mach b).(off) <- v
+
+let install ?(capacity_evictions = true) ?(barrier = Barrier.Constant)
+    ~policy:pol mach =
+  let sp =
+    match pol.Policy.family with
+    | Policy.Snoop sp -> sp
+    | Policy.Directory _ ->
+      invalid_arg "Proto_snoop.install: directory policies ride Proto_dir"
+  in
+  Machine.set_home_backing mach false;
+  let nnodes = Machine.nnodes mach in
+  let t =
+    {
+      mach;
+      pol;
+      sp;
+      hs = resolve_handles (Machine.stats mach);
+      bus =
+        Bus.create ~engine:(Machine.engine mach) ~costs:(Machine.costs mach)
+          ~stats:(Machine.stats mach) ();
+      barrier;
+      states = Hashtbl.create 4096;
+      wb = Hashtbl.create 16;
+      reductions = Hashtbl.create 64;
+      pending_retries = Array.init nnodes (fun _ -> Hashtbl.create 16);
+    }
+  in
+  Machine.set_handlers mach
+    ~read_fault:(fun node ~addr ~retry -> read_fault t node ~addr ~retry)
+    ~write_fault:(fun node ~addr ~retry -> write_fault t node ~addr ~retry)
+    ~directive:(fun node d ~retry -> directive t node d ~retry);
+  if capacity_evictions then
+    Machine.set_evict_handler mach (fun node b line -> evict t node b line);
+  t

@@ -1,0 +1,87 @@
+(** The snooping-bus protocol engine for the MSI/MESI/MOESI family.
+
+    The counterpart of {!Proto_dir}: where the directory engine coheres
+    through per-block home directories and point-to-point messages, this
+    engine broadcasts every miss on a single arbitrated {!Lcm_net.Bus}
+    and lets every cache snoop it.  {!Snoop} holds the pure per-policy
+    transition tables; this module owns only transport, waiter queues,
+    the writeback buffer and barrier bookkeeping — the same division of
+    labour as the directory side.  Use {!Proto} unless you specifically
+    need the concrete engine type.
+
+    Transactions (BUS_RD, BUS_RDX, BUS_UPGR, FLUSH) serialize through bus
+    arbitration and apply their state changes atomically at completion,
+    so the engine needs no transient directory states.  Dirty snoopers
+    supply requested lines cache-to-cache; evicted dirty lines wait in a
+    writeback buffer that intervening transactions consult (and consume)
+    before memory, resolving the Owned/Modified-writeback-versus-BUS_RDX
+    race.  Home backing lines are disabled: every node arbitrates for the
+    bus regardless of where a block is homed.
+
+    Because bus protocols are coherent, {!reconcile} is only the
+    end-of-phase barrier, and LCM/stale-data directives degrade to no-ops
+    — programs compiled for LCM run unchanged (the paper's portability
+    argument, mirrored from the Stache behaviour).
+
+    The bus is a reliable medium: {!Lcm_net.Faults} plans shape the
+    point-to-point network and do not apply to bus transactions. *)
+
+type t
+
+val install :
+  ?capacity_evictions:bool ->
+  ?barrier:Barrier.style ->
+  policy:Policy.t ->
+  Lcm_tempest.Machine.t ->
+  t
+(** [install ~policy machine] registers the engine: claims the fault,
+    directive and (when [capacity_evictions], default true) eviction
+    hooks, creates the shared bus, and disables home backing lines — so
+    it must run before any block of [machine] is touched.
+    @raise Invalid_argument if [policy] is not in the snooping family. *)
+
+val policy : t -> Policy.t
+val machine : t -> Lcm_tempest.Machine.t
+
+val register_reduction : t -> base:int -> nwords:int -> Reduction.t -> unit
+(** Accepted for API parity with the directory engine.  Reductions under
+    a coherent bus execute as ordinary atomic read-modify-writes, so the
+    operator table is recorded but never consulted. *)
+
+val begin_parallel : t -> unit
+
+val reconcile : t -> unit
+(** End-of-phase barrier: drain the machine, synchronize all node clocks
+    to the {!Barrier.release_time} of their join times, advance the
+    epoch.  No data movement — the bus kept memory coherent throughout. *)
+
+val conflicts : t -> Detect.conflict list
+(** Always empty: conflict detection is an LCM reconciliation feature. *)
+
+val races : t -> Detect.race list
+(** Always empty. *)
+
+val dump_block : t -> int -> string
+(** One-line description of a block's per-node MOESI states and whether
+    a writeback is buffered for it. *)
+
+val check_invariants : t -> (unit, string list) result
+(** Audit the global protocol state when quiescent:
+
+    - every recorded state is admitted by the policy (no E under MSI, no
+      O under MSI/MESI), and matches the machine's line table (state and
+      tag agree; I holds no line);
+    - at most one owner-state (M/E/O) holder per block, and M/E exclude
+      all other copies;
+    - with no dirty owner every cached copy equals memory; with an Owned
+      holder every Shared copy equals the owner's data (memory may be
+      stale); Exclusive copies equal memory;
+    - the writeback buffer and all waiter queues are empty. *)
+
+val peek : t -> int -> int
+(** Coherent read bypassing the simulation: the M/E/O holder's copy if
+    one exists, else a buffered writeback, else memory. *)
+
+val poke : t -> int -> int -> unit
+(** Direct write to memory; raises [Failure] if any node caches the
+    block. *)

@@ -28,19 +28,31 @@ let instantiate ~request ~reconcile =
   in
   {
     Policy.name;
-    parallel_write_grant = grant;
-    local_clean_copies = local;
-    update_on_reconcile = update;
+    family =
+      Policy.Directory
+        {
+          parallel_write_grant = grant;
+          local_clean_copies = local;
+          update_on_reconcile = update;
+        };
   }
 
 let classify (p : Policy.t) =
+  let d =
+    match p.Policy.family with
+    | Policy.Directory d -> d
+    | Policy.Snoop _ ->
+      invalid_arg "Rsm.classify: snooping policies are not RSM points"
+  in
   let request =
-    match p.Policy.parallel_write_grant with
+    match d.Policy.parallel_write_grant with
     | Policy.Exclusive -> Exclusive_writer
     | Policy.Lcm_copy -> Private_copies
   in
-  let placement = if p.Policy.local_clean_copies then All_caching_nodes else Home_only in
-  let outstanding = if p.Policy.update_on_reconcile then Update else Invalidate in
+  let placement =
+    if d.Policy.local_clean_copies then All_caching_nodes else Home_only
+  in
+  let outstanding = if d.Policy.update_on_reconcile then Update else Invalidate in
   (request, { placement; outstanding })
 
 let stache =

@@ -42,7 +42,9 @@ val instantiate : request:request_policy -> reconcile:reconcile_policy -> Policy
     Section 3 observes of conventional shared memory. *)
 
 val classify : Policy.t -> request_policy * reconcile_policy
-(** The coordinates of an existing policy in the RSM space. *)
+(** The coordinates of an existing policy in the RSM space.
+    @raise Invalid_argument on a snooping-bus policy — the bus family lies
+    outside the RSM design space. *)
 
 val stache : Policy.t
 (** [instantiate Exclusive_writer {Home_only; Invalidate}] =

@@ -1,46 +1,82 @@
+module Policy = Lcm_core.Policy
+
 type system = {
   label : string;
-  policy : Lcm_core.Policy.t;
+  policy : Policy.t;
   strategy : Lcm_cstar.Runtime.strategy;
 }
 
-let stache =
+(* Systems derive from the policy registry: label from the registry entry,
+   execution strategy from the family — LCM policies run C* code through
+   the marking/flushing directives; everything coherent (Stache, the bus
+   family) runs the same code with explicit copies. *)
+let system_of_info (i : Policy.info) =
   {
-    label = "Stache+copy";
-    policy = Lcm_core.Policy.stache;
-    strategy = Lcm_cstar.Runtime.Explicit_copy;
+    label = i.Policy.label;
+    policy = i.Policy.policy;
+    strategy =
+      (if Policy.is_lcm i.Policy.policy then Lcm_cstar.Runtime.Lcm_directives
+       else Lcm_cstar.Runtime.Explicit_copy);
   }
 
-let lcm_scc =
-  {
-    label = "LCM-scc";
-    policy = Lcm_core.Policy.lcm_scc;
-    strategy = Lcm_cstar.Runtime.Lcm_directives;
-  }
+let all_systems = List.map system_of_info Policy.all
 
-let lcm_mcc =
-  {
-    label = "LCM-mcc";
-    policy = Lcm_core.Policy.lcm_mcc;
-    strategy = Lcm_cstar.Runtime.Lcm_directives;
-  }
+let by_name name =
+  List.find (fun s -> s.policy.Policy.name = name) all_systems
 
-let lcm_mcc_update =
-  {
-    label = "LCM-mcc-update";
-    policy = Lcm_core.Policy.lcm_mcc_update;
-    strategy = Lcm_cstar.Runtime.Lcm_directives;
-  }
+let stache = by_name "stache"
+let lcm_scc = by_name "lcm-scc"
+let lcm_mcc = by_name "lcm-mcc"
+let lcm_mcc_update = by_name "lcm-mcc-update"
+let msi = by_name "msi"
+let mesi = by_name "mesi"
+let moesi = by_name "moesi"
 
 let systems = [ lcm_scc; lcm_mcc; stache ]
 
+(* Historical spellings that name a *system* rather than a policy, kept
+   out of Policy.of_string: "copy" is the explicit-copy execution
+   strategy, "lcm" the headline LCM system. *)
+let extra_aliases = [ ("copy", "stache"); ("lcm", "lcm-mcc") ]
+
+let system_spellings =
+  List.map
+    (fun (i : Policy.info) ->
+      let extras =
+        List.filter_map
+          (fun (alias, name) ->
+            if name = i.Policy.policy.Policy.name then Some alias else None)
+          extra_aliases
+      in
+      let all =
+        (i.Policy.policy.Policy.name :: String.lowercase_ascii i.Policy.label
+         :: i.Policy.aliases)
+        @ extras
+      in
+      let deduped =
+        List.fold_left
+          (fun acc s -> if List.mem s acc then acc else s :: acc)
+          [] all
+      in
+      String.concat "|" (List.rev deduped))
+    Policy.all
+
 let system_of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "stache" | "copy" | "stache+copy" -> Ok stache
-  | "lcm-scc" | "scc" -> Ok lcm_scc
-  | "lcm-mcc" | "mcc" | "lcm" -> Ok lcm_mcc
-  | "lcm-mcc-update" | "mcc-update" | "update" -> Ok lcm_mcc_update
-  | other -> Error (Printf.sprintf "unknown system %S" other)
+  let key = String.lowercase_ascii (String.trim s) in
+  let matches (i : Policy.info) =
+    i.Policy.policy.Policy.name = key
+    || String.lowercase_ascii i.Policy.label = key
+    || List.mem key i.Policy.aliases
+  in
+  match List.find_opt matches Policy.all with
+  | Some i -> Ok (system_of_info i)
+  | None -> (
+    match List.assoc_opt key extra_aliases with
+    | Some name -> Ok (by_name name)
+    | None ->
+      Error
+        (Printf.sprintf "unknown system %S (expected one of: %s)" key
+           (String.concat ", " system_spellings)))
 
 type machine = {
   nnodes : int;

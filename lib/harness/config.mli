@@ -20,10 +20,24 @@ val lcm_mcc_update : system
 (** The update-based RSM member (not in the paper's measurements; used by
     the update ablation). *)
 
+val msi : system
+val mesi : system
+
+val moesi : system
+(** The snooping-bus family rides {!Lcm_core.Proto_snoop}; C\*\* code runs
+    with the explicit-copy strategy, like Stache. *)
+
 val systems : system list
 (** [\[lcm_scc; lcm_mcc; stache\]] — the order of the paper's figures. *)
 
+val all_systems : system list
+(** One system per registered policy, in {!Lcm_core.Policy.all} order —
+    labels and strategies derive from the registry. *)
+
 val system_of_string : string -> (system, string) result
+(** Case-insensitive lookup by policy name, alias, or system label (plus
+    the historical spellings ["copy"] for Stache and ["lcm"] for
+    LCM-mcc).  The error message enumerates every accepted spelling. *)
 
 type machine = {
   nnodes : int;

@@ -377,6 +377,38 @@ let ablation_scaling_cells ?(scale = Quick) machine =
 
 let ablation_scaling machine = run_cells (ablation_scaling_cells machine)
 
+let dir_vs_snoop_cells ?(scale = Quick) machine =
+  (* the crossover family: the same weak-scaling stencil on the directory
+     engine (point-to-point fat tree, bandwidth grows with P, home blocks
+     are local memory) and the snooping-bus engine (one arbitrated
+     broadcast medium, bandwidth constant, every miss takes the bus).
+     A bus miss is individually cheap — one transaction, no directory
+     round trips — but the single wire serializes all of them, so the
+     directory/bus cycle ratio widens with P as bus.arb_stall_cycles
+     takes over the critical path: the classic why-buses-don't-scale
+     crossover.  Both systems are coherent, so verify_agreement holds
+     across the engines — same checksums, different cycle counts. *)
+  let band, iters, sizes =
+    match scale with
+    | Tiny -> (12, 2, [ 2; 4; 8 ])
+    | Quick | Paper -> (24, 3, [ 2; 4; 8; 16; 32 ])
+  in
+  List.concat_map
+    (fun nnodes ->
+      let machine = { machine with Config.nnodes } in
+      let p = { Stencil.n = band * nnodes; iters; work_per_cell = 4 } in
+      List.map
+        (fun system ->
+          checked_cell
+            ~experiment:(Printf.sprintf "dir-vs-snoop P=%d" nnodes)
+            ~system:system.Config.label
+            (fun () -> Config.make_runtime machine system ~schedule:Schedule.Static)
+            (fun rt -> Stencil.run rt p))
+        [ Config.stache; Config.mesi ])
+    sizes
+
+let dir_vs_snoop machine = run_cells (dir_vs_snoop_cells machine)
+
 let ablation_cost_sensitivity_cells ?(scale = Quick) machine =
   (* robustness: the headline comparisons should not depend on the exact
      communication-cost constants — sweep them x0.5 / x1 / x2 *)
@@ -519,6 +551,7 @@ let families =
     ("schedule", fun ~scale machine -> ablation_schedule_cells ~scale machine);
     ("topology", fun ~scale machine -> ablation_topology_cells ~scale machine);
     ("scaling", fun ~scale machine -> ablation_scaling_cells ~scale machine);
+    ("dir-vs-snoop", fun ~scale machine -> dir_vs_snoop_cells ~scale machine);
     ( "cost-sensitivity",
       fun ~scale machine -> ablation_cost_sensitivity_cells ~scale machine );
     ("detection", fun ~scale machine -> ablation_detection_cells ~scale machine);

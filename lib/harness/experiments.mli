@@ -111,6 +111,17 @@ val ablation_scaling : Config.machine -> row list
 
 val ablation_scaling_cells : ?scale:scale -> Config.machine -> cells
 
+val dir_vs_snoop : Config.machine -> row list
+(** Directory-vs-snooping-bus crossover: the weak-scaling stencil on
+    Stache (point-to-point fat tree, home blocks local) and MESI (shared
+    arbitrated bus, every miss broadcast).  A bus miss is individually
+    cheap — one transaction, no directory round trips — but the single
+    medium serializes them all, so the cycle ratio widens with P as
+    [bus.arb_stall_cycles] takes over the critical path.  Both engines
+    are coherent, so the checksums agree cell-for-cell. *)
+
+val dir_vs_snoop_cells : ?scale:scale -> Config.machine -> cells
+
 val ablation_cost_sensitivity : Config.machine -> row list
 (** Stencil comparisons under communication costs scaled ×0.5/×1/×2 —
     checks that who-wins conclusions are robust to the cost constants. *)

@@ -344,8 +344,7 @@ let run_case ?faults prog =
 (* Program generation                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let all_policies =
-  [ Policy.stache; Policy.lcm_scc; Policy.lcm_mcc; Policy.lcm_mcc_update ]
+let all_policies = Policy.policies
 
 let int_reductions =
   (* Exact integer operators only: float reductions reassociate across

@@ -98,4 +98,5 @@ val run :
     worker domains, out of order. *)
 
 val all_policies : Lcm_core.Policy.t list
-(** The four policies the harness covers. *)
+(** Every policy the harness covers — {!Lcm_core.Policy.policies}, i.e.
+    the registry: the directory family and the snooping-bus family. *)

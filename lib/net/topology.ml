@@ -21,6 +21,8 @@ let hops topo ~src ~dst =
       let rec lca_height a b h = if a = b then h else lca_height (a / arity) (b / arity) (h + 1) in
       2 * lca_height src dst 0
 
+let spellings = "crossbar, mesh:<cols> or fattree:<arity>"
+
 let of_string s =
   match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
   | [ "crossbar" ] -> Ok Crossbar
@@ -32,7 +34,7 @@ let of_string s =
     match int_of_string_opt a with
     | Some arity when arity > 1 -> Ok (Fat_tree { arity })
     | Some _ | None -> Error "fattree: expected arity >= 2")
-  | _ -> Error (Printf.sprintf "unknown topology %S" s)
+  | _ -> Error (Printf.sprintf "unknown topology %S (expected %s)" s spellings)
 
 let to_string = function
   | Crossbar -> "crossbar"

@@ -53,6 +53,10 @@ and t = {
   h_fault_write : Stats.Handle.counter;
   h_live_clean : Stats.Handle.counter;
   h_handler_runs : Stats.Handle.counter;
+  mutable home_backing : bool;
+      (* install the home node's master-aliasing backing line on first
+         master creation (directory protocols); bus protocols disable
+         this so home nodes take the bus like everyone else *)
   mutable m_epoch : int;
   mutable m_phase : [ `Sequential | `Parallel ];
   mutable m_active_fibers : int;
@@ -124,6 +128,7 @@ let create ?(costs = Lcm_sim.Costs.default)
       h_fault_write = Stats.counter stats "fault.write";
       h_live_clean = Stats.counter stats "lcm.live_clean_copies";
       h_handler_runs = Stats.counter stats "proto.handler_runs";
+      home_backing = true;
       m_epoch = 0;
       m_phase = `Sequential;
       m_active_fibers = 0;
@@ -315,12 +320,14 @@ let master t b =
   | exception Not_found ->
     let data = Lcm_mem.Block.make ~words:(Lcm_mem.Gmem.words_per_block t.m_gmem) in
     Hashtbl.add t.masters b data;
-    let home = t.m_nodes.(Lcm_mem.Gmem.home_of_block t.m_gmem b) in
-    (* The home's backing line aliases the master copy and starts writable:
-       memory is born coherent and home-owned. *)
-    (match Hashtbl.find_opt home.lines b with
-    | Some _ -> ()
-    | None -> ignore (install_line home b ~data ~tag:Tag.Writable));
+    (if t.home_backing then begin
+       let home = t.m_nodes.(Lcm_mem.Gmem.home_of_block t.m_gmem b) in
+       (* The home's backing line aliases the master copy and starts
+          writable: memory is born coherent and home-owned. *)
+       match Hashtbl.find_opt home.lines b with
+       | Some _ -> ()
+       | None -> ignore (install_line home b ~data ~tag:Tag.Writable)
+     end);
     data
 
 let enable_trace ?(capacity = 256) t =
@@ -341,6 +348,8 @@ let tracef t ~time fmt =
     (fun s ->
       match t.trace with Some tr -> Trace.record tr ~time s | None -> ())
     fmt
+
+let set_home_backing t enabled = t.home_backing <- enabled
 
 let set_handlers t ~read_fault ~write_fault ~directive =
   t.read_fault <- read_fault;

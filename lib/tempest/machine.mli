@@ -85,6 +85,13 @@ val master : t -> Lcm_mem.Gmem.block -> Lcm_mem.Block.t
     first use.  Also installs the home node's writable backing line if not
     present. *)
 
+val set_home_backing : t -> bool -> unit
+(** Whether {!master} installs the home node's master-aliasing writable
+    backing line on first creation (default [true] — directory protocols
+    rely on it; see DESIGN.md §3).  Bus-snooping protocols disable it at
+    install so home-node accesses fault and take the bus like everyone
+    else's.  Flip it before any block is touched. *)
+
 val find_line : node -> Lcm_mem.Gmem.block -> line option
 
 val install_line :

@@ -3,9 +3,12 @@
    representation is a single bitmask: one boxed word per update instead
    of O(log n) AVL nodes.  Ids that do not fit the mask (>= [max_direct],
    i.e. machines wider than the host word) spill the whole set into a
-   tree; both representations can coexist only in such oversized
-   configurations.  Argument orders match [Set.Make(Int)] so this module
-   is a drop-in alias. *)
+   tree.  The representation is canonical: every operation that can
+   shrink a set ([remove], [inter]) collapses a tree whose members all
+   fit back into a mask, so a set's representation depends only on its
+   members — Bits iff they all fit — never on the history of operations
+   that produced it.  Argument orders match [Set.Make(Int)] so this
+   module is a drop-in alias. *)
 
 module ISet = Set.Make (Int)
 
@@ -27,6 +30,18 @@ let to_tree = function
     in
     go m 0 ISet.empty
 
+(* Restore canonical form after a shrinking operation: a tree whose
+   members all fit the mask becomes the mask again. *)
+let normalize = function
+  | Bits _ as t -> t
+  | Tree s as t ->
+    if ISet.is_empty s then empty
+    else if ISet.for_all direct s then
+      Bits (ISet.fold (fun x m -> m lor (1 lsl x)) s 0)
+    else t
+
+let is_direct = function Bits _ -> true | Tree _ -> false
+
 let add x t =
   match t with
   | Bits m when direct x ->
@@ -41,7 +56,7 @@ let remove x t =
     let m' = m land lnot (1 lsl x) in
     if m' = m then t else Bits m'
   | Bits _ -> t (* an id outside the mask range is never a Bits member *)
-  | Tree s -> Tree (ISet.remove x s)
+  | Tree s -> normalize (Tree (ISet.remove x s))
 
 let mem x t =
   match t with
@@ -80,6 +95,11 @@ let union a b =
   match (a, b) with
   | Bits x, Bits y -> Bits (x lor y)
   | _ -> Tree (ISet.union (to_tree a) (to_tree b))
+
+let inter a b =
+  match (a, b) with
+  | Bits x, Bits y -> Bits (x land y)
+  | _ -> normalize (Tree (ISet.inter (to_tree a) (to_tree b)))
 
 let equal a b =
   match (a, b) with

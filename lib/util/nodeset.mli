@@ -4,9 +4,12 @@
     the coherence directory needs.  Sets whose members all fit in a host
     word (ids [0 .. Sys.int_size - 2], i.e. any realistic machine size)
     are a single immutable bitmask, so updates allocate one box instead of
-    O(log n) tree nodes; larger ids transparently spill to a tree.
-    Negative ids are accepted only via the tree path semantics of
-    [Set.Make(Int)] — node ids in this simulator are non-negative. *)
+    O(log n) tree nodes; larger ids transparently spill to a tree, and
+    shrinking operations ([remove], [inter]) collapse back to the bitmask
+    once every remaining member fits — the representation is canonical in
+    the members, never in the operation history.  Negative ids are
+    accepted only via the tree path semantics of [Set.Make(Int)] — node
+    ids in this simulator are non-negative. *)
 
 type t
 
@@ -30,6 +33,13 @@ val elements : t -> int list
 
 val union : t -> t -> t
 
+val inter : t -> t -> t
+
 val equal : t -> t -> bool
 
 val of_list : int list -> t
+
+val is_direct : t -> bool
+(** Whether the set is currently bitmask-backed.  Exposed so tests can pin
+    the canonical-representation invariant: [is_direct s] iff every member
+    is below [Sys.int_size - 1]. *)

@@ -1020,8 +1020,176 @@ let test_flow_lcm_mark_write_reconcile () =
     (Lcm_util.Stats.get (Machine.stats m) "net.msgs")
 
 (* ------------------------------------------------------------------ *)
+(* The snooping-bus family                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_snoop_read_remote () =
+  List.iter
+    (fun policy ->
+      let ((m, p) as mp) = mk policy in
+      let a = alloc m ~dist:(Gmem.On 1) ~nwords:8 in
+      Proto.poke p (a + 3) 77;
+      let seen = ref 0 in
+      run_fibers m [ (0, fun () -> seen := Memeff.load (a + 3)) ];
+      Alcotest.(check int) (policy.Policy.name ^ " remote value") 77 !seen;
+      Alcotest.(check int) (policy.Policy.name ^ " one transaction") 1
+        (stat mp "bus.transactions");
+      match Proto.check_invariants p with
+      | Ok () -> ()
+      | Error es -> Alcotest.fail (String.concat "; " es))
+    [ Policy.msi; Policy.mesi; Policy.moesi ]
+
+(* Regression: a cache-to-cache supply is part of serving one miss — it
+   must count one proto.fetch_remote (at request issue) plus one
+   bus.c2c_transfers, never a second fetch. *)
+let test_snoop_c2c_does_not_double_count_fetches () =
+  let ((m, p) as mp) = mk Policy.mesi in
+  let a = alloc m ~dist:(Gmem.On 0) ~nwords:8 in
+  run_fibers m [ (1, fun () -> Memeff.store a 5) ];
+  Alcotest.(check int) "write miss fetches remote once" 1
+    (stat mp "proto.fetch_remote");
+  run_fibers m [ (2, fun () -> ignore (Memeff.load a)) ];
+  Alcotest.(check int) "c2c-supplied read adds exactly one fetch" 2
+    (stat mp "proto.fetch_remote");
+  Alcotest.(check int) "one cache-to-cache transfer" 1
+    (stat mp "bus.c2c_transfers");
+  Alcotest.(check int) "dirty holder snooped" 1 (stat mp "bus.snoop_hits");
+  (* the home node arbitrates like everyone else, but counts local *)
+  run_fibers m [ (0, fun () -> ignore (Memeff.load a)) ];
+  Alcotest.(check int) "home read is a local fetch" 1
+    (stat mp "proto.fetch_local");
+  Alcotest.(check int) "home read is not a remote fetch" 2
+    (stat mp "proto.fetch_remote");
+  (match Proto.check_invariants p with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es));
+  Alcotest.(check int) "everyone agrees" 5 (Proto.peek p a)
+
+(* Regression: an Owned line evicted while a BUS_RDX for the same block
+   is already arbitrating.  The eviction stages the dirty data in the
+   writeback buffer; the RDX must consume it (the freshest copy) and the
+   later FLUSH must become a no-op — not write stale data over the new
+   owner's block. *)
+let test_snoop_owned_writeback_races_bus_rdx () =
+  let ((m, p) as mp) = mk ~capacity_blocks:1 Policy.moesi in
+  let a = alloc m ~dist:(Gmem.On 0) ~nwords:16 in
+  (* node 1 dirties the block ... *)
+  run_fibers m [ (1, fun () -> Memeff.store (a + 1) 111) ];
+  (* ... and a reader downgrades it M -> O (dirty sharing, memory stale) *)
+  run_fibers m [ (2, fun () -> ignore (Memeff.load (a + 1))) ];
+  Alcotest.(check int) "owner supplied cache-to-cache" 1
+    (stat mp "bus.c2c_transfers");
+  (* node 1's miss on the next block evicts the Owned line mid-arbitration
+     of node 3's write: spawn order puts node 1's BUS_RD ahead of node 3's
+     BUS_RDX on the bus, so the eviction (at RD completion) lands while
+     the RDX is still queued, and the FLUSH queues behind the RDX *)
+  run_fibers m
+    [
+      (1, fun () -> ignore (Memeff.load (a + 8)));
+      ( 3,
+        fun () ->
+          Memeff.work 10;
+          Memeff.store (a + 1) 222 );
+    ];
+  Alcotest.(check bool) "writeback buffer supplied the racing RDX" true
+    (stat mp "bus.wb_supplies" >= 1);
+  Alcotest.(check int) "last write wins" 222 (Proto.peek p (a + 1));
+  match Proto.check_invariants p with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_snoop_silent_upgrade () =
+  (* MESI's point: an unshared load fills Exclusive, so the first store
+     upgrades with no bus transaction; MSI must broadcast the upgrade. *)
+  let run policy =
+    let ((m, _) as mp) = mk policy in
+    let a = alloc m ~dist:(Gmem.On 0) ~nwords:8 in
+    run_fibers m
+      [
+        ( 1,
+          fun () ->
+            ignore (Memeff.load a);
+            Memeff.store a 9 );
+      ];
+    (stat mp "bus.transactions", stat mp "bus.upgr")
+  in
+  Alcotest.(check (pair int int)) "mesi: read miss only" (1, 0)
+    (run Policy.mesi);
+  Alcotest.(check (pair int int)) "msi: read miss + upgrade" (2, 1)
+    (run Policy.msi)
+
+let test_snoop_upgrade_race_converts_to_rdx () =
+  (* Two Shared holders race to write: the loser's BUS_UPGR is granted
+     after its copy was invalidated, so it must convert to a full
+     read-exclusive in the same bus slot (and still get the right data). *)
+  let ((m, p) as mp) = mk Policy.msi in
+  let a = alloc m ~dist:(Gmem.On 0) ~nwords:8 in
+  Proto.poke p a 1;
+  run_fibers m [ (1, fun () -> ignore (Memeff.load a)) ];
+  run_fibers m [ (2, fun () -> ignore (Memeff.load a)) ];
+  run_fibers m
+    [
+      (1, fun () -> Memeff.store a (Memeff.load a + 10));
+      (2, fun () -> Memeff.store a (Memeff.load a + 100));
+    ];
+  Alcotest.(check int) "upgrade race detected" 1 (stat mp "bus.upgr_races");
+  Alcotest.(check bool) "a racing write survives"
+    true
+    (List.mem (Proto.peek p a) [ 11; 101; 111 ]);
+  match Proto.check_invariants p with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_snoop_auditor_detects_corruption () =
+  let (m, p) = mk Policy.msi in
+  let a = alloc m ~dist:(Gmem.On 0) ~nwords:8 in
+  run_fibers m [ (1, fun () -> Memeff.store a 3) ];
+  (* forge a writable copy behind the protocol's back *)
+  let b = Gmem.block_of_addr (Machine.gmem m) a in
+  let data = Lcm_mem.Block.copy (Machine.master m b) in
+  ignore
+    (Machine.install_line (Machine.node m 2) b ~data
+       ~tag:Lcm_tempest.Tag.Writable);
+  match Proto.check_invariants p with
+  | Ok () -> Alcotest.fail "auditor missed a forged line"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* The RSM design space                                                *)
 (* ------------------------------------------------------------------ *)
+
+let test_policy_registry () =
+  Alcotest.(check (list string)) "registry order"
+    [ "stache"; "lcm-scc"; "lcm-mcc"; "lcm-mcc-update"; "msi"; "mesi"; "moesi" ]
+    Policy.names;
+  List.iter
+    (fun (s, expect) ->
+      match Policy.of_string s with
+      | Ok p -> Alcotest.(check string) s expect p.Policy.name
+      | Error e -> Alcotest.fail e)
+    [
+      ("stache", "stache");
+      ("SCC", "lcm-scc");
+      ("mcc", "lcm-mcc");
+      ("update", "lcm-mcc-update");
+      (" msi ", "msi");
+      ("MESI", "mesi");
+      ("moesi", "moesi");
+    ];
+  (match Policy.of_string "mosi" with
+  | Error e ->
+    Alcotest.(check string) "error enumerates accepted spellings"
+      "unknown protocol \"mosi\" (expected one of: stache, lcm-scc|scc, \
+       lcm-mcc|mcc, lcm-mcc-update|mcc-update|update, msi, mesi, moesi)"
+      e
+  | Ok _ -> Alcotest.fail "junk accepted");
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p.Policy.name ^ " family split")
+        (Policy.is_snoop p)
+        (not (Policy.is_lcm p) && p.Policy.name <> "stache"))
+    Policy.policies
 
 let test_rsm_corners_match_named_policies () =
   Alcotest.(check bool) "stache" true (Rsm.stache = Policy.stache);
@@ -1432,8 +1600,13 @@ let test_barrier_parse () =
   Alcotest.(check bool) "tree" true (Barrier.of_string "tree:4" = Ok (Barrier.Tree 4));
   Alcotest.(check bool) "roundtrip" true
     (Barrier.of_string (Barrier.to_string (Barrier.Tree 8)) = Ok (Barrier.Tree 8));
-  Alcotest.(check bool) "junk" true
-    (match Barrier.of_string "ring" with Error _ -> true | Ok _ -> false)
+  (match Barrier.of_string "ring" with
+  | Error e ->
+    Alcotest.(check string) "error enumerates accepted spellings"
+      "unknown barrier style \"ring\" (expected constant, flat or \
+       tree:<arity>)"
+      e
+  | Ok _ -> Alcotest.fail "junk accepted")
 
 let test_barrier_styles_same_results () =
   (* Timing models must not change computed values. *)
@@ -1687,8 +1860,22 @@ let () =
           ("write then remote read", `Quick, test_flow_write_then_remote_read);
           ("lcm mark/write/reconcile", `Quick, test_flow_lcm_mark_write_reconcile);
         ] );
+      ( "snoop bus",
+        [
+          ("remote read, all members", `Quick, test_snoop_read_remote);
+          ("c2c supply counts one fetch", `Quick,
+           test_snoop_c2c_does_not_double_count_fetches);
+          ("owned writeback races BUS_RDX", `Quick,
+           test_snoop_owned_writeback_races_bus_rdx);
+          ("silent upgrade only under MESI", `Quick, test_snoop_silent_upgrade);
+          ("upgrade race converts to RDX", `Quick,
+           test_snoop_upgrade_race_converts_to_rdx);
+          ("auditor detects forged line", `Quick,
+           test_snoop_auditor_detects_corruption);
+        ] );
       ( "rsm space",
         [
+          ("policy registry", `Quick, test_policy_registry);
           ("corners match named policies", `Quick, test_rsm_corners_match_named_policies);
           ("classify roundtrip", `Quick, test_rsm_classify_roundtrip);
           ("novel point runs", `Quick, test_rsm_novel_point_runs);

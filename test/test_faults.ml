@@ -410,6 +410,9 @@ let () =
           ("lcm-mcc under chaos", `Quick, fault_stress_policy Lcm_core.Policy.lcm_mcc);
           ("lcm-mcc-update under chaos", `Quick,
            fault_stress_policy Lcm_core.Policy.lcm_mcc_update);
+          ("msi under chaos", `Quick, fault_stress_policy Lcm_core.Policy.msi);
+          ("mesi under chaos", `Quick, fault_stress_policy Lcm_core.Policy.mesi);
+          ("moesi under chaos", `Quick, fault_stress_policy Lcm_core.Policy.moesi);
           ("no-retx stalls deterministically", `Quick,
            test_noretx_stalls_deterministically);
         ] );

@@ -26,12 +26,38 @@ let test_system_parse () =
       | Error e -> Alcotest.fail e)
     [
       ("stache", "Stache+copy");
+      ("copy", "Stache+copy");
       ("scc", "LCM-scc");
       ("mcc", "LCM-mcc");
       ("LCM-MCC", "LCM-mcc");
+      ("lcm", "LCM-mcc");
+      ("update", "LCM-mcc-update");
+      ("msi", "MSI");
+      ("MESI", "MESI");
+      ("moesi", "MOESI");
     ];
-  Alcotest.(check bool) "junk rejected" true
-    (match Config.system_of_string "msi" with Error _ -> true | Ok _ -> false)
+  (match Config.system_of_string "ring" with
+  | Error e ->
+    Alcotest.(check string) "error enumerates accepted spellings"
+      "unknown system \"ring\" (expected one of: stache|stache+copy|copy, \
+       lcm-scc|scc, lcm-mcc|mcc|lcm, lcm-mcc-update|mcc-update|update, msi, \
+       mesi, moesi)"
+      e
+  | Ok _ -> Alcotest.fail "junk accepted")
+
+let test_all_systems_follow_registry () =
+  Alcotest.(check (list string)) "one system per registered policy"
+    (List.map (fun (i : Lcm_core.Policy.info) -> i.Lcm_core.Policy.label)
+       Lcm_core.Policy.all)
+    (List.map (fun s -> s.Config.label) Config.all_systems);
+  List.iter
+    (fun s ->
+      let expect_lcm = Lcm_core.Policy.is_lcm s.Config.policy in
+      Alcotest.(check bool)
+        (s.Config.label ^ " strategy follows family")
+        expect_lcm
+        (s.Config.strategy = Lcm_cstar.Runtime.Lcm_directives))
+    Config.all_systems
 
 let test_systems_order () =
   Alcotest.(check (list string)) "paper order"
@@ -347,6 +373,7 @@ let () =
       ( "config",
         [
           ("system parse", `Quick, test_system_parse);
+          ("all systems follow registry", `Quick, test_all_systems_follow_registry);
           ("systems order", `Quick, test_systems_order);
           ("default machine", `Quick, test_default_machine_is_cm5_shaped);
           ("runtime wiring", `Quick, test_make_runtime_wires_strategy);

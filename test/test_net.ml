@@ -35,8 +35,13 @@ let test_topology_parse () =
     (Topology.of_string "mesh:8" = Ok (Mesh2d { cols = 8 }));
   Alcotest.(check bool) "fattree" true
     (Topology.of_string "FatTree:4" = Ok (Fat_tree { arity = 4 }));
-  Alcotest.(check bool) "garbage" true
-    (match Topology.of_string "ring" with Error _ -> true | Ok _ -> false);
+  (match Topology.of_string "ring" with
+  | Error e ->
+    Alcotest.(check string) "error enumerates accepted spellings"
+      "unknown topology \"ring\" (expected crossbar, mesh:<cols> or \
+       fattree:<arity>)"
+      e
+  | Ok _ -> Alcotest.fail "garbage accepted");
   Alcotest.(check bool) "bad mesh" true
     (match Topology.of_string "mesh:0" with Error _ -> true | Ok _ -> false)
 

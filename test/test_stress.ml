@@ -1,5 +1,6 @@
 (* Bounded fixed-seed run of the differential stress harness
-   (Lcm_harness.Stress): 30 cases per policy plus 30 mixed-policy cases,
+   (Lcm_harness.Stress): 30 cases per registered policy — the directory
+   family and the snooping-bus family alike — plus 30 mixed-policy cases,
    each checked word-for-word against the golden per-epoch model and
    Proto.check_invariants.  Failures print a shrunk, seed-reproducible
    counterexample. *)
@@ -33,17 +34,14 @@ let () =
   Alcotest.run "lcm_stress"
     [
       ( "stress",
-        [
-          Alcotest.test_case "stache 30 cases" `Slow
-            (run_policy Policy.stache);
-          Alcotest.test_case "lcm-scc 30 cases" `Slow
-            (run_policy Policy.lcm_scc);
-          Alcotest.test_case "lcm-mcc 30 cases" `Slow
-            (run_policy Policy.lcm_mcc);
-          Alcotest.test_case "lcm-mcc-update 30 cases" `Slow
-            (run_policy Policy.lcm_mcc_update);
-          Alcotest.test_case "mixed policies" `Slow test_mixed;
-          Alcotest.test_case "deterministic generation" `Quick
-            test_shrink_minimizes;
-        ] );
+        List.map
+          (fun (p : Policy.t) ->
+            Alcotest.test_case (p.Policy.name ^ " 30 cases") `Slow
+              (run_policy p))
+          Stress.all_policies
+        @ [
+            Alcotest.test_case "mixed policies" `Slow test_mixed;
+            Alcotest.test_case "deterministic generation" `Quick
+              test_shrink_minimizes;
+          ] );
     ]
