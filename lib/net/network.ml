@@ -86,6 +86,29 @@ let latency t ~src ~dst ~words =
 let transmission_time t ~words =
   max 1 (words * t.costs.Lcm_sim.Costs.msg_per_word)
 
+(* The conservative lookahead bound: the smallest latency any message
+   between two *distinct* nodes can have — msg_fixed plus the cheapest
+   hop path in the topology plus one payload word.  No event a node emits
+   now can affect another node sooner than this, which is exactly the
+   horizon slack the PDES windowed driver may claim.  O(n^2) hop queries,
+   computed once at machine construction. *)
+let min_cross_latency t =
+  if t.nnodes < 2 then t.costs.Lcm_sim.Costs.msg_fixed + 1
+  else begin
+    let min_hops = ref max_int in
+    for src = 0 to t.nnodes - 1 do
+      for dst = 0 to t.nnodes - 1 do
+        if src <> dst then begin
+          let h = Topology.hops t.topology ~src ~dst in
+          if h < !min_hops then min_hops := h
+        end
+      done
+    done;
+    t.costs.Lcm_sim.Costs.msg_fixed
+    + (!min_hops * t.costs.Lcm_sim.Costs.msg_per_hop)
+    + t.costs.Lcm_sim.Costs.msg_per_word
+  end
+
 let tag_counter t tag =
   match Hashtbl.find_opt t.tag_counters tag with
   | Some h -> h
@@ -120,7 +143,9 @@ let loopback t ~src ~words ?tag ~at k =
     Lcm_sim.Trace.emit tr ~time:(arrival - lat)
       (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst = src; words })
   | None -> ());
-  Lcm_sim.Engine.schedule t.engine ~at:arrival (fun () ->
+  (* owner hint: a loopback delivery is the sender's own work, so under a
+     sharded engine it stays on the sender's shard *)
+  Lcm_sim.Engine.schedule_owned t.engine ~owner:src ~at:arrival (fun () ->
       (match t.trace with
       | Some tr ->
         Lcm_sim.Trace.emit tr ~time:arrival
@@ -156,7 +181,10 @@ let inject t ~src ~dst ~words ~tag ~at k =
       (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst; words })
   | None -> ());
   Array.unsafe_set t.channel_free channel (arrival + transmission_time t ~words);
-  Lcm_sim.Engine.schedule t.engine ~at:arrival (fun () ->
+  (* owner hint: delivery belongs to the destination node — under a sharded
+     engine this is the cross-shard mailbox deposit of the conservative
+     scheme when dst lives on another shard *)
+  Lcm_sim.Engine.schedule_owned t.engine ~owner:dst ~at:arrival (fun () ->
       (match t.trace with
       | Some tr ->
         Lcm_sim.Trace.emit tr ~time:arrival
@@ -288,7 +316,8 @@ let send_reliable t ~src ~dst ~words ?tag ~at k =
         let t_check =
           max at (Lcm_sim.Engine.now t.engine) + backoff
         in
-        Lcm_sim.Engine.schedule t.engine ~at:t_check (fun () ->
+        (* owner hint: the retransmission timer lives at the sender *)
+        Lcm_sim.Engine.schedule_owned t.engine ~owner:src ~at:t_check (fun () ->
             if st.acked then
               (* A stale timer of a delivered message is evidence the run is
                  advancing; without this, a long-backoff timer outliving the

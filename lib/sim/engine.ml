@@ -65,6 +65,19 @@ type t = {
   mutable processed : int;
   tally : int Atomic.t;  (* this domain's event cell, snapshotted at create *)
   budget : budget option;  (* ambient cell budget at creation time, if any *)
+  mutable router :
+    (owner:int option -> at:int -> (unit -> unit) -> unit) option;
+      (* sharded mode: insertions divert to the PDES coordinator's
+         per-shard queues instead of [queue]; [owner] is the simulated
+         node the event belongs to when the caller knows it (message
+         deliveries), None for ambient attribution *)
+  mutable driver : (limit:int option -> unit) option;
+      (* sharded mode: [run] hands the whole drain loop to the
+         coordinator's windowed driver *)
+  mutable aux_pending : (unit -> int) option;
+      (* sharded mode: events parked outside [queue] (shard heaps and
+         in-flight window batches), so [pending] and the Stalled payload
+         stay truthful *)
   mutable stall_limit : int option;
       (* quiescence watchdog: raise Stalled when events have *executed*
          more than this many cycles past the last notify_progress —
@@ -92,6 +105,9 @@ let create () =
     processed = 0;
     tally = Domain.DLS.get domain_total;
     budget = !(Domain.DLS.get ambient_budget);
+    router = None;
+    driver = None;
+    aux_pending = None;
     stall_limit = None;
     last_progress = 0;
     quiet_events = 0;
@@ -103,11 +119,25 @@ let schedule e ~at f =
   if at < e.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at e.now);
-  Lcm_util.Heap.add e.queue ~key:at f
+  match e.router with
+  | None -> Lcm_util.Heap.add e.queue ~key:at f
+  | Some route -> route ~owner:None ~at f
+
+let schedule_owned e ~owner ~at f =
+  if at < e.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at e.now);
+  match e.router with
+  | None -> Lcm_util.Heap.add e.queue ~key:at f
+  | Some route -> route ~owner:(Some owner) ~at f
 
 let after e ~delay f =
   let delay = max 0 delay in
   schedule e ~at:(e.now + delay) f
+
+let set_router e r = e.router <- r
+let set_driver e d = e.driver <- d
+let set_aux_pending e p = e.aux_pending <- p
 
 (* Budget enforcement happens before the event is popped, so a raise leaves
    the engine consistent (clock unmoved, event still queued) and fires at a
@@ -146,48 +176,72 @@ let notify_progress e =
   e.last_progress <- e.now;
   e.quiet_events <- 0
 
+let pending e =
+  Lcm_util.Heap.length e.queue
+  + (match e.aux_pending with None -> 0 | Some f -> f ())
+
+(* Pre-event checks, run while the event is still queued so a raise leaves
+   the engine consistent (clock unmoved, event recoverable).  The watchdog
+   fires *before* the budget is charged: a Stalled raise reports an event
+   that never executed, so it must not consume a budget event or tick the
+   wall-clock guard — the stall trips at the same remaining-budget count
+   whether or not a budget is armed (satellite regression: test_sim). *)
+let pre_event_checks e =
+  (* The watchdog compares the *executed* clock against the last progress
+     mark and requires a run of [stall_min_events] progress-free events:
+     only sustained event activity with nothing semantically advancing —
+     e.g. retransmission timers re-arming forever — trips it. *)
+  (match e.stall_limit with
+  | Some limit
+    when e.now - e.last_progress > limit
+         && e.quiet_events >= stall_min_events ->
+    raise (Stalled { clock = e.now; pending = pending e })
+  | Some _ | None -> ());
+  check_budget e
+
+(* Commit one already-dequeued event: advance the clock, account it, run
+   the body.  Shared verbatim between the sequential [step] and the PDES
+   coordinator's window commit, so Budget_exhausted/Stalled fire at
+   identical (event count, clock) points at any shard count. *)
+let commit_event e ~at f =
+  e.now <- at;
+  e.processed <- e.processed + 1;
+  e.quiet_events <- e.quiet_events + 1;
+  Atomic.incr e.tally;
+  f ()
+
 let step e =
+  if e.driver <> None then
+    invalid_arg "Engine.step: sharded engine — drive it with Engine.run";
   if Lcm_util.Heap.is_empty e.queue then false
   else begin
-    check_budget e;
-    (* The watchdog fires before the next event is popped, so the raise
-       leaves the queue intact for post-mortem inspection.  It compares
-       the *executed* clock against the last progress mark and requires a
-       run of [stall_min_events] progress-free events: only sustained
-       event activity with nothing semantically advancing — e.g.
-       retransmission timers re-arming forever — trips it. *)
-    (match e.stall_limit with
-    | Some limit
-      when e.now - e.last_progress > limit
-           && e.quiet_events >= stall_min_events ->
-      raise (Stalled { clock = e.now; pending = Lcm_util.Heap.length e.queue })
-    | Some _ | None -> ());
+    pre_event_checks e;
     let t = Lcm_util.Heap.top_key e.queue in
     let f = Lcm_util.Heap.pop_exn e.queue in
-    e.now <- t;
-    e.processed <- e.processed + 1;
-    e.quiet_events <- e.quiet_events + 1;
-    Atomic.incr e.tally;
-    f ();
+    commit_event e ~at:t f;
     true
   end
 
 let run ?limit e =
-  let budget = match limit with None -> max_int | Some n -> n in
-  let rec loop remaining =
-    if remaining = 0 then begin
-      (* An exhausted budget over an already-empty queue is a completed
-         run, not a failure — only pending work makes the limit an error. *)
-      if Lcm_util.Heap.length e.queue > 0 then
-        failwith
-          (Printf.sprintf
-             "Engine.run: event limit exhausted at t=%d (%d pending)" e.now
-             (Lcm_util.Heap.length e.queue))
-    end
-    else if step e then loop (remaining - 1)
-  in
-  loop budget
-
-let pending e = Lcm_util.Heap.length e.queue
+  (match limit with
+  | Some n when n < 0 -> invalid_arg "Engine.run: limit < 0"
+  | Some _ | None -> ());
+  match e.driver with
+  | Some drive -> drive ~limit
+  | None ->
+    let budget = match limit with None -> max_int | Some n -> n in
+    let rec loop remaining =
+      if remaining = 0 then begin
+        (* An exhausted budget over an already-empty queue is a completed
+           run, not a failure — only pending work makes the limit an error. *)
+        if Lcm_util.Heap.length e.queue > 0 then
+          failwith
+            (Printf.sprintf
+               "Engine.run: event limit exhausted at t=%d (%d pending)" e.now
+               (Lcm_util.Heap.length e.queue))
+      end
+      else if step e then loop (remaining - 1)
+    in
+    loop budget
 
 let events_processed e = e.processed

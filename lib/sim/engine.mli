@@ -52,6 +52,15 @@ val schedule : t -> at:int -> (unit -> unit) -> unit
 (** [schedule e ~at f] runs [f] when the clock reaches [at].
     @raise Invalid_argument if [at] is in the past. *)
 
+val schedule_owned : t -> owner:int -> at:int -> (unit -> unit) -> unit
+(** [schedule_owned e ~owner ~at f] is {!schedule} with an ownership hint:
+    [owner] is the simulated node the event belongs to (a message's
+    destination, a timer's node).  On a plain engine the hint is dropped;
+    on a sharded engine (see {!Pdes}) it routes the event to the owner's
+    shard queue — a send whose destination lives on another shard is a
+    cross-shard mailbox deposit.  Ownership only affects shard
+    accounting and drain parallelism, never execution order. *)
+
 val after : t -> delay:int -> (unit -> unit) -> unit
 (** [after e ~delay f] is [schedule e ~at:(now e + delay) f].
     A negative [delay] is treated as 0. *)
@@ -77,14 +86,52 @@ val notify_progress : t -> unit
 
 val step : t -> bool
 (** Process the single earliest pending event, advancing the clock to its
-    timestamp.  Returns [false] when no event is pending. *)
+    timestamp.  Returns [false] when no event is pending.  A budget or
+    watchdog raise happens {e before} the event is dequeued and charges
+    nothing: the event is still queued, the clock unmoved, and — for
+    {!Stalled} specifically — no budget event or wall-clock guard tick has
+    been consumed for an event that never executed.
+    @raise Invalid_argument on a sharded engine (one driven by {!Pdes});
+    sharded engines are drained with {!run}. *)
 
 val run : ?limit:int -> t -> unit
 (** [run e] processes events until the queue drains.  [limit] bounds the
     number of events processed (default: unlimited); exhausting it while
     events remain pending raises [Failure], which flags runaway
     simulations in tests.  A budget that runs out exactly as the queue
-    empties (including [~limit:0] on an idle engine) returns normally. *)
+    empties (including [~limit:0] on an idle engine) returns normally.
+    On a sharded engine (see {!Pdes}) the drain is delegated to the
+    conservative windowed driver, with identical semantics and identical
+    event order.
+    @raise Invalid_argument if [limit] is negative (matching
+    {!with_budget}; a negative limit used to behave as unlimited). *)
+
+(** {1 Sharding hooks (used by {!Pdes} — not a public scheduling API)}
+
+    A PDES coordinator installs a {e router} (insertions divert to its
+    per-shard queues), a {e driver} ({!run} delegates the drain loop), and
+    an {e aux-pending} thermometer (events parked in shard queues and
+    in-flight window batches still count in {!pending} and in the
+    {!Stalled} payload).  {!pre_event_checks} and {!commit_event} are the
+    two halves of {!step}: checks run while the event is still recoverable,
+    commit advances the clock and runs the body — the coordinator calls
+    them around its own dequeue so budgets, watchdogs and tallies behave
+    identically at any shard count. *)
+
+val set_router :
+  t -> (owner:int option -> at:int -> (unit -> unit) -> unit) option -> unit
+
+val set_driver : t -> (limit:int option -> unit) option -> unit
+
+val set_aux_pending : t -> (unit -> int) option -> unit
+
+val pre_event_checks : t -> unit
+(** Watchdog then budget, in that order; may raise {!Stalled} /
+    {!Budget_exhausted} / a guard exception with the next event still
+    queued and nothing charged for it. *)
+
+val commit_event : t -> at:int -> (unit -> unit) -> unit
+(** Advance the clock to [at], account one processed event, run the body. *)
 
 val pending : t -> int
 (** Number of events waiting in the queue. *)

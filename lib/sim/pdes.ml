@@ -1,0 +1,547 @@
+(* Conservative parallel discrete-event coordination for one simulation.
+
+   The sequential engine owns a single FIFO-stable heap; this module
+   shards that queue by *owning node* across [shards] sub-queues and
+   drives the run in conservative time windows:
+
+     window:  horizon := (earliest pending timestamp) + lookahead
+     drain:   every shard extracts its events below the horizon — disjoint
+              heaps, so shards drain concurrently on the domain pool
+     commit:  events execute in exact global (timestamp, seq) order — the
+              k-way merge over shard queues reproduces, stamp for stamp,
+              the pop order of the sequential engine's single heap
+
+   The lookahead is the minimum cross-shard message latency (msg_fixed +
+   min-hop cost + one payload word, computed by the network layer from
+   the topology): below the horizon, no event that is not yet queued can
+   be scheduled onto another shard by the conservative argument, so each
+   window is a closed unit of work.  Where the argument is violated — a
+   sender whose local clock lags the engine clamps an arrival under the
+   horizon — the violation is *counted* ([lookahead_violations]), never
+   trusted: commit order is decided by the merge alone.
+
+   Refinement discipline (Schewe et al., "Concurrent Computing with
+   Shared Replicated Memory"): the parallel engine is built as a provable
+   refinement of the sequential one.  The machine model behind the events
+   (stats registry, trace ring, master-copy table, node tables reached
+   through lazy home materialisation) is shared mutable state, so event
+   *bodies* commit on the driving domain in sequential order — that is
+   what makes `--jobs 1` and `--jobs N` bit-identical under the
+   fingerprint oracle — while shard queue maintenance (the heap drain)
+   runs on worker domains.  Moving bodies onto the workers requires
+   domain-confining that shared state; [lookahead_violations] = 0 over a
+   workload is the certificate that its event traffic would tolerate it.
+   See DESIGN.md §8. *)
+
+module Heap = Lcm_util.Heap
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard window batches                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A drained window slice, in (key, seq) pop order.  Parallel arrays like
+   the heap itself; reused across windows (len/cursor reset, capacity
+   kept). *)
+type batch = {
+  mutable bkeys : int array;
+  mutable bseqs : int array;
+  mutable bvals : (unit -> unit) array;
+  mutable blen : int;
+  mutable bcursor : int;
+}
+
+let nop () = ()
+
+let batch_create () =
+  { bkeys = [||]; bseqs = [||]; bvals = [||]; blen = 0; bcursor = 0 }
+
+let batch_push b ~key ~seq v =
+  let cap = Array.length b.bkeys in
+  if b.blen = cap then begin
+    let new_cap = max 16 (2 * cap) in
+    let grow_int a = Array.append a (Array.make (new_cap - cap) 0) in
+    b.bkeys <- grow_int b.bkeys;
+    b.bseqs <- grow_int b.bseqs;
+    b.bvals <- Array.append b.bvals (Array.make (new_cap - cap) nop)
+  end;
+  b.bkeys.(b.blen) <- key;
+  b.bseqs.(b.blen) <- seq;
+  b.bvals.(b.blen) <- v;
+  b.blen <- b.blen + 1
+
+let batch_reset b =
+  (* Drop committed closure references so a long run does not retain a
+     whole window of dead events; stale slots past [blen] are overwritten
+     before they are ever read. *)
+  for i = 0 to b.blen - 1 do
+    b.bvals.(i) <- nop
+  done;
+  b.blen <- 0;
+  b.bcursor <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliberately *not* registered in the run's Stats registry: the
+   fingerprint suite pins counter digests bit-identical across shard
+   counts, and window shapes are a property of the host-side execution
+   strategy, not of the simulated machine.  Reported separately (perf
+   rig, tests) via [counters]. *)
+type counters = {
+  mutable windows : int;  (** conservative windows driven *)
+  mutable null_msgs : int;  (** horizon announcements (shards x windows) *)
+  mutable cross_shard_msgs : int;  (** mailbox deposits onto another shard *)
+  mutable lookahead_violations : int;
+      (** cross-shard deposits under the current horizon — events a
+          distributed implementation would have to treat as causality
+          errors; here they only feed the merge like everything else *)
+  mutable horizon_stalls : int;
+      (** windows whose drained events all shared one timestamp — no
+          overlap was available to a parallel commit *)
+  mutable window_events_total : int;  (** committed events, all windows *)
+  mutable max_window_events : int;  (** largest single window *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator state                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  engine : Engine.t;
+  nshards : int;
+  lookahead : int;
+  shard_of : int -> int;
+  heaps : (unit -> unit) Heap.t array;
+  batches : batch array;
+  mutable next_seq : int;
+  mutable current_shard : int;  (* shard of the committing event; -1 outside *)
+  mutable horizon : int;
+  c : counters;
+}
+
+let shards t = t.nshards
+let lookahead t = t.lookahead
+
+let counters t =
+  (* snapshot copy: callers must not mutate coordinator accounting *)
+  {
+    windows = t.c.windows;
+    null_msgs = t.c.null_msgs;
+    cross_shard_msgs = t.c.cross_shard_msgs;
+    lookahead_violations = t.c.lookahead_violations;
+    horizon_stalls = t.c.horizon_stalls;
+    window_events_total = t.c.window_events_total;
+    max_window_events = t.c.max_window_events;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ambient job count (mirrors Engine.with_budget's DLS pattern)        *)
+(* ------------------------------------------------------------------ *)
+
+let ambient : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 1)
+
+let resolve_jobs jobs =
+  if jobs < 0 then invalid_arg "Pdes.with_jobs: jobs < 0"
+  else if jobs = 0 then Domain.recommended_domain_count ()
+  else jobs
+
+let with_jobs ~jobs f =
+  let jobs = resolve_jobs jobs in
+  let cell = Domain.DLS.get ambient in
+  let saved = !cell in
+  cell := jobs;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let ambient_jobs () = !(Domain.DLS.get ambient)
+
+(* ------------------------------------------------------------------ *)
+(* The shared drain pool                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One process-wide pool of worker domains for the parallel drain phase.
+   Created lazily on the first multi-shard drive, grown on demand, never
+   larger than the host has spare cores for (a 1-core container gets an
+   empty pool and drains inline — spawning domains there is pure
+   overhead).  A drive holds [pool_mu] across each drain phase, so
+   concurrent sharded drives (e.g. fleet cells that each asked for PDES)
+   serialize their drains but interleave their windows. *)
+
+type job = {
+  slots : int;
+  run_slot : int -> unit;
+  next_slot : int Atomic.t;
+  finished : int Atomic.t;
+  mutable failed : exn option;
+}
+
+type pool = {
+  mu : Mutex.t;
+  go : Condition.t;
+  done_ : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable nworkers : int;
+  mutable job : job option;
+  mutable gen : int;
+  mutable quit : bool;
+}
+
+let pool =
+  {
+    mu = Mutex.create ();
+    go = Condition.create ();
+    done_ = Condition.create ();
+    workers = [];
+    nworkers = 0;
+    job = None;
+    gen = 0;
+    quit = false;
+  }
+
+let pool_mu = Mutex.create ()  (* serializes whole drain phases *)
+
+let run_slots (j : job) =
+  let rec pull () =
+    let s = Atomic.fetch_and_add j.next_slot 1 in
+    if s < j.slots then begin
+      (try j.run_slot s
+       with exn -> if j.failed = None then j.failed <- Some exn);
+      ignore (Atomic.fetch_and_add j.finished 1);
+      pull ()
+    end
+  in
+  pull ()
+
+let worker_loop () =
+  let my_gen = ref 0 in
+  Mutex.lock pool.mu;
+  let rec loop () =
+    while pool.gen = !my_gen && not pool.quit do
+      Condition.wait pool.go pool.mu
+    done;
+    if pool.quit then Mutex.unlock pool.mu
+    else begin
+      my_gen := pool.gen;
+      let j = pool.job in
+      Mutex.unlock pool.mu;
+      (match j with
+      | Some j ->
+        run_slots j;
+        Mutex.lock pool.mu;
+        if Atomic.get j.finished >= j.slots then Condition.broadcast pool.done_;
+        Mutex.unlock pool.mu
+      | None -> ());
+      Mutex.lock pool.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let shutdown_pool () =
+  Mutex.lock pool.mu;
+  pool.quit <- true;
+  Condition.broadcast pool.go;
+  let ws = pool.workers in
+  pool.workers <- [];
+  pool.nworkers <- 0;
+  Mutex.unlock pool.mu;
+  List.iter Domain.join ws
+
+let () = at_exit shutdown_pool
+
+(* Grow the pool toward [want] workers, bounded by the host's spare
+   cores unless the caller explicitly reserves more (tests exercising
+   the cross-domain protocol on a 1-core host). *)
+let grow_pool ~forced want =
+  let cap =
+    if forced then want else min want (Domain.recommended_domain_count () - 1)
+  in
+  Mutex.lock pool.mu;
+  (if not pool.quit then
+     while pool.nworkers < cap do
+       pool.workers <- Domain.spawn worker_loop :: pool.workers;
+       pool.nworkers <- pool.nworkers + 1
+     done);
+  let n = pool.nworkers in
+  Mutex.unlock pool.mu;
+  n
+
+let reserve_drain_workers n =
+  if n < 0 then invalid_arg "Pdes.reserve_drain_workers: n < 0";
+  ignore (grow_pool ~forced:true n)
+
+(* Run [run_slot] for every slot in [0, slots): on worker domains plus
+   the calling one when the pool has workers, inline otherwise.  Mutexes
+   establish the happens-before edges: slot effects (shard heap pops,
+   batch writes) are visible to the caller when this returns. *)
+let drain_parallel ~slots run_slot =
+  let nworkers = grow_pool ~forced:false (slots - 1) in
+  if nworkers = 0 then
+    for s = 0 to slots - 1 do
+      run_slot s
+    done
+  else begin
+    Mutex.lock pool_mu;
+    let j =
+      {
+        slots;
+        run_slot;
+        next_slot = Atomic.make 0;
+        finished = Atomic.make 0;
+        failed = None;
+      }
+    in
+    Mutex.lock pool.mu;
+    pool.job <- Some j;
+    pool.gen <- pool.gen + 1;
+    Condition.broadcast pool.go;
+    Mutex.unlock pool.mu;
+    run_slots j;  (* the coordinator pulls slots too *)
+    Mutex.lock pool.mu;
+    while Atomic.get j.finished < j.slots do
+      Condition.wait pool.done_ pool.mu
+    done;
+    pool.job <- None;
+    Mutex.unlock pool.mu;
+    Mutex.unlock pool_mu;
+    match j.failed with Some exn -> raise exn | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let route t ~owner ~at f =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let shard =
+    match owner with
+    | Some node -> t.shard_of node
+    | None -> if t.current_shard >= 0 then t.current_shard else 0
+  in
+  (* A deposit onto another shard is the mailbox path of the conservative
+     scheme.  One under the horizon is a lookahead violation: the clamp
+     in Network.inject can pull an arrival below [at + latency] when the
+     sender's local clock lags the engine.  Both are accounting only —
+     the commit merge orders every event by (key, seq) regardless. *)
+  if t.current_shard >= 0 && shard <> t.current_shard then begin
+    t.c.cross_shard_msgs <- t.c.cross_shard_msgs + 1;
+    if at < t.horizon then
+      t.c.lookahead_violations <- t.c.lookahead_violations + 1
+  end;
+  Heap.add_stamped t.heaps.(shard) ~key:at ~seq f
+
+let total_pending t =
+  let n = ref 0 in
+  Array.iter (fun h -> n := !n + Heap.length h) t.heaps;
+  Array.iter (fun b -> n := !n + (b.blen - b.bcursor)) t.batches;
+  !n
+
+(* Push every undrained batch entry back into its shard heap (stamps
+   preserved, so a later drive pops them in the same global order) —
+   called when a raise aborts a window so the engine stays consistent:
+   the failing point sees exactly the events the sequential engine would
+   still have queued. *)
+let restore t =
+  for s = 0 to t.nshards - 1 do
+    let b = t.batches.(s) in
+    for i = b.bcursor to b.blen - 1 do
+      Heap.add_stamped t.heaps.(s) ~key:b.bkeys.(i) ~seq:b.bseqs.(i)
+        b.bvals.(i)
+    done;
+    b.blen <- b.bcursor;
+    batch_reset b
+  done;
+  t.current_shard <- -1;
+  t.horizon <- min_int
+
+(* ------------------------------------------------------------------ *)
+(* The windowed driver                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The earliest pending timestamp across shard heaps (batches are empty
+   between windows). *)
+let min_next t =
+  let best = ref max_int and found = ref false in
+  Array.iter
+    (fun h ->
+      if not (Heap.is_empty h) then begin
+        found := true;
+        let k = Heap.top_key h in
+        if k < !best then best := k
+      end)
+    t.heaps;
+  if !found then Some !best else None
+
+(* Next candidate of shard [s]: the smaller of the batch head and the
+   shard heap's under-horizon top.  The heap can undercut the batch even
+   while the batch is non-empty: an event scheduled *during* this
+   window's commit (a same-shard child) lands in the heap, possibly at a
+   key below the batch's remaining entries, and must run in its (key,
+   seq) place exactly as the sequential engine would pop it. *)
+let heap_candidate t s =
+  let h = t.heaps.(s) in
+  if (not (Heap.is_empty h)) && Heap.top_key h < t.horizon then
+    Some (Heap.top_key h, Heap.top_seq h)
+  else None
+
+let candidate t s =
+  let b = t.batches.(s) in
+  if b.bcursor >= b.blen then heap_candidate t s
+  else
+    let bk = b.bkeys.(b.bcursor) and bs = b.bseqs.(b.bcursor) in
+    match heap_candidate t s with
+    | Some (hk, hs) when hk < bk || (hk = bk && hs < bs) -> Some (hk, hs)
+    | Some _ | None -> Some (bk, bs)
+
+(* Pop the candidate [candidate] just chose for shard [s] (same
+   comparison, so the two always agree). *)
+let pop_candidate t s =
+  let b = t.batches.(s) in
+  let from_batch =
+    b.bcursor < b.blen
+    &&
+    match heap_candidate t s with
+    | None -> true
+    | Some (hk, hs) ->
+      let bk = b.bkeys.(b.bcursor) and bs = b.bseqs.(b.bcursor) in
+      bk < hk || (bk = hk && bs < hs)
+  in
+  if from_batch then begin
+    let f = b.bvals.(b.bcursor) in
+    let key = b.bkeys.(b.bcursor) in
+    b.bvals.(b.bcursor) <- nop;
+    b.bcursor <- b.bcursor + 1;
+    if b.bcursor = b.blen then batch_reset b;
+    (key, f)
+  end
+  else
+    let key = Heap.top_key t.heaps.(s) in
+    (key, Heap.pop_exn t.heaps.(s))
+
+let drain_shard t horizon s =
+  let h = t.heaps.(s) and b = t.batches.(s) in
+  let rec go () =
+    if (not (Heap.is_empty h)) && Heap.top_key h < horizon then begin
+      let key = Heap.top_key h and seq = Heap.top_seq h in
+      let f = Heap.pop_exn h in
+      batch_push b ~key ~seq f;
+      go ()
+    end
+  in
+  go ()
+
+let drive t ~limit =
+  let e = t.engine in
+  let remaining = ref (match limit with None -> max_int | Some n -> n) in
+  let exhausted () =
+    restore t;
+    failwith
+      (Printf.sprintf "Engine.run: event limit exhausted at t=%d (%d pending)"
+         (Engine.now e) (total_pending t))
+  in
+  let rec window () =
+    match min_next t with
+    | None -> ()  (* drained; like the sequential loop, limit 0 here is fine *)
+    | Some earliest ->
+      t.c.windows <- t.c.windows + 1;
+      (* each shard announces its horizon bound: null messages in the
+         Chandy–Misra–Bryant sense, one per shard per window *)
+      t.c.null_msgs <- t.c.null_msgs + t.nshards;
+      let horizon = earliest + t.lookahead in
+      t.horizon <- horizon;
+      (* Parallel drain: shard heaps are disjoint, one slot per shard. *)
+      if t.nshards > 1 then
+        drain_parallel ~slots:t.nshards (fun s -> drain_shard t horizon s)
+      else drain_shard t horizon 0;
+      (* Window span accounting from the drained slices (per-shard slices
+         are sorted, so min/max are the ends). *)
+      let span_min = ref max_int and span_max = ref min_int in
+      Array.iter
+        (fun b ->
+          if b.blen > 0 then begin
+            span_min := min !span_min b.bkeys.(0);
+            span_max := max !span_max b.bkeys.(b.blen - 1)
+          end)
+        t.batches;
+      if !span_max = !span_min then
+        t.c.horizon_stalls <- t.c.horizon_stalls + 1;
+      (* Commit in global (key, seq) order: k-way merge over batch heads
+         and under-horizon heap tops. *)
+      let committed = ref 0 in
+      let rec commit () =
+        let best = ref (-1) and bk = ref max_int and bs = ref max_int in
+        for s = 0 to t.nshards - 1 do
+          match candidate t s with
+          | Some (k, q) when k < !bk || (k = !bk && q < !bs) ->
+            best := s;
+            bk := k;
+            bs := q
+          | Some _ | None -> ()
+        done;
+        if !best >= 0 then begin
+          if !remaining = 0 then exhausted ();
+          (* checks run with the event still recoverable: a budget or
+             watchdog raise restores the window and leaves the engine
+             exactly where the sequential engine would stop *)
+          (try Engine.pre_event_checks e
+           with exn ->
+             restore t;
+             raise exn);
+          decr remaining;
+          let at, f = pop_candidate t !best in
+          t.current_shard <- !best;
+          incr committed;
+          (try Engine.commit_event e ~at f
+           with exn ->
+             (* the committed event is consumed (as in the sequential
+                engine); everything uncommitted goes back to its shard *)
+             restore t;
+             raise exn);
+          commit ()
+        end
+      in
+      commit ();
+      t.current_shard <- -1;
+      t.horizon <- min_int;
+      t.c.window_events_total <- t.c.window_events_total + !committed;
+      if !committed > t.c.max_window_events then
+        t.c.max_window_events <- !committed;
+      window ()
+  in
+  window ()
+
+(* ------------------------------------------------------------------ *)
+(* Attach                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let attach ~engine ~shards ~lookahead ~shard_of () =
+  if shards < 1 then invalid_arg "Pdes.attach: shards must be positive";
+  if lookahead < 1 then invalid_arg "Pdes.attach: lookahead must be positive";
+  let t =
+    {
+      engine;
+      nshards = shards;
+      lookahead;
+      shard_of;
+      heaps = Array.init shards (fun _ -> Heap.create ());
+      batches = Array.init shards (fun _ -> batch_create ());
+      next_seq = 0;
+      current_shard = -1;
+      horizon = min_int;
+      c =
+        {
+          windows = 0;
+          null_msgs = 0;
+          cross_shard_msgs = 0;
+          lookahead_violations = 0;
+          horizon_stalls = 0;
+          window_events_total = 0;
+          max_window_events = 0;
+        };
+    }
+  in
+  Engine.set_router engine (Some (fun ~owner ~at f -> route t ~owner ~at f));
+  Engine.set_driver engine (Some (fun ~limit -> drive t ~limit));
+  Engine.set_aux_pending engine (Some (fun () -> total_pending t));
+  t

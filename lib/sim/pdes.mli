@@ -1,0 +1,97 @@
+(** Conservative parallel discrete-event coordination for one simulation.
+
+    Shards an engine's event queue by owning node and drives the run in
+    conservative time windows: each window's horizon is the earliest
+    pending timestamp plus the {e lookahead} — the minimum cross-shard
+    message latency, below which no not-yet-queued event can arrive from
+    another shard.  Shards drain their below-horizon events concurrently
+    on a shared domain pool (disjoint heaps); the window then {e commits}
+    by a k-way merge in exact global [(timestamp, seq)] order, which
+    reproduces — stamp for stamp — the pop order of the sequential
+    engine's single FIFO heap.  [--jobs 1] and [--jobs N] are therefore
+    bit-identical under the fingerprint oracle {e by construction}, the
+    refinement discipline this parallel engine is built around; see
+    DESIGN.md §8 for the protocol, the refinement argument, and what
+    still confines event {e bodies} to the driving domain. *)
+
+type t
+(** A coordinator attached to one engine. *)
+
+val attach :
+  engine:Engine.t ->
+  shards:int ->
+  lookahead:int ->
+  shard_of:(int -> int) ->
+  unit ->
+  t
+(** [attach ~engine ~shards ~lookahead ~shard_of ()] puts [engine] into
+    sharded mode: insertions route to [shards] per-shard queues
+    ([shard_of node] maps an event's owning node to its shard; events
+    with no owner attribute to the shard of the event being committed),
+    and {!Engine.run} drains through the conservative windowed driver.
+    [lookahead] is the horizon slack in cycles — sound when it is at most
+    the minimum cross-shard message latency, but {e never} trusted for
+    ordering: a violating deposit is counted, not reordered.  Attach
+    before scheduling; events already in the engine's own queue are not
+    migrated.  [Engine.step] refuses sharded engines ([run] only).
+    @raise Invalid_argument if [shards] or [lookahead] is not positive. *)
+
+val shards : t -> int
+val lookahead : t -> int
+
+(** {1 Ambient job count}
+
+    Workloads build machines internally, so the CLI's [--jobs] cannot be
+    threaded as an argument; instead it is carried as a domain-local
+    ambient (the same pattern as {!Engine.with_budget}) that
+    [Machine.create] reads. *)
+
+val with_jobs : jobs:int -> (unit -> 'a) -> 'a
+(** [with_jobs ~jobs f] runs [f] with the ambient job count set to
+    [jobs]; [0] resolves to [Domain.recommended_domain_count ()].
+    Machines created inside [f] shard their engines across
+    [min jobs nodes] shards when the resolved count exceeds 1 — at
+    [jobs = 1] the sequential path is untouched, byte for byte.  Nests;
+    restored on exit.
+    @raise Invalid_argument if [jobs] is negative. *)
+
+val ambient_jobs : unit -> int
+(** The ambient job count on this domain; [1] outside {!with_jobs}.
+    Already resolved — never [0]. *)
+
+val resolve_jobs : int -> int
+(** [resolve_jobs 0] is [Domain.recommended_domain_count ()]; positive
+    values pass through.
+    @raise Invalid_argument on a negative count. *)
+
+(** {1 Drain-pool control} *)
+
+val reserve_drain_workers : int -> unit
+(** Grow the process-wide drain pool to at least [n] worker domains even
+    beyond the host's spare cores.  The pool is otherwise sized lazily to
+    [recommended_domain_count - 1] (empty on a 1-core host: draining
+    inline beats paying domain handoff with no parallelism to gain);
+    tests use this to exercise the cross-domain drain protocol
+    regardless of host shape.  Workers are joined at exit. *)
+
+(** {1 Accounting}
+
+    Window-shape counters are a property of the host-side execution
+    strategy, not of the simulated machine, so they are deliberately kept
+    {e out} of the run's {!Lcm_util.Stats} registry: the fingerprint
+    suite pins counter digests bit-identical across shard counts.  See
+    COUNTERS.md "pdes.*". *)
+
+type counters = {
+  mutable windows : int;
+  mutable null_msgs : int;
+  mutable cross_shard_msgs : int;
+  mutable lookahead_violations : int;
+  mutable horizon_stalls : int;
+  mutable window_events_total : int;
+  mutable max_window_events : int;
+}
+
+val counters : t -> counters
+(** A snapshot of the coordinator's accounting (mutating it does not
+    affect the coordinator). *)

@@ -66,6 +66,9 @@ and t = {
   mutable on_evict : node -> int -> line -> unit;
   mutable on_read_hit : (node -> int -> line -> unit) option;
   mutable trace : Trace.t option;
+  m_pdes : Lcm_sim.Pdes.t option;
+      (* conservative parallel driver, attached when the machine was
+         created with (resolved) jobs > 1; None = plain sequential engine *)
 }
 
 let no_handler _ = failwith "Machine: no protocol handler registered"
@@ -75,7 +78,12 @@ let la_mask = la_slots - 1
 
 let create ?(costs = Lcm_sim.Costs.default)
     ?(topology = Lcm_net.Topology.Fat_tree { arity = 4 }) ?(seed = 42)
-    ?capacity_blocks ?hw_cache_blocks ?faults ~nnodes ~words_per_block () =
+    ?capacity_blocks ?hw_cache_blocks ?faults ?jobs ~nnodes ~words_per_block
+    () =
+  let jobs =
+    Lcm_sim.Pdes.resolve_jobs
+      (match jobs with Some j -> j | None -> Lcm_sim.Pdes.ambient_jobs ())
+  in
   let engine = Lcm_sim.Engine.create () in
   let stats = Lcm_util.Stats.create () in
   let network =
@@ -88,6 +96,22 @@ let create ?(costs = Lcm_sim.Costs.default)
   | Some plan ->
     Lcm_sim.Engine.set_stall_limit engine (Some plan.Lcm_net.Faults.stall_limit)
   | None -> ());
+  (* Shard the event queue by owning node when more than one job is asked
+     for and the machine has nodes to spread: block partition (node n on
+     shard n*shards/nnodes), lookahead from the network's minimum
+     cross-node latency.  At jobs = 1 nothing is attached and the engine
+     is byte-for-byte the sequential one. *)
+  let shards = min jobs nnodes in
+  let pdes =
+    if shards > 1 then
+      Some
+        (Lcm_sim.Pdes.attach ~engine ~shards
+           ~lookahead:(max 1 (Lcm_net.Network.min_cross_latency network))
+           ~shard_of:(fun node ->
+             if node < 0 || node >= nnodes then 0 else node * shards / nnodes)
+           ())
+    else None
+  in
   let gmem = Lcm_mem.Gmem.create ~nnodes ~words_per_block in
   (match hw_cache_blocks with
   | Some n when n <= 0 ->
@@ -138,12 +162,14 @@ let create ?(costs = Lcm_sim.Costs.default)
       on_evict = (fun _ _ _ -> no_handler ());
       on_read_hit = None;
       trace = None;
+      m_pdes = pdes;
     }
   in
   Array.iter (fun n -> n.node_machine <- Some m) nodes;
   m
 
 let engine t = t.m_engine
+let pdes t = t.m_pdes
 let network t = t.m_network
 let gmem t = t.m_gmem
 let costs t = t.m_costs

@@ -85,6 +85,26 @@ let add h ~key value =
   h.size <- i + 1;
   sift_up h i
 
+(* Caller-stamped insertion for the PDES shard queues: one coordinator
+   allocates seqs across several heaps so that a k-way merge by
+   (key, seq) reproduces the pop order a single FIFO heap would give.
+   next_seq is kept strictly above every explicit stamp so a later plain
+   [add] can never collide with (and tie ambiguously against) a
+   caller-provided stamp. *)
+let add_stamped h ~key ~seq value =
+  if h.size = Array.length h.keys then grow h value;
+  let i = h.size in
+  h.keys.(i) <- key;
+  h.seqs.(i) <- seq;
+  h.vals.(i) <- value;
+  if seq >= h.next_seq then h.next_seq <- seq + 1;
+  h.size <- i + 1;
+  sift_up h i
+
+let top_seq h =
+  if h.size = 0 then invalid_arg "Heap.top_seq: empty heap";
+  Array.unsafe_get h.seqs 0
+
 let min_key h = if h.size = 0 then None else Some h.keys.(0)
 
 let top_key h =

@@ -19,7 +19,24 @@ val is_empty : 'a t -> bool
 
 val add : 'a t -> key:int -> 'a -> unit
 (** [add h ~key v] inserts [v] with priority [key].  Smaller keys pop
-    first; among equal keys, values pop in the order they were added. *)
+    first; among equal keys, values pop in the order they were added
+    (each insertion is stamped with an internal sequence number and ties
+    break on it — FIFO among equals is a guarantee, not an accident of
+    sift order). *)
+
+val add_stamped : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [add_stamped h ~key ~seq v] inserts [v] with an explicit tie-break
+    stamp instead of the internal counter.  Used by the parallel engine's
+    shard queues: one coordinator allocates stamps across several heaps so
+    that merging them by [(key, seq)] reproduces exactly the order a
+    single heap fed by {!add} would pop.  The caller owns stamp
+    uniqueness; the internal counter is advanced past [seq] so later
+    {!add}s never collide. *)
+
+val top_seq : 'a t -> int
+(** [top_seq h] is the tie-break stamp of the minimum element — the value
+    compared against other heaps' tops in a k-way merge.
+    @raise Invalid_argument if [h] is empty. *)
 
 val min_key : 'a t -> int option
 (** [min_key h] is the smallest key in [h], if any. *)

@@ -1,0 +1,276 @@
+(* Determinism suite for the conservative parallel driver (Pdes).
+
+   The contract under test: a sharded engine executes every event in
+   exactly the sequential engine's (timestamp, seq) order, at any shard
+   count, on any pool shape — so logs, fingerprints, exception points and
+   budget accounting are bit-identical to --jobs 1.  The workloads here
+   are deliberately tie-heavy (barrier-release bursts, loopback storms,
+   equal-timestamp cascades): ties are where a sloppy merge diverges. *)
+
+open Lcm_harness
+
+exception Boom
+
+(* ------------------------------------------------------------------ *)
+(* Raw-engine programs                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A storm with heavy timestamp collisions: [width] "nodes" each schedule
+   bursts at the same instants, every event re-arms children at equal and
+   near-equal times (loopback: at = now), and cross-node sends target
+   (i + 1) mod width.  Returns the execution log. *)
+let storm_program ~width ~rounds engine =
+  let log = ref [] in
+  let emit tag = log := tag :: !log in
+  let rec node_event i r () =
+    emit (Printf.sprintf "n%d.r%d@%d" i r (Lcm_sim.Engine.now engine));
+    if r < rounds then begin
+      let now = Lcm_sim.Engine.now engine in
+      (* loopback at the same timestamp: commits inside the same window *)
+      Lcm_sim.Engine.schedule_owned engine ~owner:i ~at:now (fun () ->
+          emit (Printf.sprintf "n%d.loop%d@%d" i r now));
+      (* cross-node burst: every node fires at the identical instant *)
+      Lcm_sim.Engine.schedule_owned engine
+        ~owner:((i + 1) mod width)
+        ~at:(now + 3)
+        (node_event ((i + 1) mod width) (r + 1));
+      (* ambient-attributed tie at the same future instant *)
+      Lcm_sim.Engine.schedule engine ~at:(now + 3) (fun () ->
+          emit (Printf.sprintf "n%d.amb%d@%d" i r (now + 3)))
+    end
+  in
+  (* barrier-release shape: all nodes released at t=10 simultaneously *)
+  for i = 0 to width - 1 do
+    Lcm_sim.Engine.schedule_owned engine ~owner:i ~at:10 (node_event i 0)
+  done;
+  log
+
+let run_plain ?limit ~width ~rounds () =
+  let e = Lcm_sim.Engine.create () in
+  let log = storm_program ~width ~rounds e in
+  Lcm_sim.Engine.run ?limit e;
+  (List.rev !log, Lcm_sim.Engine.now e, Lcm_sim.Engine.events_processed e)
+
+let run_sharded ?limit ~shards ~lookahead ~width ~rounds () =
+  let e = Lcm_sim.Engine.create () in
+  let _p =
+    Lcm_sim.Pdes.attach ~engine:e ~shards ~lookahead
+      ~shard_of:(fun n -> n mod shards)
+      ()
+  in
+  let log = storm_program ~width ~rounds e in
+  Lcm_sim.Engine.run ?limit e;
+  (List.rev !log, Lcm_sim.Engine.now e, Lcm_sim.Engine.events_processed e)
+
+let check_log = Alcotest.(check (list string))
+
+let test_storm_order_matches () =
+  let plain, now_p, n_p = run_plain ~width:6 ~rounds:8 () in
+  List.iter
+    (fun (shards, lookahead) ->
+      let sharded, now_s, n_s =
+        run_sharded ~shards ~lookahead ~width:6 ~rounds:8 ()
+      in
+      let label = Printf.sprintf "shards=%d la=%d" shards lookahead in
+      check_log (label ^ " log") plain sharded;
+      Alcotest.(check int) (label ^ " clock") now_p now_s;
+      Alcotest.(check int) (label ^ " processed") n_p n_s)
+    [ (1, 1); (2, 3); (3, 1); (4, 7); (6, 100) ]
+
+(* Repeated sharded runs are identical to each other (no hidden host
+   state leaks into the order). *)
+let test_storm_repeat_stable () =
+  let a, _, _ = run_sharded ~shards:4 ~lookahead:3 ~width:5 ~rounds:10 () in
+  let b, _, _ = run_sharded ~shards:4 ~lookahead:3 ~width:5 ~rounds:10 () in
+  check_log "identical reruns" a b
+
+(* An event limit must trip at the same event, with the same message
+   shape and the same restored pending count, at any shard count. *)
+let test_limit_parity () =
+  let fail_of f = try f (); "no failure" with Failure m -> m in
+  let plain =
+    fail_of (fun () -> ignore (run_plain ~limit:40 ~width:6 ~rounds:8 ()))
+  in
+  let sharded =
+    fail_of (fun () ->
+        ignore (run_sharded ~limit:40 ~shards:3 ~lookahead:4 ~width:6 ~rounds:8 ()))
+  in
+  Alcotest.(check string) "limit failure identical" plain sharded
+
+(* A budget must be exhausted at the same (event count, clock) point. *)
+let test_budget_parity () =
+  let trip run =
+    Lcm_sim.Engine.with_budget ~max_events:55 (fun () ->
+        try
+          ignore (run ());
+          Alcotest.fail "budget never tripped"
+        with Lcm_sim.Engine.Budget_exhausted { events; now } -> (events, now))
+  in
+  let p = trip (fun () -> run_plain ~width:6 ~rounds:9 ()) in
+  let s =
+    trip (fun () -> run_sharded ~shards:4 ~lookahead:3 ~width:6 ~rounds:9 ())
+  in
+  Alcotest.(check (pair int int)) "budget trip point" p s
+
+(* Crash containment: one event (mid-window, among a burst of equal-time
+   events on other shards) raises.  The sharded engine must stop at the
+   same committed prefix as the sequential one, restore everything
+   uncommitted, and resume deterministically. *)
+let test_crash_mid_window () =
+  let crash_program engine =
+    let log = ref [] in
+    for i = 0 to 5 do
+      Lcm_sim.Engine.schedule_owned engine ~owner:i ~at:10 (fun () ->
+          if i = 3 then raise Boom;
+          log := Printf.sprintf "n%d@10" i :: !log)
+    done;
+    for i = 0 to 5 do
+      Lcm_sim.Engine.schedule_owned engine ~owner:i ~at:20 (fun () ->
+          log := Printf.sprintf "n%d@20" i :: !log)
+    done;
+    log
+  in
+  let run attach =
+    let e = Lcm_sim.Engine.create () in
+    if attach then
+      ignore
+        (Lcm_sim.Pdes.attach ~engine:e ~shards:3 ~lookahead:5
+           ~shard_of:(fun n -> n mod 3)
+           ());
+    let log = crash_program e in
+    let crashed = (try Lcm_sim.Engine.run e; false with Boom -> true) in
+    let state1 =
+      ( (crashed, Lcm_sim.Engine.events_processed e),
+        (Lcm_sim.Engine.pending e, Lcm_sim.Engine.now e) )
+    in
+    (* the crash consumed its event and nothing else: resuming completes
+       the run in the original order *)
+    Lcm_sim.Engine.run e;
+    (state1, List.rev !log)
+  in
+  let plain = run false and sharded = run true in
+  Alcotest.(check (pair (pair (pair bool int) (pair int int)) (list string)))
+    "crash point, restored state, and resumed order" plain sharded
+
+(* Step refuses sharded engines; attach validates its arguments. *)
+let test_guards () =
+  let e = Lcm_sim.Engine.create () in
+  ignore
+    (Lcm_sim.Pdes.attach ~engine:e ~shards:2 ~lookahead:1
+       ~shard_of:(fun n -> n land 1)
+       ());
+  Alcotest.check_raises "step on sharded engine"
+    (Invalid_argument "Engine.step: sharded engine — drive it with Engine.run")
+    (fun () -> ignore (Lcm_sim.Engine.step e));
+  let e2 = Lcm_sim.Engine.create () in
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Pdes.attach: shards must be positive") (fun () ->
+      ignore
+        (Lcm_sim.Pdes.attach ~engine:e2 ~shards:0 ~lookahead:1
+           ~shard_of:Fun.id ()));
+  Alcotest.check_raises "zero lookahead"
+    (Invalid_argument "Pdes.attach: lookahead must be positive") (fun () ->
+      ignore
+        (Lcm_sim.Pdes.attach ~engine:e2 ~shards:2 ~lookahead:0
+           ~shard_of:Fun.id ()));
+  Alcotest.check_raises "negative jobs"
+    (Invalid_argument "Pdes.with_jobs: jobs < 0") (fun () ->
+      Lcm_sim.Pdes.with_jobs ~jobs:(-1) (fun () -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Full-machine fingerprints                                           *)
+(* ------------------------------------------------------------------ *)
+
+let machine_fp ~jobs sys =
+  Lcm_sim.Pdes.with_jobs ~jobs (fun () ->
+      let rt =
+        Config.make_runtime
+          { Config.default_machine with Config.nnodes = 8 }
+          sys ~schedule:Lcm_cstar.Schedule.Static
+      in
+      Lcm_tempest.Machine.enable_trace ~capacity:(1 lsl 18)
+        (Lcm_cstar.Runtime.machine rt);
+      ignore
+        (Lcm_apps.Stencil.run rt
+           { Lcm_apps.Stencil.n = 16; iters = 3; work_per_cell = 4 });
+      (Fingerprint.to_string (Fingerprint.of_runtime rt), Lcm_cstar.Runtime.machine rt))
+
+let test_machine_fingerprints () =
+  List.iter
+    (fun sys ->
+      let base, _ = machine_fp ~jobs:1 sys in
+      List.iter
+        (fun jobs ->
+          let fp, _ = machine_fp ~jobs sys in
+          Alcotest.(check string)
+            (Printf.sprintf "%s jobs=%d" sys.Config.label jobs)
+            base fp)
+        [ 2; 4; 8 ])
+    [ Config.stache; Config.lcm_mcc ]
+
+let test_machine_repeat_stable () =
+  let a, _ = machine_fp ~jobs:4 Config.lcm_mcc in
+  let b, _ = machine_fp ~jobs:4 Config.lcm_mcc in
+  Alcotest.(check string) "jobs=4 reruns identical" a b
+
+(* Window accounting invariants: every committed event went through
+   exactly one window, null messages are shards-per-window, and the
+   machine's lookahead (min cross latency) is honoured by this workload
+   (violations possible in principle, but the counter must stay sane). *)
+let test_counters_sanity () =
+  let _, m = machine_fp ~jobs:4 Config.lcm_mcc in
+  match Lcm_tempest.Machine.pdes m with
+  | None -> Alcotest.fail "jobs=4 machine has no pdes coordinator"
+  | Some p ->
+    let c = Lcm_sim.Pdes.counters p in
+    let processed =
+      Lcm_sim.Engine.events_processed (Lcm_tempest.Machine.engine m)
+    in
+    Alcotest.(check int) "shards" 4 (Lcm_sim.Pdes.shards p);
+    Alcotest.(check bool) "windows > 0" true (c.Lcm_sim.Pdes.windows > 0);
+    Alcotest.(check int) "null msgs = windows * shards"
+      (c.Lcm_sim.Pdes.windows * 4)
+      c.Lcm_sim.Pdes.null_msgs;
+    Alcotest.(check int) "window totals = events processed" processed
+      c.Lcm_sim.Pdes.window_events_total;
+    Alcotest.(check bool) "max window <= total" true
+      (c.Lcm_sim.Pdes.max_window_events <= c.Lcm_sim.Pdes.window_events_total);
+    Alcotest.(check bool) "stalls <= windows" true
+      (c.Lcm_sim.Pdes.horizon_stalls <= c.Lcm_sim.Pdes.windows);
+    Alcotest.(check bool) "cross-shard traffic exists" true
+      (c.Lcm_sim.Pdes.cross_shard_msgs > 0)
+
+(* The 1-core container resolves to an empty drain pool (inline drains);
+   force two worker domains so the cross-domain drain protocol — job
+   handoff, slot stealing, completion barrier, batch visibility — is
+   exercised regardless of host shape.  The pool is global, so every
+   sharded run after this point also uses the workers. *)
+let test_forced_workers () =
+  Lcm_sim.Pdes.reserve_drain_workers 2;
+  let base, _ = machine_fp ~jobs:1 Config.lcm_mcc in
+  let fp, _ = machine_fp ~jobs:4 Config.lcm_mcc in
+  Alcotest.(check string) "jobs=4 on 2 worker domains" base fp;
+  let plain, _, _ = run_plain ~width:6 ~rounds:8 () in
+  let sharded, _, _ = run_sharded ~shards:4 ~lookahead:3 ~width:6 ~rounds:8 () in
+  check_log "storm on 2 worker domains" plain sharded
+
+let () =
+  Alcotest.run "lcm_pdes"
+    [
+      ( "engine",
+        [
+          ("equal-timestamp storm", `Quick, test_storm_order_matches);
+          ("repeat stable", `Quick, test_storm_repeat_stable);
+          ("limit parity", `Quick, test_limit_parity);
+          ("budget parity", `Quick, test_budget_parity);
+          ("crash mid-window", `Quick, test_crash_mid_window);
+          ("guards", `Quick, test_guards);
+        ] );
+      ( "machine",
+        [
+          ("fingerprints jobs 1=2=4=8", `Slow, test_machine_fingerprints);
+          ("jobs=4 repeat stable", `Quick, test_machine_repeat_stable);
+          ("counters sanity", `Quick, test_counters_sanity);
+          ("forced 2-domain pool", `Quick, test_forced_workers);
+        ] );
+    ]

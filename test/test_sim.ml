@@ -73,6 +73,58 @@ let test_engine_limit_exact () =
        false
      with Failure _ -> true)
 
+(* Regression: the stall watchdog must fire *before* the budget is
+   charged.  The engine used to charge a budget event (and possibly tick
+   the wall-clock guard) for the event a Stalled raise then refused to
+   run; with a budget of exactly the executed event count, that
+   double-charge surfaced as Budget_exhausted instead of Stalled. *)
+let test_stalled_charges_no_budget () =
+  Engine.with_budget ~max_events:64 (fun () ->
+      let e = Engine.create () in
+      Engine.set_stall_limit e (Some 5);
+      (* a livelock: one event per cycle, none of them progress *)
+      let rec tick () = Engine.after e ~delay:1 tick in
+      tick ();
+      let got =
+        try
+          Engine.run e;
+          `Drained
+        with
+        | Engine.Stalled _ -> `Stalled
+        | Engine.Budget_exhausted _ -> `Budget
+      in
+      (* the watchdog trips after 64 quiet events — exactly the budget, so
+         any charge for the never-executed 65th event would flip this *)
+      Alcotest.(check bool) "Stalled, not Budget_exhausted" true (got = `Stalled);
+      Alcotest.(check int) "64 events executed" 64 (Engine.events_processed e);
+      (* nothing was consumed for the refused event: with the watchdog
+         disarmed, the budget trips at that same event *)
+      Engine.set_stall_limit e None;
+      let got2 =
+        try
+          Engine.run e;
+          `Drained
+        with
+        | Engine.Budget_exhausted _ -> `Budget
+        | Engine.Stalled _ -> `Stalled
+      in
+      Alcotest.(check bool) "budget intact up to the stall point" true
+        (got2 = `Budget);
+      Alcotest.(check int) "still 64 events" 64 (Engine.events_processed e))
+
+(* Regression: a negative limit used to behave as unlimited (the countdown
+   started below zero and never hit it). *)
+let test_engine_negative_limit_rejected () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~at:1 (fun () -> fired := true);
+  Alcotest.check_raises "negative limit" (Invalid_argument "Engine.run: limit < 0")
+    (fun () -> Engine.run ~limit:(-1) e);
+  Alcotest.(check bool) "nothing ran" false !fired;
+  Alcotest.(check int) "event still queued" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check bool) "engine still usable" true !fired
+
 let test_trace_typed_events () =
   let tr = Trace.create ~capacity:8 in
   Trace.emit tr ~time:5 (Trace.Msg_send { tag = "get"; src = 0; dst = 1; words = 8 });
@@ -166,6 +218,8 @@ let () =
           ("negative delay", `Quick, test_engine_negative_delay_clamped);
           ("event limit", `Quick, test_engine_limit);
           ("event limit exact", `Quick, test_engine_limit_exact);
+          ("stall charges no budget", `Quick, test_stalled_charges_no_budget);
+          ("negative limit rejected", `Quick, test_engine_negative_limit_rejected);
           ("pending", `Quick, test_engine_pending);
         ] );
       ( "trace",

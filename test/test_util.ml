@@ -106,6 +106,83 @@ let prop_heap_sorted =
       in
       drain [] = List.sort compare keys)
 
+(* The FIFO-among-equals guarantee, isolated: keys drawn from a tiny range
+   so nearly every insertion ties, values are insertion indices, and the
+   drain must equal a *stable* sort — any tie broken by sift accident
+   instead of the seq stamp shows up as an index inversion.  This is the
+   property the parallel engine's determinism rests on. *)
+let prop_heap_fifo_equal_keys =
+  QCheck.Test.make ~name:"heap FIFO among equal keys" ~count:300
+    QCheck.(list (int_bound 2))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.add h ~key:k i) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (k, i) -> drain ((k, i) :: acc)
+        | None -> List.rev acc
+      in
+      let expected =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i k -> (k, i)) keys)
+      in
+      drain [] = expected)
+
+(* Caller-stamped insertion: spraying one stamp-ordered stream across
+   several heaps and merging back by (top_key, top_seq) must reproduce the
+   single-heap pop order exactly — the invariant the PDES shard queues
+   rely on. *)
+let prop_heap_stamped_merge =
+  QCheck.Test.make ~name:"add_stamped k-way merge ≡ single heap" ~count:300
+    QCheck.(pair (int_range 1 4) (list (int_bound 3)))
+    (fun (nheaps, keys) ->
+      let reference = Heap.create () in
+      List.iteri (fun i k -> Heap.add reference ~key:k i) keys;
+      let shards = Array.init nheaps (fun _ -> Heap.create ()) in
+      List.iteri
+        (fun i k -> Heap.add_stamped shards.(i mod nheaps) ~key:k ~seq:i i)
+        keys;
+      let pick () =
+        let best = ref (-1) and bk = ref max_int and bs = ref max_int in
+        Array.iteri
+          (fun s h ->
+            if not (Heap.is_empty h) then
+              let k = Heap.top_key h and q = Heap.top_seq h in
+              if k < !bk || (k = !bk && q < !bs) then begin
+                best := s;
+                bk := k;
+                bs := q
+              end)
+          shards;
+        if !best < 0 then None else Some (Heap.pop_exn shards.(!best))
+      in
+      let rec merged acc =
+        match pick () with Some v -> merged (v :: acc) | None -> List.rev acc
+      in
+      let rec ref_order acc =
+        match Heap.pop reference with
+        | Some (_, v) -> ref_order (v :: acc)
+        | None -> List.rev acc
+      in
+      merged [] = ref_order [])
+
+let test_heap_add_stamped () =
+  let h = Heap.create () in
+  Alcotest.check_raises "top_seq empty"
+    (Invalid_argument "Heap.top_seq: empty heap") (fun () ->
+      ignore (Heap.top_seq h));
+  (* explicit stamps override insertion order among equal keys *)
+  Heap.add_stamped h ~key:5 ~seq:9 "late";
+  Heap.add_stamped h ~key:5 ~seq:3 "early";
+  check "top seq is the smaller stamp" 3 (Heap.top_seq h);
+  Alcotest.(check string) "stamp order wins" "early" (Heap.pop_exn h);
+  (* the internal counter advanced past every explicit stamp: a plain add
+     at the same key cannot tie ambiguously, it pops after *)
+  Heap.add h ~key:5 "plain";
+  Alcotest.(check string) "explicit before implicit" "late" (Heap.pop_exn h);
+  Alcotest.(check string) "implicit last" "plain" (Heap.pop_exn h)
+
 (* Pop order is unaffected by an earlier clear: add one batch, clear, add a
    second batch — the drain must equal a stable sort of the second batch
    alone (keys ascending, insertion order among equal keys). *)
@@ -548,11 +625,14 @@ let suite =
     ("table empty rows", `Quick, test_table_empty_rows);
     ("stats sample defaults", `Quick, test_stats_sample_min_max_defaults);
     ("heap 100 equal keys", `Quick, test_heap_many_duplicate_keys);
+    ("heap add_stamped", `Quick, test_heap_add_stamped);
     ("nodeset collapses on shrink", `Quick, test_nodeset_collapses_on_shrink);
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [
         prop_heap_sorted;
+        prop_heap_fifo_equal_keys;
+        prop_heap_stamped_merge;
         prop_heap_clear_then_pop_order;
         prop_mask_roundtrip;
         prop_mask_union_cardinal;
