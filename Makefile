@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-paper perfbench doc clean examples trace-smoke stress sweep-smoke fault-smoke policy-matrix pdes-smoke
+.PHONY: all build test bench bench-paper perfbench allocbench allocbench-smoke doc clean examples trace-smoke stress sweep-smoke fault-smoke policy-matrix pdes-smoke
 
 all: build
 
@@ -15,13 +15,29 @@ bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 bench-paper:
-	dune exec bench/main.exe -- --paper --no-micro 2>&1 | tee bench_output_paper.txt
+	@mkdir -p out
+	dune exec bench/main.exe -- --paper --no-micro 2>&1 | tee out/bench_output_paper.txt
 
 # Host-side throughput rig: events/sec of the simulator itself, all
-# policies x {stencil, unstructured, stress}.  See README "Performance
-# benchmarking" for the JSON schema and --baseline comparisons.
+# policies x {stencil, unstructured, synthetic, stress}.  See README
+# "Performance benchmarking" for the JSON schema and --baseline
+# comparisons.
 perfbench:
 	dune exec bench/perf.exe -- --out BENCH_perf.json
+
+# Host allocation profile: GC minor words / promoted words / major
+# collections and minor words per simulated event for the two pinned
+# allocation workloads.  See README "Allocation benchmarking" and
+# DESIGN.md §"Host allocation discipline".
+allocbench:
+	@mkdir -p out
+	dune exec bench/perf.exe -- --alloc --out out/BENCH_alloc.json
+
+# Same rig with the pinned words-per-event ceilings enforced (non-zero
+# exit on regression); also runs as part of `dune runtest`.
+allocbench-smoke:
+	@mkdir -p out
+	dune exec bench/perf.exe -- --alloc --check --out out/BENCH_alloc.json
 
 # Run a small traced stencil and check the emitted Chrome trace JSON
 # parses and is non-empty.

@@ -198,7 +198,8 @@ let () =
      Lcm_apps.Stencil.run rt { Lcm_apps.Stencil.n = 32; iters = 3; work_per_cell = 4 }
    in
    let events = Lcm_tempest.Machine.trace_events (Lcm_cstar.Runtime.machine rt) in
-   let path = "lcm_trace_sample.json" in
+   (if not (Sys.file_exists "out") then Sys.mkdir "out" 0o755);
+   let path = "out/lcm_trace_sample.json" in
    Traceview.export_file ~path events;
    Printf.printf "stencil 32x32 x3 under lcm-mcc: %d cycles\n"
      r.Lcm_apps.Bench_result.cycles;
@@ -212,9 +213,10 @@ let () =
     exit 1
   end;
 
-  (* machine-readable export next to the build *)
+  (* machine-readable export, kept out of the repo root *)
   let csv = Report.to_csv rows in
-  let path = "lcm_results.csv" in
+  (if not (Sys.file_exists "out") then Sys.mkdir "out" 0o755);
+  let path = "out/lcm_results.csv" in
   let oc = open_out path in
   output_string oc csv;
   close_out oc;

@@ -34,6 +34,12 @@ type run = {
   events : int;
   events_per_sec : float;
   peak_rss_kb : int;
+  (* Host GC profile of one repeat (allocation is deterministic across
+     repeats — the simulator allocates the same records every time). *)
+  gc_minor_words : float;
+  gc_promoted_words : float;
+  gc_major_collections : int;
+  gc_words_per_event : float;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -71,14 +77,23 @@ let measure ~workload ~policy f =
      *calling domain's* tally so concurrent cells on other domains don't
      bleed into this cell's count. *)
   let best = ref None in
-  for _ = 1 to max 1 !repeat do
+  let gc = ref (0.0, 0.0, 0) in
+  for i = 1 to max 1 !repeat do
     Gc.full_major ();
+    let g0 = Gc.quick_stat () in
     let ev0 = Lcm_sim.Engine.domain_events () in
     let t0 = Unix.gettimeofday () in
     let sim_cycles = f () in
     let t1 = Unix.gettimeofday () in
+    let g1 = Gc.quick_stat () in
     let events = Lcm_sim.Engine.domain_events () - ev0 in
     let wall_s = t1 -. t0 in
+    (* GC deltas are repeat-invariant: record the first repeat's. *)
+    if i = 1 then
+      gc :=
+        ( g1.Gc.minor_words -. g0.Gc.minor_words,
+          g1.Gc.promoted_words -. g0.Gc.promoted_words,
+          g1.Gc.major_collections - g0.Gc.major_collections );
     match !best with
     | Some (w, _, _) when w <= wall_s -> ()
     | _ -> best := Some (wall_s, sim_cycles, events)
@@ -89,6 +104,7 @@ let measure ~workload ~policy f =
   let events_per_sec =
     if wall_s > 0.0 then float_of_int events /. wall_s else 0.0
   in
+  let gc_minor_words, gc_promoted_words, gc_major_collections = !gc in
   {
     workload;
     policy;
@@ -97,6 +113,11 @@ let measure ~workload ~policy f =
     events;
     events_per_sec;
     peak_rss_kb = peak_rss_kb ();
+    gc_minor_words;
+    gc_promoted_words;
+    gc_major_collections;
+    gc_words_per_event =
+      (if events > 0 then gc_minor_words /. float_of_int events else 0.0);
   }
 
 let print_run r =
@@ -131,6 +152,11 @@ let unstructured ~nnodes ~nodes ~edges ~iters system () =
   in
   r.Lcm_apps.Bench_result.cycles
 
+let synthetic ~nnodes params system () =
+  let rt = runtime ~nnodes system in
+  let r = Lcm_apps.Synthetic.run rt params in
+  r.Lcm_apps.Bench_result.cycles
+
 let stress ~cases ~seed system () =
   (match Stress.run ~policy:system.Config.policy ~cases ~seed () with
   | Ok () -> ()
@@ -163,7 +189,14 @@ let all_cells ~smoke =
   let stress_cells =
     cell (stress ~cases ~seed:1) (Printf.sprintf "stress-%dcases-seed1" cases)
   in
-  Array.of_list (stencil_cells @ unstructured_cells @ stress_cells)
+  let syn_nodes = if smoke then 4 else 16 in
+  let synthetic_cells =
+    cell
+      (synthetic ~nnodes:syn_nodes Lcm_apps.Synthetic.default)
+      (Printf.sprintf "synthetic-p%d" syn_nodes)
+  in
+  Array.of_list
+    (stencil_cells @ unstructured_cells @ synthetic_cells @ stress_cells)
 
 let all_runs ~smoke ~jobs () =
   let cells = all_cells ~smoke in
@@ -236,6 +269,82 @@ let pdes_scaling ~smoke () =
   rs
 
 (* ------------------------------------------------------------------ *)
+(* Allocation rig                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The pinned allocation workloads and their minor-words-per-event
+   ceilings.  These are regression fences, not aspirations: the measured
+   steady state is well below each ceiling (see BENCH_perf.json), and a
+   future change that re-introduces per-event closure or record churn
+   trips them long before it costs wall-clock.  Sizes are pinned because
+   words/event is amortized over fixed startup allocation — changing the
+   workload silently moves the number. *)
+let alloc_ceilings =
+  [ ("stencil-64x64-i10-p32", 87.5); ("synthetic-p16", 41.5) ]
+
+let alloc_runs () =
+  let saved = !repeat in
+  (* allocation is deterministic across repeats; one is enough *)
+  repeat := 1;
+  (* The first simulation in a process pays one-time lazy initialization
+     (registries, hashtable growth, domain-local state) that must not be
+     charged to either pinned cell: burn it on a throwaway run.  The two
+     measurements are explicitly sequenced — a list literal would
+     evaluate right-to-left and silently reorder the cells. *)
+  ignore (stencil ~nnodes:4 ~n:8 ~iters:1 Config.lcm_mcc ());
+  let s =
+    measure ~workload:"stencil-64x64-i10-p32" ~policy:Config.lcm_mcc.Config.label
+      (stencil ~nnodes:32 ~n:64 ~iters:10 Config.lcm_mcc)
+  in
+  let y =
+    measure ~workload:"synthetic-p16" ~policy:Config.lcm_mcc.Config.label
+      (synthetic ~nnodes:16 Lcm_apps.Synthetic.default Config.lcm_mcc)
+  in
+  repeat := saved;
+  [ s; y ]
+
+let print_alloc_table ~before rs =
+  Printf.printf "%-28s %-12s %9s %13s %10s %7s %8s\n" "workload" "policy"
+    "events" "minor-words" "promoted" "majors" "w/ev";
+  List.iter
+    (fun r ->
+      Printf.printf "%-28s %-12s %9d %13.0f %10.0f %7d %8.1f\n" r.workload
+        r.policy r.events r.gc_minor_words r.gc_promoted_words
+        r.gc_major_collections r.gc_words_per_event;
+      match
+        List.find_opt
+          (fun b -> b.workload = r.workload && b.policy = r.policy)
+          before
+      with
+      | Some b when b.gc_words_per_event > 0.0 && r.gc_words_per_event > 0.0 ->
+        Printf.printf "%-28s %-12s %9s %13.0f %10.0f %7d %8.1f  (%.2fx)\n" ""
+          "(before)" "" b.gc_minor_words b.gc_promoted_words
+          b.gc_major_collections b.gc_words_per_event
+          (b.gc_words_per_event /. r.gc_words_per_event)
+      | _ -> ())
+    rs
+
+let check_ceilings rs =
+  List.for_all
+    (fun (wl, ceiling) ->
+      match List.find_opt (fun r -> r.workload = wl) rs with
+      | None ->
+        Printf.eprintf "perf: FATAL: alloc cell %s missing\n" wl;
+        false
+      | Some r when r.gc_words_per_event > ceiling ->
+        Printf.eprintf
+          "perf: FATAL: %s allocates %.1f minor words per event (ceiling \
+           %.1f) — a change re-introduced per-event allocation churn; see \
+           DESIGN.md §\"Host allocation discipline\"\n"
+          wl r.gc_words_per_event ceiling;
+        false
+      | Some r ->
+        Printf.printf "alloc ceiling ok: %-28s %6.1f w/ev <= %.1f\n" wl
+          r.gc_words_per_event ceiling;
+        true)
+    alloc_ceilings
+
+(* ------------------------------------------------------------------ *)
 (* JSON out / baseline in                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -251,6 +360,10 @@ let run_json r =
       ("events", Report.Json.Int r.events);
       ("events_per_sec", Report.Json.Float r.events_per_sec);
       ("peak_rss_kb", Report.Json.Int r.peak_rss_kb);
+      ("host.gc_minor_words", Report.Json.Float r.gc_minor_words);
+      ("host.gc_promoted_words", Report.Json.Float r.gc_promoted_words);
+      ("host.gc_major_collections", Report.Json.Int r.gc_major_collections);
+      ("host.gc_words_per_event", Report.Json.Float r.gc_words_per_event);
     ]
 
 let runs_json rs = Report.Json.Arr (List.map run_json rs)
@@ -297,6 +410,22 @@ let load_baseline path =
                 (match num "events_per_sec" with Some n -> n | None -> 0.0);
               peak_rss_kb =
                 (match num "peak_rss_kb" with Some n -> int_of_float n | None -> 0);
+              (* absent in pre-allocation-rig files: defaults read as "no
+                 GC data", which the printers and comparisons skip *)
+              gc_minor_words =
+                (match num "host.gc_minor_words" with Some n -> n | None -> 0.0);
+              gc_promoted_words =
+                (match num "host.gc_promoted_words" with
+                | Some n -> n
+                | None -> 0.0);
+              gc_major_collections =
+                (match num "host.gc_major_collections" with
+                | Some n -> int_of_float n
+                | None -> 0);
+              gc_words_per_event =
+                (match num "host.gc_words_per_event" with
+                | Some n -> n
+                | None -> 0.0);
             }
         | _ -> None)
       runs
@@ -313,24 +442,45 @@ let comparison_json before after =
          | Some b when a.wall_s > 0.0 ->
            Some
              (Report.Json.Obj
-                [
-                  ("workload", Report.Json.Str a.workload);
-                  ("policy", Report.Json.Str a.policy);
-                  ("wall_before_s", Report.Json.Float b.wall_s);
-                  ("wall_after_s", Report.Json.Float a.wall_s);
-                  ("speedup", Report.Json.Float (b.wall_s /. a.wall_s));
-                ])
+                ([
+                   ("workload", Report.Json.Str a.workload);
+                   ("policy", Report.Json.Str a.policy);
+                   ("wall_before_s", Report.Json.Float b.wall_s);
+                   ("wall_after_s", Report.Json.Float a.wall_s);
+                   ("speedup", Report.Json.Float (b.wall_s /. a.wall_s));
+                 ]
+                @
+                if b.gc_words_per_event > 0.0 && a.gc_words_per_event > 0.0
+                then
+                  [
+                    ( "words_per_event_before",
+                      Report.Json.Float b.gc_words_per_event );
+                    ( "words_per_event_after",
+                      Report.Json.Float a.gc_words_per_event );
+                    ( "alloc_reduction",
+                      Report.Json.Float
+                        (b.gc_words_per_event /. a.gc_words_per_event) );
+                  ]
+                else []))
          | _ -> None)
        after)
 
 let () =
   let smoke = ref false in
+  let alloc = ref false in
+  let check = ref false in
   let out = ref "BENCH_perf.json" in
   let baseline = ref "" in
   let jobs = ref 1 in
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " tiny problem sizes (CI smoke test)");
+      ( "--alloc",
+        Arg.Set alloc,
+        " allocation rig: GC profile of the pinned workloads only" );
+      ( "--check",
+        Arg.Set check,
+        " with --alloc: fail if a pinned words-per-event ceiling is exceeded" );
       ( "--repeat",
         Arg.Set_int repeat,
         "N repeats per cell, best (minimum) wall time kept (default 3)" );
@@ -343,13 +493,12 @@ let () =
         "FILE previous BENCH_perf.json to compare against" );
     ]
     (fun a -> raise (Arg.Bad ("unknown argument " ^ a)))
-    "perf [--smoke] [--jobs N] [--out FILE] [--baseline FILE]";
+    "perf [--smoke] [--alloc [--check]] [--jobs N] [--out FILE] [--baseline \
+     FILE]";
   if !jobs < 0 then begin
     prerr_endline "perf: --jobs must be >= 0";
     exit 2
   end;
-  Printf.printf "%-28s %-16s %10s %13s %15s %12s %11s\n" "workload" "policy"
-    "wall" "events" "events/sec" "sim-cycles" "peak-rss";
   if !smoke then repeat := 1;
   (* Validate the baseline before spending minutes measuring. *)
   let load_baseline_or_die path =
@@ -360,42 +509,59 @@ let () =
       exit 1
   in
   let before = if !baseline = "" then [] else load_baseline_or_die !baseline in
-  let after = all_runs ~smoke:!smoke ~jobs:!jobs () in
-  let pdes_runs = pdes_scaling ~smoke:!smoke () in
-  let doc =
-    Report.Json.Obj
-      ([
-         ("schema", Report.Json.Str "lcm-bench-perf/1");
-         ("scale", Report.Json.Str (if !smoke then "smoke" else "full"));
-         ("jobs", Report.Json.Int (Fleet.resolve_jobs !jobs));
-         ("host_domains", Report.Json.Int (Domain.recommended_domain_count ()));
-         ("pdes_scaling", runs_json pdes_runs);
-         ( "pdes_note",
-           Report.Json.Str
-             "one simulation sharded across domains; identical sim_cycles \
-              at every job count is asserted.  With host_domains = 1 the \
-              drain pool is empty and jobs > 1 measures coordination \
-              overhead, not speedup." );
-       ]
-      @
-      match before with
-      | [] -> [ ("runs", runs_json after) ]
-      | before ->
-        [
-          ("before", runs_json before);
-          ("after", runs_json after);
-          ("comparison", comparison_json before after);
-        ])
+  let write_doc extra after =
+    let doc =
+      Report.Json.Obj
+        ([
+           ("schema", Report.Json.Str "lcm-bench-perf/1");
+           ("scale", Report.Json.Str (if !smoke then "smoke" else "full"));
+         ]
+        @ extra
+        @
+        match before with
+        | [] -> [ ("runs", runs_json after) ]
+        | before ->
+          [
+            ("before", runs_json before);
+            ("after", runs_json after);
+            ("comparison", comparison_json before after);
+          ])
+    in
+    let oc = open_out !out in
+    output_string oc (Report.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(wrote %s)\n" !out;
+    (* self-check: the file we just wrote must parse and round-trip
+       through the baseline reader *)
+    let reread = load_baseline !out in
+    if List.length reread <> List.length after then begin
+      prerr_endline "perf: FATAL: written JSON did not round-trip";
+      exit 1
+    end
   in
-  let oc = open_out !out in
-  output_string oc (Report.Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "(wrote %s)\n" !out;
-  (* the smoke pass doubles as a self-check: the file we just wrote must
-     parse and round-trip through the baseline reader *)
-  let reread = load_baseline !out in
-  if List.length reread <> List.length after then begin
-    prerr_endline "perf: FATAL: written JSON did not round-trip";
-    exit 1
+  if !alloc then begin
+    let after = alloc_runs () in
+    print_alloc_table ~before after;
+    write_doc [ ("mode", Report.Json.Str "alloc") ] after;
+    if !check && not (check_ceilings after) then exit 1
+  end
+  else begin
+    Printf.printf "%-28s %-16s %10s %13s %15s %12s %11s\n" "workload" "policy"
+      "wall" "events" "events/sec" "sim-cycles" "peak-rss";
+    let after = all_runs ~smoke:!smoke ~jobs:!jobs () in
+    let pdes_runs = pdes_scaling ~smoke:!smoke () in
+    write_doc
+      [
+        ("jobs", Report.Json.Int (Fleet.resolve_jobs !jobs));
+        ("host_domains", Report.Json.Int (Domain.recommended_domain_count ()));
+        ("pdes_scaling", runs_json pdes_runs);
+        ( "pdes_note",
+          Report.Json.Str
+            "one simulation sharded across domains; identical sim_cycles \
+             at every job count is asserted.  With host_domains = 1 the \
+             drain pool is empty and jobs > 1 measures coordination \
+             overhead, not speedup." );
+      ]
+      after
   end

@@ -18,7 +18,14 @@ type dstate =
 
 type want = Want_ro | Want_rw | Want_lcm
 
-type waiter = { want : want; requester : int }
+let want_code = function Want_ro -> 0 | Want_rw -> 1 | Want_lcm -> 2
+let want_of_code = function 0 -> Want_ro | 1 -> Want_rw | _ -> Want_lcm
+
+(* A queued request at the home: pooled (see [wpool]) — cells are
+   acquired only when a request must park (busy entry, pending recall or
+   invalidation) and recycled the moment it is served, so the grant fast
+   path touches no waiter cell at all. *)
+type waiter = { mutable want : want; mutable requester : int }
 
 type busy =
   | Recalling of waiter
@@ -132,6 +139,12 @@ type t = {
   mutable conflicts : Detect.conflict list;
   mutable races : Detect.race list;
   mutable rec_state : rstate option;
+  wpool : waiter Lcm_util.Pool.t;  (* parked-request cells, recycled on serve *)
+  mutable h_data_m : Block.t -> Machine.node -> int -> int -> int -> unit;
+      (* preallocated [Machine.send_call] delivery handler for data
+         grants: payload = the granted copy, riders = (block, want code).
+         A closure over [t], built once at [create]; the t-only handlers
+         of the other hot messages are static functions instead. *)
 }
 
 let policy t = t.pol
@@ -262,19 +275,29 @@ let rec request t node b want ~retry =
     let home = home_of t b in
     Stats.Handle.incr
       (if home = nid then t.hs.h_fetch_local else t.hs.h_fetch_remote);
-    Machine.send t.mach ~src:nid ~dst:home ~words:ctrl_words ~tag:(want_tag want)
-      ~at:(Machine.clock node) (fun _home_node ~now ->
-        home_recv_get t b { want; requester = nid } ~now)
+    (* the want and requester pack into the rider, so the request rides
+       the pooled message cell with no per-message closure *)
+    Machine.send_call t.mach ~src:nid ~dst:home ~words:ctrl_words
+      ~tag:(want_tag want) ~at:(Machine.clock node) recv_get_m t b
+      ((want_code want lsl 20) lor nid)
 
 (* ------------------------------------------------------------------ *)
 (* Home side                                                           *)
 (* ------------------------------------------------------------------ *)
 
-and home_recv_get t b w ~now =
+and recv_get_m t _hnode now b x =
+  home_recv_get t b ~want:(want_of_code (x lsr 20)) ~requester:(x land 0xfffff)
+    ~now
+
+and home_recv_get t b ~want ~requester ~now =
   let e = get_entry t b in
   match e.busy with
-  | Some _ -> Queue.add w e.waiting
-  | None -> serve t e w ~now
+  | Some _ ->
+    let w = Lcm_util.Pool.acquire t.wpool in
+    w.want <- want;
+    w.requester <- requester;
+    Queue.add w e.waiting
+  | None -> serve t e ~want ~requester ~now
 
 (* Reply with a copy of the master under the given tag.  When the
    requester IS the home the grant completes synchronously with the
@@ -297,19 +320,22 @@ and reply_data t e requester kind ~now =
     recv_data t (Machine.node t.mach home) b data tag ~now
   else
     let data = Block.copy master in
-    Machine.send t.mach ~src:home ~dst:requester ~words:(data_words t)
-      ~tag:mtag ~at:now (fun rnode ~now -> recv_data t rnode b data tag ~now)
+    Machine.send_call t.mach ~src:home ~dst:requester ~words:(data_words t)
+      ~tag:mtag ~at:now t.h_data_m data b (want_code kind)
 
-and serve t e w ~now =
+and serve t e ~want ~requester ~now =
   let b = e.block in
-  match (e.dstate, w.want) with
-  | Exclusive owner, _ when owner <> w.requester ->
+  match (e.dstate, want) with
+  | Exclusive owner, _ when owner <> requester ->
     (* Recall the remote writable copy before serving anyone. *)
+    let w = Lcm_util.Pool.acquire t.wpool in
+    w.want <- want;
+    w.requester <- requester;
     e.busy <- Some (Recalling w);
     Stats.Handle.incr t.hs.h_recalls;
     let home = home_of t b in
-    Machine.send t.mach ~src:home ~dst:owner ~words:ctrl_words ~tag:"recall"
-      ~at:now (fun onode ~now -> owner_recv_recall t b onode ~now)
+    Machine.send_call t.mach ~src:home ~dst:owner ~words:ctrl_words
+      ~tag:"recall" ~at:now recv_recall_m t b 0
   | Exclusive owner, (Want_ro | Want_rw | Want_lcm) ->
     (* A request from the recorded owner cannot happen: an owner only loses
        its copy by eviction or recall, and the corresponding Put travels
@@ -321,39 +347,36 @@ and serve t e w ~now =
          "Proto: block %d: request from recorded exclusive owner %d" b owner)
   | (Home_owned | Shared _), Want_ro ->
     (* the home itself is never listed as a sharer: its line re-aliases *)
-    (if w.requester <> home_of t b then begin
-       e.dstate <- Shared (ISet.add w.requester (sharers_of e.dstate));
+    (if requester <> home_of t b then begin
+       e.dstate <- Shared (ISet.add requester (sharers_of e.dstate));
        set_home_tag t b Tag.Read_only
      end);
-    note_reader t e w.requester;
-    reply_data t e w.requester Want_ro ~now
+    note_reader t e requester;
+    reply_data t e requester Want_ro ~now
   | (Home_owned | Shared _), Want_rw ->
     let home = home_of t b in
-    let others = ISet.remove w.requester (sharers_of e.dstate) in
+    let others = ISet.remove requester (sharers_of e.dstate) in
     if ISet.is_empty others then begin
       (* The home owning the master IS exclusive ownership: no directory
          state change, just a writable re-alias of the backing line. *)
-      if w.requester = home then e.dstate <- Home_owned
+      if requester = home then e.dstate <- Home_owned
       else begin
-        e.dstate <- Exclusive w.requester;
+        e.dstate <- Exclusive requester;
         set_home_tag t b Tag.Invalid
       end;
-      reply_data t e w.requester Want_rw ~now
+      reply_data t e requester Want_rw ~now
     end
     else begin
-      let busy = Invalidating { acks_left = ISet.cardinal others; waiter = w } in
-      e.busy <- Some busy;
+      let w = Lcm_util.Pool.acquire t.wpool in
+      w.want <- want;
+      w.requester <- requester;
+      e.busy <- Some (Invalidating { acks_left = ISet.cardinal others; waiter = w });
       let home = home_of t b in
       ISet.iter
         (fun sharer ->
           Stats.Handle.incr t.hs.h_invals;
-          Machine.send t.mach ~src:home ~dst:sharer ~words:ctrl_words
-            ~tag:"inval" ~at:now (fun snode ~now ->
-              sharer_recv_inval t b snode ~now
-                ~ack:(fun ~now ->
-                  Machine.send t.mach ~src:(Machine.id snode) ~dst:home
-                    ~words:ctrl_words ~tag:"inval_ack" ~at:now
-                    (fun _ ~now -> home_recv_inval_ack t b ~now))))
+          Machine.send_call t.mach ~src:home ~dst:sharer ~words:ctrl_words
+            ~tag:"inval" ~at:now recv_inval_serve_m t b home)
         others
     end
   | (Home_owned | Shared _), Want_lcm ->
@@ -361,19 +384,33 @@ and serve t e w ~now =
        remote requester also registers as a sharer so that the
        post-reconcile invalidation sweep (and any later exclusive grant)
        reaches the restored read-only copy LCM-mcc keeps. *)
-    (if w.requester <> home_of t b then begin
-       e.dstate <- Shared (ISet.add w.requester (sharers_of e.dstate));
+    (if requester <> home_of t b then begin
+       e.dstate <- Shared (ISet.add requester (sharers_of e.dstate));
        set_home_tag t b Tag.Read_only
      end);
-    e.lcm_holders <- ISet.add w.requester e.lcm_holders;
-    reply_data t e w.requester Want_lcm ~now
+    e.lcm_holders <- ISet.add requester e.lcm_holders;
+    reply_data t e requester Want_lcm ~now
 
 and drain t e ~now =
   if e.busy = None && not (Queue.is_empty e.waiting) then begin
     let w = Queue.pop e.waiting in
-    serve t e w ~now;
+    let want = w.want and requester = w.requester in
+    Lcm_util.Pool.release t.wpool w;
+    serve t e ~want ~requester ~now;
     drain t e ~now
   end
+
+(* Static message handlers: preallocated once, delivered through
+   {!Machine.send_call}'s pooled cells, so the recall / serve-invalidate
+   control traffic allocates nothing per message. *)
+and recv_recall_m t onode now b _x = owner_recv_recall t b onode ~now
+
+and recv_inval_serve_m t snode now b home =
+  sharer_do_inval t b snode;
+  Machine.send_call t.mach ~src:(Machine.id snode) ~dst:home ~words:ctrl_words
+    ~tag:"inval_ack" ~at:now recv_inval_ack_serve_m t b 0
+
+and recv_inval_ack_serve_m t _hnode now b _x = home_recv_inval_ack t b ~now
 
 and owner_recv_recall t b onode ~now =
   let home = home_of t b in
@@ -404,7 +441,9 @@ and home_recv_put t b data ~from ~mark ~now =
   (match e.busy with
   | Some (Recalling w) ->
     e.busy <- None;
-    serve t e w ~now;
+    let want = w.want and requester = w.requester in
+    Lcm_util.Pool.release t.wpool w;
+    serve t e ~want ~requester ~now;
     drain t e ~now
   | Some (Invalidating _) | None -> ())
 
@@ -413,7 +452,9 @@ and home_recv_recall_nack t b ~now =
   match e.busy with
   | Some (Recalling w) ->
     e.busy <- None;
-    serve t e w ~now;
+    let want = w.want and requester = w.requester in
+    Lcm_util.Pool.release t.wpool w;
+    serve t e ~want ~requester ~now;
     drain t e ~now
   | Some (Invalidating _) | None -> ()
 
@@ -423,28 +464,28 @@ and home_recv_inval_ack t b ~now =
   | Some (Invalidating i) ->
     i.acks_left <- i.acks_left - 1;
     if i.acks_left = 0 then begin
-      if i.waiter.requester = home_of t b then e.dstate <- Home_owned
+      let requester = i.waiter.requester in
+      Lcm_util.Pool.release t.wpool i.waiter;
+      if requester = home_of t b then e.dstate <- Home_owned
       else begin
-        e.dstate <- Exclusive i.waiter.requester;
+        e.dstate <- Exclusive requester;
         set_home_tag t b Tag.Invalid
       end;
-      reply_data t e i.waiter.requester Want_rw ~now;
+      reply_data t e requester Want_rw ~now;
       e.busy <- None;
       drain t e ~now
     end
   | Some (Recalling _) | None -> ()
 
-and sharer_recv_inval t b snode ~now ~ack =
+and sharer_do_inval t b snode =
   let nid = Machine.id snode in
   if Hashtbl.mem t.stale_pins.(nid) b then
     Stats.Handle.incr t.hs.h_survived_invals
-  else begin
+  else
     match Machine.find_line snode b with
     | Some line when not line.Lcm_tempest.Machine.is_home_line ->
       Machine.drop_line snode b
     | Some _ | None -> ()
-  end;
-  ack ~now
 
 (* ------------------------------------------------------------------ *)
 (* Faults                                                              *)
@@ -612,6 +653,26 @@ let merge_flush t b data mask ~from ~epoch =
      e.dstate <- Shared (ISet.add from (sharers_of e.dstate)));
   Stats.Handle.incr t.hs.h_flushes_received
 
+(* Sweep-invalidation handlers, shared by the strict-detection and
+   reconcile sweeps: preallocated once and delivered through
+   {!Machine.send_call}'s pooled cells, because the sweep sends one
+   invalidation per (modified block, outstanding copy) — the dominant
+   message class of write-heavy reconciliations. *)
+let recv_sweep_ack_m t _hnode now b _x =
+  (match t.rec_state with
+  | Some r ->
+    let home = home_of t b in
+    r.inval_acks_left <- r.inval_acks_left - 1;
+    r.last_ack_time <- max r.last_ack_time now;
+    r.done_times.(home) <- max r.done_times.(home) now
+  | None -> assert false);
+  try_finish_reconcile t ~now
+
+let recv_inval_sweep_m t snode now b home =
+  sharer_do_inval t b snode;
+  Machine.send_call t.mach ~src:(Machine.id snode) ~dst:home ~words:ctrl_words
+    ~tag:"inval_ack" ~at:now recv_sweep_ack_m t b 0
+
 let rec home_recv_flush t b data mask ~from ~epoch ~now =
   merge_flush t b data mask ~from ~epoch;
   let home = home_of t b in
@@ -655,17 +716,20 @@ and flush_node t node =
         end
         else begin
           Stats.Handle.incr t.hs.h_flush_blocks;
-          let data = Block.copy line.Machine.data in
           let mask = line.Machine.dirty in
           Machine.advance_clock node costs.Lcm_sim.Costs.local_copy;
           let home = home_of t b in
           if home = nid then begin
             (* flushing a locally-homed block is a local memory operation:
-               merge into the pending copy on the spot *)
+               merge into the pending copy on the spot.  The live line is
+               merged in place — [merge_flush] only reads [data], and the
+               local-clean restore below happens after it returns, so the
+               host-side copy a remote flush needs is pure waste here. *)
             Machine.advance_clock node costs.Lcm_sim.Costs.local_copy;
-            merge_flush t b data mask ~from:nid ~epoch
+            merge_flush t b line.Machine.data mask ~from:nid ~epoch
           end
           else begin
+            let data = Block.copy line.Machine.data in
             t.pending_flush_acks.(nid) <- t.pending_flush_acks.(nid) + 1;
             Machine.send t.mach ~src:nid ~dst:home ~words:(data_words t + 1)
               ~tag:"flush" ~at:(Machine.clock node) (fun _ ~now ->
@@ -713,16 +777,8 @@ and start_sweep t ~now =
            (fun target ->
              r.inval_acks_left <- r.inval_acks_left + 1;
              Stats.Handle.incr t.hs.h_strict_invals;
-             Machine.send t.mach ~src:home ~dst:target ~words:ctrl_words
-               ~tag:"inval" ~at:sweep_time (fun snode ~now ->
-                 sharer_recv_inval t b snode ~now ~ack:(fun ~now ->
-                     Machine.send t.mach ~src:(Machine.id snode) ~dst:home
-                       ~words:ctrl_words ~tag:"inval_ack" ~at:now
-                       (fun _ ~now ->
-                         r.inval_acks_left <- r.inval_acks_left - 1;
-                         r.last_ack_time <- max r.last_ack_time now;
-                         r.done_times.(home) <- max r.done_times.(home) now;
-                         try_finish_reconcile t ~now))))
+             Machine.send_call t.mach ~src:home ~dst:target ~words:ctrl_words
+               ~tag:"inval" ~at:sweep_time recv_inval_sweep_m t b home)
            targets;
          if not (ISet.is_empty targets) then begin
            e.dstate <- Home_owned;
@@ -787,10 +843,8 @@ and start_sweep t ~now =
             (fun target ->
               r.inval_acks_left <- r.inval_acks_left + 1;
               Stats.Handle.incr t.hs.h_reconcile_invals;
-              Machine.send t.mach ~src:home ~dst:target ~words:ctrl_words
-                ~tag:"inval" ~at:sweep_time (fun snode ~now ->
-                  sharer_recv_inval t b snode ~now ~ack:(fun ~now ->
-                      ack_from snode ~now)))
+              Machine.send_call t.mach ~src:home ~dst:target ~words:ctrl_words
+                ~tag:"inval" ~at:sweep_time recv_inval_sweep_m t b home)
             targets;
           e.dstate <- Home_owned;
           realias_home_line t b ~tag:Tag.Writable
@@ -903,12 +957,14 @@ let evict t node b line =
         home_recv_put t b (Some data) ~from:nid ~mark:false ~now)
   | Tag.Lcm_modified ->
     if not (Mask.is_empty line.Machine.dirty) then begin
-      let data = Block.copy line.Machine.data in
       let mask = line.Machine.dirty in
       let epoch = Machine.epoch t.mach in
       Stats.Handle.incr t.hs.h_flush_blocks;
-      if home = nid then merge_flush t b data mask ~from:nid ~epoch
+      (* local home: merge the evicted line's data in place (read-only
+         use, and the line is dropped right after) — no copy *)
+      if home = nid then merge_flush t b line.Machine.data mask ~from:nid ~epoch
       else begin
+        let data = Block.copy line.Machine.data in
         t.pending_flush_acks.(nid) <- t.pending_flush_acks.(nid) + 1;
         Machine.send t.mach ~src:nid ~dst:home ~words:(data_words t + 1)
           ~tag:"flush" ~at:(Machine.clock node) (fun _ ~now ->
@@ -1101,8 +1157,27 @@ let install ?(detect = false) ?(strict_detection = false)
       conflicts = [];
       races = [];
       rec_state = None;
+      wpool =
+        Lcm_util.Pool.create
+          ~poison:(fun w ->
+            w.want <- Want_ro;
+            w.requester <- min_int)
+          ~make:(fun () -> { want = Want_ro; requester = min_int })
+          ();
+      h_data_m = (fun _ _ _ _ _ -> assert false);
     }
   in
+  (* The data-grant handler closes over [t] once, here — every grant then
+     rides a pooled message cell carrying only (data, block, want code). *)
+  t.h_data_m <-
+    (fun data rnode now b x ->
+      let tag =
+        match want_of_code x with
+        | Want_ro -> Tag.Read_only
+        | Want_rw -> Tag.Writable
+        | Want_lcm -> Tag.Lcm_modified
+      in
+      recv_data t rnode b data tag ~now);
   Machine.set_handlers mach
     ~read_fault:(fun node ~addr ~retry -> read_fault t node ~addr ~retry)
     ~write_fault:(fun node ~addr ~retry -> write_fault t node ~addr ~retry)

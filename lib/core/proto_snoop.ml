@@ -244,26 +244,37 @@ let do_bus_flush t b ~now =
 (* Fault handling                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Static grant handlers: preallocated once and delivered through
+   {!Bus.transact_call}'s pooled grant cells, so a steady-state snooping
+   transaction allocates nothing host-side.  The rider packs
+   [(nid lsl 40) lor b] — block numbers stay far below 2^40. *)
+let grant_rd_m t now x = do_bus_rd t (x land ((1 lsl 40) - 1)) (x lsr 40) ~now
+let grant_rdx_m t now x = do_bus_rdx t (x land ((1 lsl 40) - 1)) (x lsr 40) ~now
+let grant_upgr_m t now x = do_bus_upgr t (x land ((1 lsl 40) - 1)) (x lsr 40) ~now
+let grant_flush_m t now b = do_bus_flush t b ~now
+
 (* One in-flight transaction per (node, block): later faults pile their
-   retries onto the pending entry and resume with the grant. *)
-let request t node b ~retry ~issue =
+   retries onto the pending entry and resume with the grant.  Returns
+   whether the caller should issue the bus transaction (no transaction
+   for this block is already arbitrating). *)
+let request t node b ~retry =
   let nid = Machine.id node in
   let pending = Hashtbl.find_opt t.pending_retries.(nid) b in
   Hashtbl.replace t.pending_retries.(nid) b
     (retry :: Option.value pending ~default:[]);
   match pending with
-  | Some _ -> () (* a transaction for this block is already arbitrating *)
+  | Some _ -> false (* a transaction for this block is already arbitrating *)
   | None ->
     Stats.Handle.incr
       (if home_of t b = nid then t.hs.h_fetch_local else t.hs.h_fetch_remote);
-    issue ()
+    true
 
 let read_fault t node ~addr ~retry =
   let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
   let nid = Machine.id node in
-  request t node b ~retry ~issue:(fun () ->
-      Bus.transact t.bus ~kind:Bus.Rd ~at:(Machine.clock node)
-        ~words:(data_words t) (fun ~now -> do_bus_rd t b nid ~now))
+  if request t node b ~retry then
+    Bus.transact_call t.bus ~kind:Bus.Rd ~at:(Machine.clock node)
+      ~words:(data_words t) grant_rd_m t ((nid lsl 40) lor b)
 
 let write_fault t node ~addr ~retry =
   let b = Gmem.block_of_addr (Machine.gmem t.mach) addr in
@@ -275,16 +286,16 @@ let write_fault t node ~addr ~retry =
     set_state t b nid Snoop.fill_on_write ();
     Machine.resume node ~now:(Machine.clock node) ~cost:0 retry
   | Snoop.S | Snoop.O ->
-    request t node b ~retry ~issue:(fun () ->
-        Bus.transact t.bus ~kind:Bus.Upgr ~at:(Machine.clock node)
-          ~words:ctrl_words (fun ~now -> do_bus_upgr t b nid ~now))
+    if request t node b ~retry then
+      Bus.transact_call t.bus ~kind:Bus.Upgr ~at:(Machine.clock node)
+        ~words:ctrl_words grant_upgr_m t ((nid lsl 40) lor b)
   | Snoop.M ->
     (* the line is writable; the fault raced a concurrent install *)
     Machine.resume node ~now:(Machine.clock node) ~cost:0 retry
   | Snoop.I | Snoop.E ->
-    request t node b ~retry ~issue:(fun () ->
-        Bus.transact t.bus ~kind:Bus.Rdx ~at:(Machine.clock node)
-          ~words:(data_words t) (fun ~now -> do_bus_rdx t b nid ~now))
+    if request t node b ~retry then
+      Bus.transact_call t.bus ~kind:Bus.Rdx ~at:(Machine.clock node)
+        ~words:(data_words t) grant_rdx_m t ((nid lsl 40) lor b)
 
 (* Capacity eviction: dirty states stage their data in the writeback
    buffer and arbitrate for a FLUSH slot; clean states drop silently. *)
@@ -296,8 +307,8 @@ let evict t node b (line : Machine.line) =
   if Snoop.writeback_on_evict st then begin
     Stats.Handle.incr t.hs.h_writebacks;
     Hashtbl.replace t.wb b (Block.copy line.Machine.data);
-    Bus.transact t.bus ~kind:Bus.Flush ~at:(Machine.clock node)
-      ~words:(data_words t) (fun ~now -> do_bus_flush t b ~now)
+    Bus.transact_call t.bus ~kind:Bus.Flush ~at:(Machine.clock node)
+      ~words:(data_words t) grant_flush_m t b
   end
 
 let note_directive t node name =

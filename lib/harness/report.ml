@@ -5,7 +5,7 @@ module Tablefmt = Lcm_util.Tablefmt
 (* Shared machine-readable serialization                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Every machine-readable artefact the repo writes — lcm_results.csv, the
+(* Every machine-readable artefact the repo writes — out/lcm_results.csv, the
    bench/perf JSON, sweep summaries — goes through these two writers, so
    escaping rules live in exactly one place. *)
 

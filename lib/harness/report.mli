@@ -7,7 +7,7 @@
 
 (** {1 Shared machine-readable serialization}
 
-    Every machine-readable artefact the repo writes ([lcm_results.csv],
+    Every machine-readable artefact the repo writes ([out/lcm_results.csv],
     the bench/perf JSON, fleet sweep summaries) is built from these two
     writers, so escaping lives in one place. *)
 

@@ -4,8 +4,17 @@ module Stats = Lcm_util.Stats
 exception
   Net_unreachable of { src : int; dst : int; tag : string; attempts : int }
 
-(* Sender-side state of one in-flight reliable message. *)
-type rel_pending = { mutable acked : bool; mutable attempt : int }
+(* Sender-side state of one in-flight reliable message.  Pooled: a
+   record is released back to the free list by the final (stale) timer
+   of an acknowledged message.  Ack continuations from duplicate copies
+   can outlive that release, so they guard on [gen]: re-acquisition
+   bumps it, turning a late ack for the old occupant into a no-op
+   instead of a write into the recycled record. *)
+type rel_pending = {
+  mutable acked : bool;
+  mutable attempt : int;
+  mutable gen : int;
+}
 
 type t = {
   engine : Lcm_sim.Engine.t;
@@ -32,9 +41,13 @@ type t = {
          pattern — is a deterministic function of (workload, plan) *)
   rel_next : int array;  (* per channel: next seq to assign *)
   rel_expected : int array;  (* per channel: next seq to deliver *)
-  rel_held : (int * int, int -> unit) Hashtbl.t;
-      (* (channel, seq) -> application continuation, parked until the
-         sequence gap below it is filled *)
+  rel_held : (int, int -> unit) Hashtbl.t;
+      (* channel lsl 40 + seq -> application continuation, parked until
+         the sequence gap below it is filled.  Packed int key: channels
+         are < 2^20 (nnodes^2, nnodes <= 1024) and 2^40 sequence numbers
+         per channel outlast any plausible run, so the pair fits one
+         immediate — no tuple allocation per lookup. *)
+  rel_pool : rel_pending Lcm_util.Pool.t;
   h_drops : Stats.Handle.counter;
   h_dups : Stats.Handle.counter;
   h_retx : Stats.Handle.counter;
@@ -63,6 +76,13 @@ let create ?faults ~engine ~costs ~stats ~topology ~nnodes () =
     rel_next = Array.make (nnodes * nnodes) 0;
     rel_expected = Array.make (nnodes * nnodes) 0;
     rel_held = Hashtbl.create 16;
+    rel_pool =
+      Lcm_util.Pool.create
+        ~poison:(fun st ->
+          st.acked <- false;
+          st.attempt <- min_int)
+        ~make:(fun () -> { acked = false; attempt = 0; gen = 0 })
+        ();
     h_drops = Stats.counter stats "fault.drops";
     h_dups = Stats.counter stats "fault.dups";
     h_retx = Stats.counter stats "fault.retransmits";
@@ -130,33 +150,46 @@ let count t ~words tag =
   | Some tag -> Stats.Handle.incr (tag_counter t tag)
   | None -> ()
 
+(* Preallocated delivery handler for the closure-based entry points: the
+   event payload is the caller's continuation, the first int slot its
+   arrival time.  One closed function serves every message in the run.
+   The generalized [loopback]/[inject] below carry an arbitrary
+   (handler, payload, int) triple instead, so callers with a
+   preallocated handler (see [send_call]) pay no per-message allocation
+   at all; the closure API is [h = deliver_call, p = k, x = 0].
+   Tracing decides per message at send time: a traced send falls back to
+   a closure that re-reads [t.trace] at delivery (it must emit Msg_recv
+   with the message's identity, which the int slots cannot carry). *)
+let deliver_call (k : arrival:int -> unit) arrival _unused = k ~arrival
+
 (* Node-local traffic never touches the interconnect: it pays the fixed
    protocol handoff cost and neither occupies a channel nor suffers
-   faults. *)
-let loopback t ~src ~words ?tag ~at k =
+   faults.  [h p arrival x] runs at delivery. *)
+let loopback t ~src ~words ?tag ~at h p x =
   count t ~words tag;
-  let tag_name = Option.value tag ~default:"-" in
   let lat = t.costs.Lcm_sim.Costs.msg_fixed in
   let arrival = max (at + lat) (Lcm_sim.Engine.now t.engine) in
-  (match t.trace with
-  | Some tr ->
-    Lcm_sim.Trace.emit tr ~time:(arrival - lat)
-      (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst = src; words })
-  | None -> ());
   (* owner hint: a loopback delivery is the sender's own work, so under a
      sharded engine it stays on the sender's shard *)
-  Lcm_sim.Engine.schedule_owned t.engine ~owner:src ~at:arrival (fun () ->
-      (match t.trace with
-      | Some tr ->
-        Lcm_sim.Trace.emit tr ~time:arrival
-          (Lcm_sim.Trace.Msg_recv { tag = tag_name; src; dst = src; words })
-      | None -> ());
-      k ~arrival)
+  match t.trace with
+  | None ->
+    Lcm_sim.Engine.schedule_call t.engine ~owner:src ~at:arrival h p arrival x
+  | Some tr ->
+    let tag_name = Option.value tag ~default:"-" in
+    Lcm_sim.Trace.emit tr ~time:(arrival - lat)
+      (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst = src; words });
+    Lcm_sim.Engine.schedule_owned t.engine ~owner:src ~at:arrival (fun () ->
+        (match t.trace with
+        | Some tr ->
+          Lcm_sim.Trace.emit tr ~time:arrival
+            (Lcm_sim.Trace.Msg_recv { tag = tag_name; src; dst = src; words })
+        | None -> ());
+        h p arrival x)
 
-(* One physical copy onto the wire: latency, channel occupancy, trace. *)
-let inject t ~src ~dst ~words ~tag ~at k =
+(* One physical copy onto the wire: latency, channel occupancy, trace.
+   [h p arrival x] runs at delivery. *)
+let inject t ~src ~dst ~words ~tag ~at h p x =
   count t ~words tag;
-  let tag_name = Option.value tag ~default:"-" in
   let channel = (src * t.nnodes) + dst in
   (* FIFO with bandwidth: the channel stays occupied for the previous
      message's transmission time, so back-to-back messages arrive spaced
@@ -172,25 +205,27 @@ let inject t ~src ~dst ~words ~tag ~at k =
   let stall = arrival - raw_arrival in
   if stall > 0 then
     Stats.Handle.observe t.channel_stall (float_of_int stall);
-  (match t.trace with
-  | Some tr ->
-    (* Stamp the send at the actual injection time: when the channel (or the
-       engine clamp) delays the message, [at] would predate the link being
-       free and the trace would show impossible overlaps. *)
-    Lcm_sim.Trace.emit tr ~time:(arrival - lat)
-      (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst; words })
-  | None -> ());
   Array.unsafe_set t.channel_free channel (arrival + transmission_time t ~words);
   (* owner hint: delivery belongs to the destination node — under a sharded
      engine this is the cross-shard mailbox deposit of the conservative
      scheme when dst lives on another shard *)
-  Lcm_sim.Engine.schedule_owned t.engine ~owner:dst ~at:arrival (fun () ->
-      (match t.trace with
-      | Some tr ->
-        Lcm_sim.Trace.emit tr ~time:arrival
-          (Lcm_sim.Trace.Msg_recv { tag = tag_name; src; dst; words })
-      | None -> ());
-      k ~arrival)
+  match t.trace with
+  | None ->
+    Lcm_sim.Engine.schedule_call t.engine ~owner:dst ~at:arrival h p arrival x
+  | Some tr ->
+    let tag_name = Option.value tag ~default:"-" in
+    (* Stamp the send at the actual injection time: when the channel (or the
+       engine clamp) delays the message, [at] would predate the link being
+       free and the trace would show impossible overlaps. *)
+    Lcm_sim.Trace.emit tr ~time:(arrival - lat)
+      (Lcm_sim.Trace.Msg_send { tag = tag_name; src; dst; words });
+    Lcm_sim.Engine.schedule_owned t.engine ~owner:dst ~at:arrival (fun () ->
+        (match t.trace with
+        | Some tr ->
+          Lcm_sim.Trace.emit tr ~time:arrival
+            (Lcm_sim.Trace.Msg_recv { tag = tag_name; src; dst; words })
+        | None -> ());
+        h p arrival x)
 
 (* The lossy layer: decide each copy's fate from the plan's RNG stream,
    then inject the survivors.  Dropped copies are lost at injection — they
@@ -199,42 +234,60 @@ let inject t ~src ~dst ~words ~tag ~at k =
    many ghosts preceded it).  Channel occupancy is monotone, so even
    jittered copies keep per-channel FIFO; only drops + retransmission can
    reorder, which the reliable layer's sequence numbers absorb. *)
+let drop_copy t ~src ~dst ~words ~tag ~t_decide =
+  Stats.Handle.incr t.h_drops;
+  match t.trace with
+  | Some tr ->
+    Lcm_sim.Trace.emit tr ~time:t_decide
+      (Lcm_sim.Trace.Msg_drop
+         { tag = Option.value tag ~default:"-"; src; dst; words })
+  | None -> ()
+
 let faulty_send t (plan : Faults.t) ~src ~dst ~words ~tag ~at k =
-  let tag_name = Option.value tag ~default:"-" in
+  (* Straight-line per-copy decisions; the RNG draw order (drop1, dup,
+     drop2, jit1, jit2) is part of the replay contract — fault patterns
+     are a deterministic function of (workload, plan) and the stress
+     fingerprints pin them. *)
   let t_decide = max at (Lcm_sim.Engine.now t.engine) in
   let down = Faults.link_down plan ~src ~dst ~at:t_decide in
   let drop1 = plan.drop > 0.0 && Rng.float t.frng 1.0 < plan.drop in
   let dup = plan.dup > 0.0 && Rng.float t.frng 1.0 < plan.dup in
   let drop2 = dup && plan.drop > 0.0 && Rng.float t.frng 1.0 < plan.drop in
-  let jitter () =
-    if plan.jitter > 0 then Rng.int t.frng (plan.jitter + 1) else 0
+  let jit1 = if plan.jitter > 0 then Rng.int t.frng (plan.jitter + 1) else 0 in
+  let jit2 =
+    if dup && plan.jitter > 0 then Rng.int t.frng (plan.jitter + 1) else 0
   in
-  let jit1 = jitter () in
-  let jit2 = if dup then jitter () else 0 in
-  let copy ~dropped ~jit =
-    if dropped || down then begin
-      Stats.Handle.incr t.h_drops;
-      match t.trace with
-      | Some tr ->
-        Lcm_sim.Trace.emit tr ~time:t_decide
-          (Lcm_sim.Trace.Msg_drop { tag = tag_name; src; dst; words })
-      | None -> ()
-    end
-    else inject t ~src ~dst ~words ~tag ~at:(at + jit) k
-  in
-  copy ~dropped:drop1 ~jit:jit1;
+  if drop1 || down then drop_copy t ~src ~dst ~words ~tag ~t_decide
+  else inject t ~src ~dst ~words ~tag ~at:(at + jit1) deliver_call k 0;
   if dup then begin
     Stats.Handle.incr t.h_dups;
-    copy ~dropped:drop2 ~jit:jit2
+    if drop2 || down then drop_copy t ~src ~dst ~words ~tag ~t_decide
+    else inject t ~src ~dst ~words ~tag ~at:(at + jit2) deliver_call k 0
   end
 
 let send t ~src ~dst ~words ?tag ~at k =
   validate t ~src ~dst ~words ~at;
-  if src = dst then loopback t ~src ~words ?tag ~at k
+  if src = dst then loopback t ~src ~words ?tag ~at deliver_call k 0
   else (
     match t.faults with
-    | None -> inject t ~src ~dst ~words ~tag ~at k
+    | None -> inject t ~src ~dst ~words ~tag ~at deliver_call k 0
     | Some plan -> faulty_send t plan ~src ~dst ~words ~tag ~at k)
+
+(* Allocation-free variant: the caller supplies a preallocated handler
+   plus a payload and an int rider, which travel in the pooled engine
+   event ([h p arrival x] runs at delivery).  Faulty links fall back to
+   a closure — a message can then have several in-flight copies, and
+   correctness matters more than allocation on the stress
+   configurations. *)
+let send_call t ~src ~dst ~words ?tag ~at h p x =
+  validate t ~src ~dst ~words ~at;
+  if src = dst then loopback t ~src ~words ?tag ~at h p x
+  else (
+    match t.faults with
+    | None -> inject t ~src ~dst ~words ~tag ~at h p x
+    | Some plan ->
+      faulty_send t plan ~src ~dst ~words ~tag ~at (fun ~arrival ->
+          h p arrival x))
 
 (* Reliable transport: sequence-numbered envelopes per channel, an ack per
    received copy (itself lossy), receiver-side dedup + in-order release,
@@ -243,11 +296,11 @@ let send t ~src ~dst ~words ?tag ~at k =
    overhead on the reliable-substrate configuration the paper assumes. *)
 let send_reliable t ~src ~dst ~words ?tag ~at k =
   validate t ~src ~dst ~words ~at;
-  if src = dst then loopback t ~src ~words ?tag ~at k
+  if src = dst then loopback t ~src ~words ?tag ~at deliver_call k 0
   else
     let tag_name = Option.value tag ~default:"-" in
     match t.faults with
-    | None -> inject t ~src ~dst ~words ~tag ~at k
+    | None -> inject t ~src ~dst ~words ~tag ~at deliver_call k 0
     | Some plan when not plan.retransmit ->
       (* diagnostic mode: lose messages for good; the engine watchdog (or a
          drained queue with suspended fibers) reports the stall *)
@@ -256,7 +309,11 @@ let send_reliable t ~src ~dst ~words ?tag ~at k =
       let chan = (src * t.nnodes) + dst in
       let seq = t.rel_next.(chan) in
       t.rel_next.(chan) <- seq + 1;
-      let st = { acked = false; attempt = 0 } in
+      let st = Lcm_util.Pool.acquire t.rel_pool in
+      st.acked <- false;
+      st.attempt <- 0;
+      st.gen <- st.gen + 1;
+      let gen = st.gen in
       let rto0 =
         match plan.rto with
         | Some r -> r
@@ -274,12 +331,14 @@ let send_reliable t ~src ~dst ~words ?tag ~at k =
            ack was (or may have been) lost. *)
         faulty_send t plan ~src:dst ~dst:src ~words:1 ~tag:(Some "ack")
           ~at:arrival (fun ~arrival:_ ->
-            st.acked <- true;
+            (* the [gen] guard keeps a late duplicate's ack from writing
+               into a recycled record after the stale timer released it *)
+            if st.gen = gen then st.acked <- true;
             (* an ack landing is transport-level progress for the stall
                watchdog even when the payload copy was a suppressed dup *)
             Lcm_sim.Engine.notify_progress t.engine);
         let expected = t.rel_expected.(chan) in
-        if seq < expected || Hashtbl.mem t.rel_held (chan, seq) then
+        if seq < expected || Hashtbl.mem t.rel_held ((chan lsl 40) + seq) then
           Stats.Handle.incr t.h_dup_suppressed
         else if seq = expected then begin
           t.rel_expected.(chan) <- expected + 1;
@@ -287,9 +346,9 @@ let send_reliable t ~src ~dst ~words ?tag ~at k =
           k ~arrival;
           let rec drain () =
             let nxt = t.rel_expected.(chan) in
-            match Hashtbl.find_opt t.rel_held (chan, nxt) with
+            match Hashtbl.find_opt t.rel_held ((chan lsl 40) + nxt) with
             | Some run ->
-              Hashtbl.remove t.rel_held (chan, nxt);
+              Hashtbl.remove t.rel_held ((chan lsl 40) + nxt);
               t.rel_expected.(chan) <- nxt + 1;
               run arrival;
               drain ()
@@ -297,7 +356,7 @@ let send_reliable t ~src ~dst ~words ?tag ~at k =
           in
           drain ()
         end
-        else Hashtbl.replace t.rel_held (chan, seq) (fun a -> k ~arrival:a)
+        else Hashtbl.replace t.rel_held ((chan lsl 40) + seq) (fun a -> k ~arrival:a)
       in
       let rec transmit ~at =
         st.attempt <- st.attempt + 1;
@@ -318,11 +377,15 @@ let send_reliable t ~src ~dst ~words ?tag ~at k =
         in
         (* owner hint: the retransmission timer lives at the sender *)
         Lcm_sim.Engine.schedule_owned t.engine ~owner:src ~at:t_check (fun () ->
-            if st.acked then
+            if st.acked then begin
               (* A stale timer of a delivered message is evidence the run is
                  advancing; without this, a long-backoff timer outliving the
-                 workload could trip the watchdog during the final drain. *)
-              Lcm_sim.Engine.notify_progress t.engine
+                 workload could trip the watchdog during the final drain.
+                 Exactly one timer chain exists per message, so this stale
+                 timer is the record's last owner-side reference: recycle. *)
+              Lcm_sim.Engine.notify_progress t.engine;
+              Lcm_util.Pool.release t.rel_pool st
+            end
             else begin
               Stats.Handle.incr t.h_timeouts;
               if st.attempt > plan.max_retries then
@@ -336,3 +399,17 @@ let send_reliable t ~src ~dst ~words ?tag ~at k =
             end)
       in
       transmit ~at
+
+(* [send_call]'s reliable sibling.  Without a fault plan the reliable
+   path IS the plain send, so the preallocated handler rides the pooled
+   engine event directly; with one, the envelope machinery needs a
+   per-message continuation anyway and the closure fallback costs
+   nothing extra in proportion. *)
+let send_reliable_call t ~src ~dst ~words ?tag ~at h p x =
+  match t.faults with
+  | None ->
+    validate t ~src ~dst ~words ~at;
+    if src = dst then loopback t ~src ~words ?tag ~at h p x
+    else inject t ~src ~dst ~words ~tag ~at h p x
+  | Some _ ->
+    send_reliable t ~src ~dst ~words ?tag ~at (fun ~arrival -> h p arrival x)

@@ -59,14 +59,65 @@ let total_events () =
 
 let domain_events () = Atomic.get (Domain.DLS.get domain_total)
 
+(* Typed event representation.  The queue used to hold bare closures —
+   one fresh closure per scheduled event, which made the event loop
+   itself the simulator's biggest minor-heap customer.  An event is now
+   a pooled mutable record dispatched on an int opcode:
+
+     op_thunk  cold fallback: run a caller-supplied closure.  Anything
+               that schedules a closure still works, it just pays the
+               closure allocation it always paid (plus nothing: the
+               record comes from the free list).
+     op_call   hot path: apply a *preallocated* handler to a payload and
+               two int arguments carried in unboxed slots.  The handler
+               and payload are stored as [Obj.t]: [schedule_call] pairs
+               them under one type variable at the call site, so the
+               cast back in [run_event] recombines exactly the pair that
+               was type-checked together — the classic existential
+               encoding, never exposed to callers.
+     op_free   poison state between release and re-acquire; executing a
+               free event is a use-after-release bug and fails loudly.
+
+   Records cycle through a per-engine free list (Lcm_util.Pool), so the
+   steady state allocates nothing per event. *)
+
+type ev = {
+  mutable op : int;
+  mutable fn : unit -> unit;  (* op_thunk *)
+  mutable hnd : Obj.t;  (* op_call handler: 'a -> int -> int -> unit *)
+  mutable pay : Obj.t;  (* op_call payload: the handler's 'a *)
+  mutable i1 : int;
+  mutable i2 : int;
+}
+
+type event = ev
+
+let op_free = 0
+let op_thunk = 1
+let op_call = 2
+let unit_obj = Obj.repr ()
+let dead_fn () = failwith "Engine: event used after release"
+
+let make_ev () =
+  { op = op_free; fn = dead_fn; hnd = unit_obj; pay = unit_obj; i1 = 0; i2 = 0 }
+
+(* Shared inert sentinel: fills dead array slots in PDES window batches. *)
+let null_event = make_ev ()
+
+let poison_ev ev =
+  ev.op <- op_free;
+  ev.fn <- dead_fn;
+  ev.hnd <- unit_obj;
+  ev.pay <- unit_obj
+
 type t = {
-  queue : (unit -> unit) Lcm_util.Heap.t;
+  queue : ev Lcm_util.Heap.t;
+  pool : ev Lcm_util.Pool.t;
   mutable now : int;
   mutable processed : int;
   tally : int Atomic.t;  (* this domain's event cell, snapshotted at create *)
   budget : budget option;  (* ambient cell budget at creation time, if any *)
-  mutable router :
-    (owner:int option -> at:int -> (unit -> unit) -> unit) option;
+  mutable router : (owner:int option -> at:int -> ev -> unit) option;
       (* sharded mode: insertions divert to the PDES coordinator's
          per-shard queues instead of [queue]; [owner] is the simulated
          node the event belongs to when the caller knows it (message
@@ -98,9 +149,10 @@ type t = {
    event count, far above a phase boundary's burst of non-delivery events. *)
 let stall_min_events = 64
 
-let create () =
+let create ?(hint = 1024) () =
   {
-    queue = Lcm_util.Heap.create ();
+    queue = Lcm_util.Heap.create ~hint ();
+    pool = Lcm_util.Pool.create ~poison:poison_ev ~make:make_ev ();
     now = 0;
     processed = 0;
     tally = Domain.DLS.get domain_total;
@@ -115,21 +167,62 @@ let create () =
 
 let now e = e.now
 
-let schedule e ~at f =
+let check_at e at =
   if at < e.now then
     invalid_arg
-      (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at e.now);
+      (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at e.now)
+
+let enqueue e ~owner ~at ev =
   match e.router with
-  | None -> Lcm_util.Heap.add e.queue ~key:at f
-  | Some route -> route ~owner:None ~at f
+  | None -> Lcm_util.Heap.add e.queue ~key:at ev
+  | Some route -> route ~owner ~at ev
+
+let schedule e ~at f =
+  check_at e at;
+  let ev = Lcm_util.Pool.acquire e.pool in
+  ev.op <- op_thunk;
+  ev.fn <- f;
+  enqueue e ~owner:None ~at ev
 
 let schedule_owned e ~owner ~at f =
-  if at < e.now then
-    invalid_arg
-      (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at e.now);
-  match e.router with
-  | None -> Lcm_util.Heap.add e.queue ~key:at f
-  | Some route -> route ~owner:(Some owner) ~at f
+  check_at e at;
+  let ev = Lcm_util.Pool.acquire e.pool in
+  ev.op <- op_thunk;
+  ev.fn <- f;
+  enqueue e ~owner:(Some owner) ~at ev
+
+let schedule_call (type a) e ?owner ~at (h : a -> int -> int -> unit) (p : a)
+    i1 i2 =
+  check_at e at;
+  let ev = Lcm_util.Pool.acquire e.pool in
+  ev.op <- op_call;
+  ev.hnd <- Obj.repr h;
+  ev.pay <- Obj.repr p;
+  ev.i1 <- i1;
+  ev.i2 <- i2;
+  enqueue e ~owner ~at ev
+
+(* Release before run: the record is back on the free list while the
+   body executes, so a body that schedules new events can recycle it
+   immediately, and a body that raises has still consumed its event —
+   exactly the sequential-engine contract, with no Fun.protect closure
+   on the hot path. *)
+let run_event e ev =
+  let op = ev.op in
+  if op = op_thunk then begin
+    let f = ev.fn in
+    poison_ev ev;
+    Lcm_util.Pool.release e.pool ev;
+    f ()
+  end
+  else if op = op_call then begin
+    let h : Obj.t -> int -> int -> unit = Obj.obj ev.hnd in
+    let p = ev.pay and a = ev.i1 and b = ev.i2 in
+    poison_ev ev;
+    Lcm_util.Pool.release e.pool ev;
+    h p a b
+  end
+  else failwith "Engine: released event reached execution (pool misuse)"
 
 let after e ~delay f =
   let delay = max 0 delay in
@@ -203,12 +296,12 @@ let pre_event_checks e =
    the body.  Shared verbatim between the sequential [step] and the PDES
    coordinator's window commit, so Budget_exhausted/Stalled fire at
    identical (event count, clock) points at any shard count. *)
-let commit_event e ~at f =
+let commit_event e ~at ev =
   e.now <- at;
   e.processed <- e.processed + 1;
   e.quiet_events <- e.quiet_events + 1;
   Atomic.incr e.tally;
-  f ()
+  run_event e ev
 
 let step e =
   if e.driver <> None then
@@ -217,8 +310,8 @@ let step e =
   else begin
     pre_event_checks e;
     let t = Lcm_util.Heap.top_key e.queue in
-    let f = Lcm_util.Heap.pop_exn e.queue in
-    commit_event e ~at:t f;
+    let ev = Lcm_util.Heap.pop_exn e.queue in
+    commit_event e ~at:t ev;
     true
   end
 

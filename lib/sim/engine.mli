@@ -40,16 +40,33 @@ val with_budget :
     created {e before} the call are not charged.
     @raise Invalid_argument if [max_events] is negative. *)
 
-val create : unit -> t
+val create : ?hint:int -> unit -> t
 (** A fresh engine with the clock at cycle 0 and no pending events.
-    If an ambient {!with_budget} scope is active on this domain, the
-    engine charges that budget for every event it processes. *)
+    [hint] (default 1024) sizes the event queue's first backing
+    allocation (see {!Lcm_util.Heap.create}).  If an ambient
+    {!with_budget} scope is active on this domain, the engine charges
+    that budget for every event it processes. *)
 
 val now : t -> int
 (** Current simulated time, in cycles. *)
 
 val schedule : t -> at:int -> (unit -> unit) -> unit
-(** [schedule e ~at f] runs [f] when the clock reaches [at].
+(** [schedule e ~at f] runs [f] when the clock reaches [at].  The event
+    record itself is pooled; the closure [f] is the caller's own
+    allocation — hot paths that want to avoid it use {!schedule_call}.
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_call :
+  t -> ?owner:int -> at:int -> ('a -> int -> int -> unit) -> 'a -> int -> int
+  -> unit
+(** [schedule_call e ?owner ~at h p i1 i2] runs [h p i1 i2] when the
+    clock reaches [at] — the allocation-free scheduling path.  [h] is
+    meant to be a {e preallocated} handler (one closure per network /
+    machine, not per event); [p] is its payload and [i1]/[i2] ride in
+    unboxed int slots (an arrival time, a node id).  With a pooled
+    event record carrying all four, nothing is allocated per call.
+    [owner] is the shard-routing hint of {!schedule_owned}.  Ordering,
+    budgets and watchdog semantics are identical to {!schedule}.
     @raise Invalid_argument if [at] is in the past. *)
 
 val schedule_owned : t -> owner:int -> at:int -> (unit -> unit) -> unit
@@ -118,8 +135,17 @@ val run : ?limit:int -> t -> unit
     them around its own dequeue so budgets, watchdogs and tallies behave
     identically at any shard count. *)
 
+type event
+(** A queued event: a pooled record the engine recycles on commit.
+    Opaque outside the engine; {!Pdes} moves them between shard heaps
+    and window batches without looking inside. *)
+
+val null_event : event
+(** An inert sentinel for dead array slots (PDES batch storage).  Never
+    executed; executing it is a loud failure. *)
+
 val set_router :
-  t -> (owner:int option -> at:int -> (unit -> unit) -> unit) option -> unit
+  t -> (owner:int option -> at:int -> event -> unit) option -> unit
 
 val set_driver : t -> (limit:int option -> unit) option -> unit
 
@@ -130,8 +156,11 @@ val pre_event_checks : t -> unit
     {!Budget_exhausted} / a guard exception with the next event still
     queued and nothing charged for it. *)
 
-val commit_event : t -> at:int -> (unit -> unit) -> unit
-(** Advance the clock to [at], account one processed event, run the body. *)
+val commit_event : t -> at:int -> event -> unit
+(** Advance the clock to [at], account one processed event, release the
+    event record back to the pool and run its body.  Release happens
+    before the body runs, so a raising body has still consumed its
+    event. *)
 
 val pending : t -> int
 (** Number of events waiting in the queue. *)

@@ -45,12 +45,12 @@ module Heap = Lcm_util.Heap
 type batch = {
   mutable bkeys : int array;
   mutable bseqs : int array;
-  mutable bvals : (unit -> unit) array;
+  mutable bvals : Engine.event array;
   mutable blen : int;
   mutable bcursor : int;
 }
 
-let nop () = ()
+let nop = Engine.null_event
 
 let batch_create () =
   { bkeys = [||]; bseqs = [||]; bvals = [||]; blen = 0; bcursor = 0 }
@@ -70,7 +70,7 @@ let batch_push b ~key ~seq v =
   b.blen <- b.blen + 1
 
 let batch_reset b =
-  (* Drop committed closure references so a long run does not retain a
+  (* Drop committed event references so a long run does not retain a
      whole window of dead events; stale slots past [blen] are overwritten
      before they are ever read. *)
   for i = 0 to b.blen - 1 do
@@ -112,7 +112,7 @@ type t = {
   nshards : int;
   lookahead : int;
   shard_of : int -> int;
-  heaps : (unit -> unit) Heap.t array;
+  heaps : Engine.event Heap.t array;
   batches : batch array;
   mutable next_seq : int;
   mutable current_shard : int;  (* shard of the committing event; -1 outside *)
@@ -524,7 +524,9 @@ let attach ~engine ~shards ~lookahead ~shard_of () =
       nshards = shards;
       lookahead;
       shard_of;
-      heaps = Array.init shards (fun _ -> Heap.create ());
+      heaps =
+        Array.init shards (fun _ ->
+            Heap.create ~hint:(max 64 (1024 / shards)) ());
       batches = Array.init shards (fun _ -> batch_create ());
       next_seq = 0;
       current_shard = -1;

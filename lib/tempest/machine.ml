@@ -34,6 +34,28 @@ type node = {
          holds the block number cached there (-1 = empty); a mismatch adds
          the hw-miss penalty to the access *)
   mutable node_machine : t option; (* back-pointer, set once at creation *)
+  (* Preallocated effect-handler arms + the scratch slots they read.
+     [Effect.Deep.match_with]'s [effc] must return [Some handler] per
+     perform; building that pair fresh each time made the effect
+     dispatch itself the simulator's biggest allocator.  Instead the
+     effect's payload is parked in a scratch slot and a per-node arm —
+     one [Some closure] for the node's whole lifetime — picks it up.
+     Safe because the arm consumes its scratch synchronously, before any
+     other effect on this domain can perform: the handler runs the arm
+     immediately after [effc] returns it.  Built lazily on first spawn
+     (the arms close over the machine, which outlives node creation). *)
+  mutable sc_addr : int;
+  mutable sc_val : int;
+  mutable sc_rmw : int -> int;
+  mutable sc_units : int;
+  mutable sc_dir : Memeff.dir;
+  mutable arm_load : ((int, unit) Effect.Deep.continuation -> unit) option;
+  mutable arm_store : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  mutable arm_rmw : ((int, unit) Effect.Deep.continuation -> unit) option;
+  mutable arm_work : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  mutable arm_yield : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  mutable arm_directive :
+    ((unit, unit) Effect.Deep.continuation -> unit) option;
 }
 
 and t = {
@@ -65,13 +87,72 @@ and t = {
   mutable on_directive : node -> Memeff.dir -> retry:(unit -> unit) -> unit;
   mutable on_evict : node -> int -> line -> unit;
   mutable on_read_hit : (node -> int -> line -> unit) option;
+  mutable m_yield_h :
+    (unit, unit) Effect.Deep.continuation -> int -> int -> unit;
+      (* preallocated engine-event handler for yield resumption:
+         payload = the fiber's continuation, i1 = resume time, i2 = node
+         id (see Engine.schedule_call); installed right after creation *)
   mutable trace : Trace.t option;
   m_pdes : Lcm_sim.Pdes.t option;
       (* conservative parallel driver, attached when the machine was
          created with (resolved) jobs > 1; None = plain sequential engine *)
+  m_msg_pool : msg_cell Lcm_util.Pool.t;
+      (* free-list of in-flight protocol-message cells (see [send_call]) *)
+}
+
+(* One in-flight [send_call] message: the receive-side handler and its
+   payload (an existential pair, same discipline as
+   [Engine.schedule_call]) plus two integer riders.  Cells come from
+   [m_msg_pool] and are released at delivery, so steady-state protocol
+   traffic allocates no per-message record.  [mc_t] is the machine,
+   untyped only to give the pool's [make] a value before any machine
+   exists. *)
+and msg_cell = {
+  mutable mc_t : Obj.t;  (* the machine (t) *)
+  mutable mc_h : Obj.t;  (* 'a -> node -> int -> int -> int -> unit *)
+  mutable mc_p : Obj.t;  (* the 'a payload *)
+  mutable mc_dst : int;
+  mutable mc_b : int;
+  mutable mc_x : int;
 }
 
 let no_handler _ = failwith "Machine: no protocol handler registered"
+
+(* The node whose fiber code is executing on this domain, for the Memeff
+   fast-path hooks (see [init_arms]): set immediately before every
+   [continue] (and before the initial body in [spawn]), cleared the
+   moment the fiber suspends back into a handler arm or returns.  Fiber
+   code is sequential between a resume and the next suspension, so the
+   slot is never stale while anything that reads it can run.  Stored as
+   [Obj.t] with a private sentinel so reads and writes never allocate an
+   option block. *)
+let no_cur = Obj.repr "Machine.cur_node: none"
+
+let cur_node : Obj.t Domain.DLS.key = Domain.DLS.new_key (fun () -> no_cur)
+
+let[@inline] set_cur (n : node) = Domain.DLS.set cur_node (Obj.repr n)
+
+let[@inline] clear_cur () = Domain.DLS.set cur_node no_cur
+
+let unit_obj = Obj.repr ()
+
+let dead_msg_h _ _ _ _ _ =
+  failwith "Machine: message cell used after release"
+
+let make_msg_cell () =
+  {
+    mc_t = unit_obj;
+    mc_h = Obj.repr dead_msg_h;
+    mc_p = unit_obj;
+    mc_dst = 0;
+    mc_b = 0;
+    mc_x = 0;
+  }
+
+let poison_msg_cell c =
+  c.mc_t <- unit_obj;
+  c.mc_h <- Obj.repr dead_msg_h;
+  c.mc_p <- unit_obj
 
 let la_slots = 64
 let la_mask = la_slots - 1
@@ -133,6 +214,17 @@ let create ?(costs = Lcm_sim.Costs.default)
             | None -> None);
           hw_cache = Option.map (fun n -> Array.make n (-1)) hw_cache_blocks;
           node_machine = None;
+          sc_addr = 0;
+          sc_val = 0;
+          sc_rmw = (fun v -> v);
+          sc_units = 0;
+          sc_dir = Memeff.Flush_copies;
+          arm_load = None;
+          arm_store = None;
+          arm_rmw = None;
+          arm_work = None;
+          arm_yield = None;
+          arm_directive = None;
         })
   in
   let m =
@@ -161,11 +253,23 @@ let create ?(costs = Lcm_sim.Costs.default)
       on_directive = (fun _ _ ~retry:_ -> no_handler ());
       on_evict = (fun _ _ _ -> no_handler ());
       on_read_hit = None;
+      m_yield_h = (fun _ _ _ -> no_handler ());
       trace = None;
       m_pdes = pdes;
+      m_msg_pool =
+        Lcm_util.Pool.create ~poison:poison_msg_cell ~make:make_msg_cell ();
     }
   in
   Array.iter (fun n -> n.node_machine <- Some m) nodes;
+  m.m_yield_h <-
+    (fun k at nid ->
+      let n = m.m_nodes.(nid) in
+      n.node_clock <- max n.node_clock at;
+      (* a fiber picking its compute back up is semantic progress for the
+         stall watchdog — a yield-heavy phase must not read as a livelock *)
+      Lcm_sim.Engine.notify_progress m.m_engine;
+      set_cur n;
+      Effect.Deep.continue k ());
   m
 
 let engine t = t.m_engine
@@ -401,6 +505,39 @@ let send t ~src ~dst ~words ~tag ~at k =
       trace_emit t ~time:start (Trace.Handler { node = dst; finish });
       k dnode ~now:finish)
 
+(* [send]'s allocation-free sibling: the receive handler and payload ride
+   a pooled message cell through the network's pooled engine event, so an
+   untraced fault-free protocol message allocates nothing at all.  The
+   cell is recycled at delivery; exactly-once transport (below) is what
+   makes that sound — a fire-and-forget path would leak cells on drops
+   and double-run them on duplicates. *)
+
+let recv_msg_cell (c : msg_cell) arrival _x =
+  let t : t = Obj.obj c.mc_t in
+  let dnode = t.m_nodes.(c.mc_dst) in
+  let start = max arrival dnode.handler_free in
+  let finish = start + t.m_costs.Lcm_sim.Costs.handler_occupancy in
+  dnode.handler_free <- finish;
+  Stats.Handle.incr t.h_handler_runs;
+  trace_emit t ~time:start (Trace.Handler { node = c.mc_dst; finish });
+  let h : Obj.t -> node -> int -> int -> int -> unit = Obj.obj c.mc_h in
+  let p = c.mc_p and b = c.mc_b and x = c.mc_x in
+  poison_msg_cell c;
+  Lcm_util.Pool.release t.m_msg_pool c;
+  h p dnode finish b x
+
+let send_call (type a) t ~src ~dst ~words ~tag ~at
+    (h : a -> node -> int -> int -> int -> unit) (p : a) b x =
+  let c = Lcm_util.Pool.acquire t.m_msg_pool in
+  c.mc_t <- Obj.repr t;
+  c.mc_h <- Obj.repr h;
+  c.mc_p <- Obj.repr p;
+  c.mc_dst <- dst;
+  c.mc_b <- b;
+  c.mc_x <- x;
+  Lcm_net.Network.send_reliable_call t.m_network ~src ~dst ~words ~tag ~at
+    recv_msg_cell c 0
+
 let resume n ~now ~cost retry =
   (* A fiber coming back to life is semantic progress for the quiescence
      watchdog (no-op unless one is armed). *)
@@ -432,7 +569,25 @@ open Effect.Deep
 
 (* The access path takes the fiber's continuation directly rather than a
    closure wrapping it: one less allocation on every simulated load/store,
-   and [continue] is the only thing the wrapper would have done. *)
+   and [continue] is the only thing the wrapper would have done.
+
+   The hit bodies are shared with the Memeff fast-path hooks below, so a
+   synchronous hit and an effect-dispatched one are side-effect-identical
+   by construction. *)
+
+let[@inline] hit_load t n b off line =
+  touch n b line;
+  hw_access t n b;
+  (match t.on_read_hit with Some f -> f n b line | None -> ());
+  line.data.(off)
+
+let[@inline] hit_store t n b off line v =
+  touch n b line;
+  hw_access t n b;
+  line.data.(off) <- v;
+  match line.tag with
+  | Tag.Lcm_modified -> line.dirty <- Lcm_util.Mask.set line.dirty off
+  | Tag.Invalid | Tag.Read_only | Tag.Writable -> ()
 
 let rec do_load t n addr (k : (int, unit) continuation) =
   let b = Lcm_mem.Gmem.block_of_addr t.m_gmem addr in
@@ -442,10 +597,9 @@ let rec do_load t n addr (k : (int, unit) continuation) =
   in
   match found with
   | Some line when Tag.readable line.tag ->
-    touch n b line;
-    hw_access t n b;
-    (match t.on_read_hit with Some f -> f n b line | None -> ());
-    continue k line.data.(off)
+    let v = hit_load t n b off line in
+    set_cur n;
+    continue k v
   | Some _ | None ->
     Stats.Handle.incr t.h_fault_read;
     trace_emit t ~time:n.node_clock
@@ -461,12 +615,8 @@ let rec do_store t n addr v (k : (unit, unit) continuation) =
   in
   match found with
   | Some line when Tag.writable line.tag ->
-    touch n b line;
-    hw_access t n b;
-    line.data.(off) <- v;
-    (match line.tag with
-    | Tag.Lcm_modified -> line.dirty <- Lcm_util.Mask.set line.dirty off
-    | Tag.Invalid | Tag.Read_only | Tag.Writable -> ());
+    hit_store t n b off line v;
+    set_cur n;
     continue k ()
   | Some _ | None ->
     Stats.Handle.incr t.h_fault_write;
@@ -492,6 +642,7 @@ let rec do_rmw t n addr f (k : (int, unit) continuation) =
     (match line.tag with
     | Tag.Lcm_modified -> line.dirty <- Lcm_util.Mask.set line.dirty off
     | Tag.Invalid | Tag.Read_only | Tag.Writable -> ());
+    set_cur n;
     continue k old
   | Some _ | None ->
     Stats.Handle.incr t.h_fault_write;
@@ -502,55 +653,162 @@ let rec do_rmw t n addr f (k : (int, unit) continuation) =
 
 let active_fibers t = t.m_active_fibers
 
-let spawn t n ?(on_done = fun () -> ()) f =
-  t.m_active_fibers <- t.m_active_fibers + 1;
+(* ------------------------------------------------------------------ *)
+(* Memeff fast-path hooks.                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Installed once, process-wide: the executing node rides domain-local
+   storage and carries its machine, so any number of machines (a fleet
+   of cells, one per worker domain) share these three hooks safely.  A
+   hook completes the access iff the hit path would have resumed the
+   fiber immediately, with the same clock charges, counters, LRU
+   touches and observers — so skipping the perform is unobservable to
+   the simulation.  Anything else (a miss, a tag violation, a foreign
+   effect handler with no installed node) declines and the caller
+   performs the effect exactly as before. *)
+
+let fast_load_hook addr =
+  let o = Domain.DLS.get cur_node in
+  if o == no_cur then Memeff.fast_miss
+  else
+    let n : node = Obj.obj o in
+    match n.node_machine with
+    | None -> Memeff.fast_miss
+    | Some t -> (
+      let b = Lcm_mem.Gmem.block_of_addr t.m_gmem addr in
+      let found =
+        match find_line n b with None -> home_fill t n b | some -> some
+      in
+      match found with
+      | Some line when Tag.readable line.tag ->
+        n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.cpu_op;
+        hit_load t n b (Lcm_mem.Gmem.offset_in_block t.m_gmem addr) line
+      | Some _ | None -> Memeff.fast_miss)
+
+let fast_store_hook addr v =
+  let o = Domain.DLS.get cur_node in
+  if o == no_cur then false
+  else
+    let n : node = Obj.obj o in
+    match n.node_machine with
+    | None -> false
+    | Some t -> (
+      let b = Lcm_mem.Gmem.block_of_addr t.m_gmem addr in
+      let found =
+        match find_line n b with None -> home_fill t n b | some -> some
+      in
+      match found with
+      | Some line when Tag.writable line.tag ->
+        n.node_clock <- n.node_clock + t.m_costs.Lcm_sim.Costs.cpu_op;
+        hit_store t n b (Lcm_mem.Gmem.offset_in_block t.m_gmem addr) line v;
+        true
+      | Some _ | None -> false)
+
+let fast_work_hook units =
+  let o = Domain.DLS.get cur_node in
+  if o == no_cur then false
+  else
+    let n : node = Obj.obj o in
+    match n.node_machine with
+    | None -> false
+    | Some t ->
+      n.node_clock <-
+        n.node_clock + (units * t.m_costs.Lcm_sim.Costs.compute_unit);
+      true
+
+let () =
+  Memeff.fast_load := fast_load_hook;
+  Memeff.fast_store := fast_store_hook;
+  Memeff.fast_work := fast_work_hook
+
+(* Build the node's preallocated effect arms (see the [node] type).  Each
+   arm is one closure + one [Some] block for the node's lifetime; the
+   per-perform payload travels through the scratch slots, which the arm
+   reads before anything else can perform on this domain. *)
+let init_arms t n =
   let cpu_op = t.m_costs.Lcm_sim.Costs.cpu_op in
   let compute_unit = t.m_costs.Lcm_sim.Costs.compute_unit in
+  n.arm_load <-
+    Some
+      (fun k ->
+        clear_cur ();
+        n.node_clock <- n.node_clock + cpu_op;
+        do_load t n n.sc_addr k);
+  n.arm_store <-
+    Some
+      (fun k ->
+        clear_cur ();
+        n.node_clock <- n.node_clock + cpu_op;
+        do_store t n n.sc_addr n.sc_val k);
+  n.arm_rmw <-
+    Some
+      (fun k ->
+        clear_cur ();
+        n.node_clock <- n.node_clock + (2 * cpu_op);
+        do_rmw t n n.sc_addr n.sc_rmw k);
+  n.arm_work <-
+    Some
+      (fun k ->
+        (* only reached when no current node was installed (a foreign
+           frame): the fast hook handles every in-fiber Work *)
+        clear_cur ();
+        n.node_clock <- n.node_clock + (n.sc_units * compute_unit);
+        set_cur n;
+        continue k ());
+  n.arm_yield <-
+    Some
+      (fun k ->
+        clear_cur ();
+        let at = max n.node_clock (Lcm_sim.Engine.now t.m_engine) in
+        (* allocation-free resume: the continuation rides an engine event
+           as the payload, the resume time and node id in the int slots *)
+        Lcm_sim.Engine.schedule_call t.m_engine ~at t.m_yield_h k at
+          n.node_id);
+  n.arm_directive <-
+    Some
+      (fun k ->
+        clear_cur ();
+        t.on_directive n n.sc_dir ~retry:(fun () ->
+            set_cur n;
+            continue k ()))
+
+let spawn t n ?(on_done = fun () -> ()) f =
+  t.m_active_fibers <- t.m_active_fibers + 1;
+  (match n.arm_load with None -> init_arms t n | Some _ -> ());
+  set_cur n;
   match_with f ()
     {
       retc =
         (fun () ->
+          clear_cur ();
           t.m_active_fibers <- t.m_active_fibers - 1;
           on_done ());
-      exnc = raise;
+      exnc =
+        (fun e ->
+          clear_cur ();
+          raise e);
       effc =
         (fun (type c) (eff : c Effect.t) ->
           match eff with
           | Memeff.Load addr ->
-            Some
-              (fun (k : (c, unit) continuation) ->
-                n.node_clock <- n.node_clock + cpu_op;
-                do_load t n addr k)
+            n.sc_addr <- addr;
+            (n.arm_load : ((c, unit) continuation -> unit) option)
           | Memeff.Store (addr, v) ->
-            Some
-              (fun (k : (c, unit) continuation) ->
-                n.node_clock <- n.node_clock + cpu_op;
-                do_store t n addr v k)
+            n.sc_addr <- addr;
+            n.sc_val <- v;
+            (n.arm_store : ((c, unit) continuation -> unit) option)
           | Memeff.Rmw (addr, f) ->
-            Some
-              (fun (k : (c, unit) continuation) ->
-                n.node_clock <- n.node_clock + (2 * cpu_op);
-                do_rmw t n addr f k)
+            n.sc_addr <- addr;
+            n.sc_rmw <- f;
+            (n.arm_rmw : ((c, unit) continuation -> unit) option)
           | Memeff.Work units ->
-            Some
-              (fun (k : (c, unit) continuation) ->
-                n.node_clock <- n.node_clock + (units * compute_unit);
-                continue k ())
+            n.sc_units <- units;
+            (n.arm_work : ((c, unit) continuation -> unit) option)
           | Memeff.Yield ->
-            Some
-              (fun (k : (c, unit) continuation) ->
-                let at = max n.node_clock (Lcm_sim.Engine.now t.m_engine) in
-                Lcm_sim.Engine.schedule t.m_engine ~at (fun () ->
-                    n.node_clock <- max n.node_clock at;
-                    (* a fiber picking its compute back up is semantic
-                       progress for the stall watchdog — a yield-heavy
-                       phase must not read as a livelock *)
-                    Lcm_sim.Engine.notify_progress t.m_engine;
-                    continue k ()))
+            (n.arm_yield : ((c, unit) continuation -> unit) option)
           | Memeff.Directive d ->
-            Some
-              (fun (k : (c, unit) continuation) ->
-                t.on_directive n d ~retry:(fun () -> continue k ()))
+            n.sc_dir <- d;
+            (n.arm_directive : ((c, unit) continuation -> unit) option)
           | _ -> None);
     }
 

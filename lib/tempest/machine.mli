@@ -160,6 +160,28 @@ val send :
     runs on the destination's protocol processor; [now] is the time its
     handler occupancy completes, i.e. the timestamp any reply should carry. *)
 
+val send_call :
+  t ->
+  src:int ->
+  dst:int ->
+  words:int ->
+  tag:string ->
+  at:int ->
+  ('a -> node -> int -> int -> int -> unit) ->
+  'a ->
+  int ->
+  int ->
+  unit
+(** [send_call t ~src ~dst ~words ~tag ~at h p b x] is {!send} for hot
+    protocol paths: [h p dnode now b x] runs on the destination's
+    protocol processor, where [now] is the occupancy-completion time of
+    {!send}'s [k].  [h] is meant to be preallocated (per protocol
+    instance, not per message); [p] is its payload and [b]/[x] are
+    integer riders (a block number, a packed request descriptor).  The
+    four travel in a pooled message cell recycled at delivery, so a
+    steady-state message allocates nothing.  Timing, statistics, tracing
+    and exactly-once transport are identical to {!send}. *)
+
 val resume : node -> now:int -> cost:int -> (unit -> unit) -> unit
 (** [resume n ~now ~cost retry] returns control to a suspended fiber: sets
     the node clock to [max clock now + cost] and runs [retry]. *)

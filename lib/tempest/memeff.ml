@@ -10,13 +10,33 @@ type _ Effect.t +=
   | Yield : unit Effect.t
   | Directive : dir -> unit Effect.t
 
-let load addr = Effect.perform (Load addr)
+(* Fast-path hooks, installed once by the Tempest machine.  A perform
+   allocates (the effect value plus the continuation) even when the
+   handler resumes immediately, which a cache hit always does; the hooks
+   let the machine complete hit accesses synchronously — with side
+   effects identical to the handler's hit path — and fall back to the
+   effect only on a miss.  The defaults always miss, so code running
+   under a foreign handler (or none) behaves exactly as before. *)
 
-let store addr w = Effect.perform (Store (addr, w))
+let fast_miss = min_int
+(* Word values are 32-bit, so a real load can never equal [fast_miss];
+   even if some exotic handler returned it, falling through to [perform]
+   re-reads the same value — the sentinel is safe, merely slower. *)
+
+let fast_load : (int -> int) ref = ref (fun _ -> fast_miss)
+let fast_store : (int -> int -> bool) ref = ref (fun _ _ -> false)
+let fast_work : (int -> bool) ref = ref (fun _ -> false)
+
+let load addr =
+  let v = !fast_load addr in
+  if v = fast_miss then Effect.perform (Load addr) else v
+
+let store addr w =
+  if not (!fast_store addr w) then Effect.perform (Store (addr, w))
 
 let rmw addr f = Effect.perform (Rmw (addr, f))
 
-let work n = Effect.perform (Work n)
+let work n = if not (!fast_work n) then Effect.perform (Work n)
 
 let yield () = Effect.perform Yield
 

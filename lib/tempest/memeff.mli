@@ -49,3 +49,24 @@ val work : int -> unit
 val yield : unit -> unit
 
 val directive : dir -> unit
+
+(** {1 Fast-path hooks}
+
+    Installed once by {!Machine}; not for workload code.  Each hook may
+    complete the access synchronously (with side effects identical to
+    the owning handler's hit path) or decline, in which case the caller
+    performs the effect as usual.  The defaults always decline. *)
+
+val fast_miss : int
+(** Sentinel returned by {!fast_load} to decline.  Distinct from every
+    32-bit word value; a handler that somehow produced it would merely
+    fall through to the (equivalent) effect path. *)
+
+val fast_load : (int -> int) ref
+(** [!fast_load addr] is the word at [addr], or {!fast_miss} to decline. *)
+
+val fast_store : (int -> int -> bool) ref
+(** [!fast_store addr w] returns [true] iff the store completed. *)
+
+val fast_work : (int -> bool) ref
+(** [!fast_work n] returns [true] iff the compute charge completed. *)

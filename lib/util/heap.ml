@@ -9,10 +9,12 @@ type 'a t = {
   mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
+  hint : int;  (* first-allocation capacity; arrays stay [||] until needed *)
 }
 
-let create () =
-  { keys = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
+let create ?(hint = 16) () =
+  if hint < 1 then invalid_arg "Heap.create: hint must be positive";
+  { keys = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0; hint }
 
 let length h = h.size
 
@@ -39,9 +41,9 @@ let swap h i j =
 let grow h value =
   let cap = Array.length h.keys in
   if cap = 0 then begin
-    h.keys <- Array.make 16 0;
-    h.seqs <- Array.make 16 0;
-    h.vals <- Array.make 16 value
+    h.keys <- Array.make h.hint 0;
+    h.seqs <- Array.make h.hint 0;
+    h.vals <- Array.make h.hint value
   end
   else begin
     let new_cap = cap * 2 in

@@ -8,8 +8,14 @@
 type 'a t
 (** A mutable min-heap holding values of type ['a]. *)
 
-val create : unit -> 'a t
-(** [create ()] is a fresh empty heap. *)
+val create : ?hint:int -> unit -> 'a t
+(** [create ?hint ()] is a fresh empty heap.  [hint] (default 16) is the
+    capacity of the first backing allocation — a caller that knows its
+    steady-state occupancy (the engine's event queue, a PDES shard)
+    skips the grow-and-copy ladder from 16 upward.  Arrays are not
+    allocated until the first {!add}, so an over-hinted heap that stays
+    empty costs nothing.  Growth past the hint still doubles.
+    @raise Invalid_argument if [hint] is not positive. *)
 
 val length : 'a t -> int
 (** [length h] is the number of elements currently in [h]. *)

@@ -187,6 +187,41 @@ let test_reliable_without_plan_is_plain_send () =
   Alcotest.(check int) "no acks" 1 (Stats.get stats "net.msgs");
   Alcotest.(check int) "no retransmits" 0 (Stats.get stats "fault.retransmits")
 
+(* Pooled transport records under fault churn: with Pool.debug on, every
+   release poisons the record and rejects double releases, so a transport
+   bug that recycles an in-flight message or rel_pending cell while it is
+   still in use — across drop → retransmit → late-duplicate-ack cycles —
+   fails loudly here instead of corrupting a later message.  Delivery must
+   stay exactly-once through the pooled [send_reliable_call] convention. *)
+let prop_pooled_transport_under_faults =
+  QCheck.Test.make ~name:"pooled transport survives drop/retransmit cycles"
+    ~count:40
+    QCheck.(triple (int_bound 9999) (int_bound 30) (int_bound 30))
+    (fun (seed, drop_pct, dup_pct) ->
+      let saved = !Lcm_util.Pool.debug in
+      Lcm_util.Pool.debug := true;
+      Fun.protect
+        ~finally:(fun () -> Lcm_util.Pool.debug := saved)
+        (fun () ->
+          let plan =
+            Faults.make
+              ~drop:(float_of_int drop_pct /. 100.)
+              ~dup:(float_of_int dup_pct /. 100.)
+              ~jitter:3 ~max_retries:50 ~seed ()
+          in
+          let engine, _stats, net = mk_net ~faults:plan () in
+          let n = 40 in
+          let counts = Array.make n 0 in
+          let deliver (counts : int array) _arrival i =
+            counts.(i) <- counts.(i) + 1
+          in
+          for i = 0 to n - 1 do
+            Network.send_reliable_call net ~src:(i mod 3) ~dst:3 ~words:3
+              ~tag:"w" ~at:(i * 2) deliver counts i
+          done;
+          Engine.run engine;
+          Array.for_all (fun c -> c = 1) counts))
+
 let test_reliable_exactly_once_under_drops () =
   let plan = Faults.make ~drop:0.25 ~dup:0.15 ~jitter:4 ~seed:5 () in
   let engine, stats, net = mk_net ~faults:plan () in
@@ -402,6 +437,7 @@ let () =
           ("unreachable after retry cap", `Quick,
            test_reliable_unreachable_after_retry_cap);
           QCheck_alcotest.to_alcotest prop_reliable_exactly_once;
+          QCheck_alcotest.to_alcotest prop_pooled_transport_under_faults;
         ] );
       ( "full stack",
         [

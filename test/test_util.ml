@@ -443,6 +443,99 @@ let prop_stats_handles_equal_strings =
       && Stats.gauges acc_h = Stats.gauges acc_s)
 
 (* ------------------------------------------------------------------ *)
+(* Heap capacity hints / Pool                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Growth past the [?hint] capacity must preserve pop order across the
+   resize boundary.  The hint is drawn small (1-8) so a few dozen inserts
+   cross several doublings, and keys land on a tiny range so nearly every
+   insertion ties — the drain must still be the stable sort by
+   (key, insertion index), i.e. resizing may not perturb the FIFO stamp
+   order the engine's determinism rests on. *)
+let prop_heap_hint_resize_order =
+  QCheck.Test.make ~name:"heap ?hint growth preserves pop order" ~count:300
+    QCheck.(pair (int_range 1 8) (list (int_bound 3)))
+    (fun (hint, keys) ->
+      let h = Heap.create ~hint () in
+      List.iteri (fun i k -> Heap.add h ~key:k i) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some kv -> drain (kv :: acc)
+        | None -> List.rev acc
+      in
+      drain []
+      = List.stable_sort
+          (fun (k1, _) (k2, _) -> compare (k1 : int) k2)
+          (List.mapi (fun i k -> (k, i)) keys))
+
+(* Pool correctness under random acquire/release interleavings, with
+   debug poisoning on: an acquire must never hand back a record that is
+   still live (physical aliasing), a live record must never carry the
+   poison value (use-after-release would), and the live count must track
+   exactly. *)
+let prop_pool_no_aliasing =
+  QCheck.Test.make ~name:"pool acquire/release never aliases live records"
+    ~count:300
+    QCheck.(list bool)
+    (fun ops ->
+      let saved = !Pool.debug in
+      Pool.debug := true;
+      Fun.protect
+        ~finally:(fun () -> Pool.debug := saved)
+        (fun () ->
+          let p =
+            Pool.create ~poison:(fun r -> r := -1) ~make:(fun () -> ref 0) ()
+          in
+          let live = ref [] in
+          let next = ref 0 in
+          List.iter
+            (fun acquire ->
+              if acquire || !live = [] then begin
+                let r = Pool.acquire p in
+                if List.exists (fun l -> l == r) !live then
+                  QCheck.Test.fail_report "acquired a still-live record";
+                incr next;
+                r := !next;
+                live := r :: !live
+              end
+              else
+                match !live with
+                | r :: rest ->
+                  if !r = -1 then
+                    QCheck.Test.fail_report "live record was poisoned";
+                  Pool.release p r;
+                  live := rest
+                | [] -> ())
+            ops;
+          let vals = List.map (fun r -> !r) !live in
+          List.length (List.sort_uniq compare vals) = List.length vals
+          && Pool.live p = List.length !live))
+
+let test_pool_double_release_detected () =
+  let saved = !Pool.debug in
+  Pool.debug := true;
+  Fun.protect
+    ~finally:(fun () -> Pool.debug := saved)
+    (fun () ->
+      let p = Pool.create ~poison:(fun r -> r := -1) ~make:(fun () -> ref 0) () in
+      let r = Pool.acquire p in
+      Pool.release p r;
+      Alcotest.(check int) "poisoned on release" (-1) !r;
+      Alcotest.check_raises "double release"
+        (Invalid_argument "Pool.release: value is already on the free list")
+        (fun () -> Pool.release p r))
+
+let test_pool_reuse_and_counts () =
+  let p = Pool.create ~make:(fun () -> ref 0) () in
+  let a = Pool.acquire p in
+  Pool.release p a;
+  let b = Pool.acquire p in
+  Alcotest.(check bool) "free-list reuses the record" true (a == b);
+  Alcotest.(check int) "created once" 1 (Pool.created p);
+  Alcotest.(check int) "one live" 1 (Pool.live p);
+  Alcotest.(check int) "free list empty" 0 (Pool.free_count p)
+
+(* ------------------------------------------------------------------ *)
 (* Nodeset                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -627,6 +720,8 @@ let suite =
     ("heap 100 equal keys", `Quick, test_heap_many_duplicate_keys);
     ("heap add_stamped", `Quick, test_heap_add_stamped);
     ("nodeset collapses on shrink", `Quick, test_nodeset_collapses_on_shrink);
+    ("pool double release detected", `Quick, test_pool_double_release_detected);
+    ("pool reuse and counts", `Quick, test_pool_reuse_and_counts);
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [
@@ -634,6 +729,8 @@ let suite =
         prop_heap_fifo_equal_keys;
         prop_heap_stamped_merge;
         prop_heap_clear_then_pop_order;
+        prop_heap_hint_resize_order;
+        prop_pool_no_aliasing;
         prop_mask_roundtrip;
         prop_mask_union_cardinal;
         prop_stats_handles_equal_strings;
