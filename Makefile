@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-paper perfbench allocbench allocbench-smoke doc clean examples trace-smoke stress sweep-smoke fault-smoke policy-matrix pdes-smoke
+.PHONY: all build test bench bench-paper perfbench allocbench allocbench-smoke doc clean examples trace-smoke stress sweep-smoke fault-smoke policy-matrix pdes-smoke check-smoke
 
 all: build
 
@@ -51,6 +51,19 @@ trace-smoke:
 # (directory and snooping-bus families alike).
 stress:
 	dune exec bin/lcm_sim.exe -- stress --cases 100 --seed 1
+
+# Small-scope model checking smoke: exhaustively enumerate the
+# message-delivery / tie-break interleavings of every bounded scenario
+# under every registered policy (DPOR-pruned), checking the ASM
+# consistency spec plus protocol invariants on each schedule, then one
+# fault-composed pass (each copy of the two-writers scenario's messages
+# may be dropped, retransmission must recover).  A bounded version runs
+# as part of `dune runtest` (test_check); counterexample artifacts land
+# in out/.
+check-smoke:
+	dune exec bin/lcm_sim.exe -- check --max-schedules 2000 --out out
+	dune exec bin/lcm_sim.exe -- check --policy lcm-mcc --scenario two-writers \
+	  --fault-budget 1 --out out
 
 # Policy-matrix smoke: for every policy in the registry, a bounded
 # fingerprint determinism check (same seed twice must digest

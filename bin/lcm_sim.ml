@@ -693,6 +693,271 @@ let stress_cmd =
         (const run $ cases_arg $ seed_arg $ policy_arg $ faults_term
        $ jobs_arg))
 
+let check_cmd =
+  let module Check = Lcm_check.Check in
+  let policy_conv =
+    let parse s = Result.map_error (fun e -> `Msg e) (Lcm_core.Policy.of_string s) in
+    Arg.conv
+      (parse, fun ppf (p : Lcm_core.Policy.t) ->
+        Format.pp_print_string ppf p.Lcm_core.Policy.name)
+  in
+  let policy_arg =
+    Arg.(value & opt (some policy_conv) None
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:(Printf.sprintf
+                     "Restrict to one policy (%s); default checks every \
+                      registered policy."
+                     (String.concat ", " Lcm_core.Policy.names)))
+  in
+  let scenario_arg =
+    Arg.(value & opt (some string) None
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:"Restrict to one named bounded scenario (see \
+                   $(b,--list-scenarios)); default explores all of them.")
+  in
+  let list_scenarios_arg =
+    Arg.(value & flag
+         & info [ "list-scenarios" ]
+             ~doc:"List the bounded scenario names and exit.")
+  in
+  let max_schedules_arg =
+    Arg.(value & opt int 20_000
+         & info [ "max-schedules" ] ~docv:"N"
+             ~doc:"Cap on complete interleavings per configuration; hitting \
+                   it reports $(b,capped) instead of $(b,exhausted).")
+  in
+  let random_arg =
+    Arg.(value & opt int 0
+         & info [ "random" ] ~docv:"N"
+             ~doc:"Also explore N seeded random micro-configurations per \
+                   policy (beyond the fixed scenarios).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Stream seed for $(b,--random) micro-configurations.")
+  in
+  let fault_budget_arg =
+    Arg.(value & opt int 0
+         & info [ "fault-budget" ] ~docv:"N"
+             ~doc:"Compose the schedule space with up to N per-copy message \
+                   fault choices (drop; also duplicate with $(b,--dup)).  0 \
+                   checks the reliable network only.")
+  in
+  let dup_arg =
+    Arg.(value & flag
+         & info [ "dup" ]
+             ~doc:"With $(b,--fault-budget), each in-budget copy may also be \
+                   duplicated, not just dropped.")
+  in
+  let no_reduce_arg =
+    Arg.(value & flag
+         & info [ "no-reduce" ]
+             ~doc:"Disable partial-order reduction (sleep sets + \
+                   persistent-set heuristic): enumerate every interleaving.  \
+                   For cross-checking the reduction on tiny configurations.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"SCHED"
+             ~doc:"Replay one schedule (dot-separated choice indices as \
+                   printed in a counterexample, or $(b,-) for the default \
+                   FIFO order) against the selected $(b,--scenario) and \
+                   $(b,--policy) instead of exploring.")
+  in
+  let out_arg =
+    Arg.(value & opt string "out"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for counterexample artifacts (trace JSON + \
+                   report).")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Print the check.* counters per configuration.")
+  in
+  let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+  let write_artifacts ~out (v : Check.violation) =
+    ensure_dir out;
+    let slug =
+      String.map
+        (fun c ->
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' -> c | _ -> '-')
+        (Printf.sprintf "%s-%s" v.Check.v_prog.Stress.policy.Lcm_core.Policy.name
+           v.Check.v_label)
+    in
+    let report_path = Filename.concat out (slug ^ ".counterexample.txt") in
+    let oc = open_out report_path in
+    let ppf = Format.formatter_of_out_channel oc in
+    Format.fprintf ppf "%a@." Check.pp_violation v;
+    Format.fprintf ppf
+      "reproduce: lcm_sim check --policy %s --scenario %s --replay %s%s%s@."
+      v.Check.v_prog.Stress.policy.Lcm_core.Policy.name
+      (let l = v.Check.v_label in
+       match String.index_opt l ':' with
+       | Some i -> String.sub l (i + 1) (String.length l - i - 1)
+       | None -> l)
+      (Check.schedule_to_string v.Check.v_schedule)
+      (if v.Check.v_fault_budget > 0 then
+         Printf.sprintf " --fault-budget %d" v.Check.v_fault_budget
+       else "")
+      (if v.Check.v_dup then " --dup" else "");
+    close_out oc;
+    let verdict, events =
+      Check.replay ~trace:true ~fault_budget:v.Check.v_fault_budget
+        ~dup:v.Check.v_dup ~schedule:v.Check.v_schedule v.Check.v_prog
+    in
+    let trace_path = Filename.concat out (slug ^ ".trace.json") in
+    (match events with
+    | [] -> ()
+    | evs -> Traceview.export_file ~path:trace_path evs);
+    (match verdict with
+    | Check.Fail _ -> ()
+    | Check.Pass ->
+      Printf.eprintf "warning: minimized schedule no longer fails on replay\n");
+    Printf.printf "  artifacts: %s%s\n" report_path
+      (if events = [] then "" else ", " ^ trace_path)
+  in
+  let scenario_label s = "scenario:" ^ s in
+  let run policy scenario list_scenarios max_schedules random seed fault_budget
+      dup no_reduce replay out stats =
+    let policies =
+      match policy with Some p -> [ p ] | None -> Lcm_core.Policy.policies
+    in
+    if list_scenarios then begin
+      List.iter
+        (fun (n, _) -> print_endline n)
+        (Check.scenarios ~policy:(List.hd policies));
+      `Ok ()
+    end
+    else
+      match replay with
+      | Some sched_s -> (
+        match (Check.schedule_of_string sched_s, scenario, policy) with
+        | Error e, _, _ -> `Error (false, e)
+        | Ok _, None, _ | Ok _, _, None ->
+          `Error (false, "--replay needs --scenario and --policy")
+        | Ok schedule, Some sname, Some p -> (
+          match List.assoc_opt sname (Check.scenarios ~policy:p) with
+          | None -> `Error (false, Printf.sprintf "unknown scenario %S" sname)
+          | Some prog -> (
+            let verdict, events =
+              Check.replay ~trace:true ~fault_budget ~dup ~schedule prog
+            in
+            (match events with
+            | [] -> ()
+            | evs ->
+              ensure_dir out;
+              let path =
+                Filename.concat out
+                  (Printf.sprintf "replay-%s-%s.trace.json"
+                     p.Lcm_core.Policy.name sname)
+              in
+              Traceview.export_file ~path evs;
+              Printf.printf "trace: %s\n" path);
+            match verdict with
+            | Check.Pass ->
+              Printf.printf "replay %s on %s/%s: PASS\n"
+                (Check.schedule_to_string schedule) p.Lcm_core.Policy.name
+                sname;
+              `Ok ()
+            | Check.Fail report ->
+              Printf.printf "replay %s on %s/%s: FAIL\n%s\n"
+                (Check.schedule_to_string schedule) p.Lcm_core.Policy.name
+                sname report;
+              `Ok ())))
+      | None ->
+        let known = Check.scenarios ~policy:(List.hd policies) in
+        (match scenario with
+        | Some s when not (List.mem_assoc s known) ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown scenario %S (expected one of: %s)" s
+                (String.concat ", " (List.map fst known)) )
+        | _ ->
+        let violations = ref 0 in
+        let capped = ref 0 in
+        List.iter
+          (fun (p : Lcm_core.Policy.t) ->
+            let reports =
+              Check.check_scenarios ~max_schedules ~fault_budget ~dup
+                ~reduce:(not no_reduce) ~random ~seed ~policy:p ()
+            in
+            let reports =
+              match scenario with
+              | None -> reports
+              | Some s ->
+                List.filter
+                  (fun r -> r.Check.rep_label = scenario_label s)
+                  reports
+            in
+            List.iter
+              (fun (r : Check.report) ->
+                let st = r.Check.rep_stats in
+                (match r.Check.rep_outcome with
+                | Check.Exhausted ->
+                  Printf.printf
+                    "%-14s %-28s exhausted: %d schedules, %d choice points, \
+                     %d+%d pruned\n%!"
+                    p.Lcm_core.Policy.name r.Check.rep_label st.Check.schedules
+                    st.Check.choice_points st.Check.sleep_prunes
+                    st.Check.pset_prunes
+                | Check.Capped ->
+                  incr capped;
+                  Printf.printf
+                    "%-14s %-28s CAPPED at %d schedules (raise \
+                     --max-schedules to exhaust)\n%!"
+                    p.Lcm_core.Policy.name r.Check.rep_label st.Check.schedules
+                | Check.Found v ->
+                  incr violations;
+                  Printf.printf "%-14s %-28s VIOLATION after %d schedules\n%!"
+                    p.Lcm_core.Policy.name r.Check.rep_label st.Check.schedules;
+                  let v = Check.shrink_violation v in
+                  Format.printf "%a@." Check.pp_violation v;
+                  Printf.printf
+                    "  reproduce: lcm_sim check --policy %s --scenario %s \
+                     --replay %s%s%s\n%!"
+                    v.Check.v_prog.Stress.policy.Lcm_core.Policy.name
+                    (let l = v.Check.v_label in
+                     match String.index_opt l ':' with
+                     | Some i ->
+                       String.sub l (i + 1) (String.length l - i - 1)
+                     | None -> l)
+                    (Check.schedule_to_string v.Check.v_schedule)
+                    (if v.Check.v_fault_budget > 0 then
+                       Printf.sprintf " --fault-budget %d"
+                         v.Check.v_fault_budget
+                     else "")
+                    (if v.Check.v_dup then " --dup" else "");
+                  write_artifacts ~out v);
+                if stats then Format.printf "%a@." Check.pp_stats st)
+              reports)
+          policies;
+        if !violations > 0 then
+          `Error (false, Printf.sprintf "%d violation(s) found" !violations)
+        else begin
+          if !capped > 0 then
+            Printf.printf "note: %d configuration(s) capped, not exhausted\n"
+              !capped;
+          `Ok ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Exhaustive small-scope model checking: enumerate every \
+             message-delivery and same-timestamp handler interleaving of \
+             bounded configurations through the engine's choice-point hook, \
+             with sleep-set + persistent-set partial-order reduction, \
+             checking protocol invariants and an abstract-state-machine \
+             consistency spec.  Optionally composes bounded per-copy fault \
+             choices ($(b,--fault-budget)).  Violations are shrunk to a \
+             minimal (configuration, schedule) counterexample that \
+             $(b,--replay) reproduces deterministically.")
+    Term.(
+      ret
+        (const run $ policy_arg $ scenario_arg $ list_scenarios_arg
+       $ max_schedules_arg $ random_arg $ seed_arg $ fault_budget_arg
+       $ dup_arg $ no_reduce_arg $ replay_arg $ out_arg $ stats_arg))
+
 let trace_validate_cmd =
   let file_arg =
     Arg.(required
@@ -735,6 +1000,7 @@ let () =
             synthetic_cmd;
             experiments_cmd;
             stress_cmd;
+            check_cmd;
             trace_validate_cmd;
             info_cmd;
           ]))

@@ -1,0 +1,202 @@
+(* Abstract-state-machine consistency spec for the LCM per-epoch
+   semantics, in the style of Schewe et al.'s concurrent-ASM
+   specification of shared replicated memory: explicit agents, each with
+   a private copy-on-write view, stepped one rule application at a time
+   by an arbitrary (here: round-robin) scheduler, with a merge rule at
+   flush/reconcile.
+
+   This is an independent formulation of the semantics the stress
+   harness's golden model implements — same contract, different
+   operational structure.  The golden model folds over nodes one at a
+   time; the ASM interleaves agents step by step, which makes the
+   schedule-independence claim explicit: for well-formed programs (see
+   Lcm_harness.Stress's preamble — unique writer per non-reduction word
+   per phase, exact integer reduction operators, disjoint per-node word
+   partitions in sequential segments) the observations and the
+   post-segment state do not depend on the agent interleaving, so any
+   one interleaving computes the answer.  The qcheck suite pins this
+   module against Stress.golden word-for-word across seeded programs and
+   all policies; the model checker uses it as the oracle for every
+   explored schedule of the real stack. *)
+
+module Stress = Lcm_harness.Stress
+module Policy = Lcm_core.Policy
+module Reduction = Lcm_core.Reduction
+
+(* One ASM agent: its remaining program, private view and dirty set
+   (parallel phases only), and the observation it records per executed
+   op — [Some v] where the spec predicts the loaded value, [None] where
+   the value is schedule-dependent and unchecked. *)
+type agent = {
+  nid : int;
+  mutable todo : Stress.op list;
+  priv : (int, int) Hashtbl.t;
+  dirty : (int, unit) Hashtbl.t;
+  mutable obs : int option list;  (* reversed *)
+}
+
+let red_of (prog : Stress.prog) w =
+  List.assoc_opt (w / prog.words_per_block) prog.reductions
+
+(* Which agents write each word in this segment — the non-LCM
+   (coherent) predictability rule needs it: a load is only
+   schedule-independent when no *other* agent writes the word. *)
+let writers_of nwords ops =
+  let writers = Array.make nwords [] in
+  Array.iteri
+    (fun nid opl ->
+      List.iter
+        (fun (op : Stress.op) ->
+          match op with
+          | Store (w, _) | Rmw (w, _) | Accum (w, _) ->
+            if not (List.mem nid writers.(w)) then
+              writers.(w) <- nid :: writers.(w)
+          | Load _ | Mark _ | Flush | Work _ | Yield -> ())
+        opl)
+    ops;
+  writers
+
+(* Round-robin small-step driver: fire one rule of each live agent in
+   turn until all programs are exhausted.  The per-op rule is the ASM's
+   transition relation; schedule-independence (for well-formed programs)
+   means any fair scheduler yields the same observations, so this one
+   computes the spec's verdict. *)
+let drive agents step =
+  let live = ref true in
+  while !live do
+    live := false;
+    Array.iter
+      (fun a ->
+        match a.todo with
+        | [] -> ()
+        | op :: rest ->
+          a.todo <- rest;
+          step a op;
+          if a.todo <> [] then live := true)
+      agents
+  done
+
+let agents_of ops =
+  Array.mapi
+    (fun nid opl ->
+      {
+        nid;
+        todo = opl;
+        priv = Hashtbl.create 8;
+        dirty = Hashtbl.create 8;
+        obs = [];
+      })
+    ops
+
+let observations agents = Array.map (fun a -> List.rev a.obs) agents
+
+(* Sequential rule set: ordinary coherent memory.  Each agent owns a
+   disjoint word partition (a well-formedness obligation of generated
+   programs), so reads and writes go straight to the master state and
+   every load is predicted.  Accum outside a parallel phase is outside
+   the generation contract; the golden model records no prediction and
+   leaves the state untouched, and the spec mirrors that exactly. *)
+let run_sequential master ops =
+  let agents = agents_of ops in
+  drive agents (fun a (op : Stress.op) ->
+      match op with
+      | Load w -> a.obs <- Some master.(w) :: a.obs
+      | Store (w, v) ->
+        master.(w) <- v;
+        a.obs <- None :: a.obs
+      | Rmw (w, k) ->
+        master.(w) <- master.(w) + k;
+        a.obs <- None :: a.obs
+      | Accum _ | Mark _ | Flush | Work _ | Yield -> a.obs <- None :: a.obs);
+  observations agents
+
+(* Parallel rule set: the paper's per-epoch semantics.  [master] is the
+   immutable phase-start state; each agent's writes land in its private
+   copy; FLUSH merges the dirty words into [pending] — last-writer for
+   plain words (unique writer by well-formedness), the registered
+   reduction operator against the phase-start clean value for reduction
+   words — and resets the private view.  The implicit flush at the phase
+   end is the reconcile; the caller promotes [pending] to the new
+   master.
+
+   Load predictions follow the checkability rule the harness documents:
+   under LCM every load is predicted (private copy if present, else
+   phase-start) unless capacity is bounded — a mid-phase eviction resets
+   a node's private view at a schedule-dependent point; under a coherent
+   policy only words no other agent writes are predictable. *)
+let run_parallel (prog : Stress.prog) master ops =
+  let nwords = Array.length master in
+  let pending = Array.copy master in
+  let lcm = Policy.is_lcm prog.policy in
+  let writers = writers_of nwords ops in
+  let agents = agents_of ops in
+  let view a w =
+    match Hashtbl.find_opt a.priv w with Some v -> v | None -> master.(w)
+  in
+  let flush a =
+    Hashtbl.iter
+      (fun w () ->
+        let v = view a w in
+        match red_of prog w with
+        | Some rop ->
+          pending.(w) <-
+            rop.Reduction.combine ~clean:master.(w) ~current:pending.(w)
+              ~incoming:v
+        | None -> pending.(w) <- v)
+      a.dirty;
+    Hashtbl.reset a.dirty;
+    (* LCM flush relinquishes the copies (next read refetches the clean
+       phase-start version); coherent flush is only a writeback, so the
+       writer keeps observing its own stores. *)
+    if lcm then Hashtbl.reset a.priv
+  in
+  let predictable a w =
+    if lcm then prog.capacity_blocks = None
+    else List.for_all (fun n -> n = a.nid) writers.(w)
+  in
+  drive agents (fun a (op : Stress.op) ->
+      match op with
+      | Load w ->
+        a.obs <- (if predictable a w then Some (view a w) else None) :: a.obs
+      | Store (w, v) ->
+        Hashtbl.replace a.priv w v;
+        Hashtbl.replace a.dirty w ();
+        a.obs <- None :: a.obs
+      | Rmw (w, k) ->
+        Hashtbl.replace a.priv w (view a w + k);
+        Hashtbl.replace a.dirty w ();
+        a.obs <- None :: a.obs
+      | Accum (w, k) -> (
+        match red_of prog w with
+        | Some rop ->
+          Hashtbl.replace a.priv w (rop.Reduction.apply (view a w) k);
+          Hashtbl.replace a.dirty w ();
+          a.obs <- None :: a.obs
+        | None ->
+          failwith
+            (Printf.sprintf
+               "Spec: accum targets word %d outside every registered \
+                reduction region"
+               w))
+      | Flush ->
+        flush a;
+        a.obs <- None :: a.obs
+      | Mark _ | Work _ | Yield -> a.obs <- None :: a.obs);
+  Array.iter flush agents;
+  (observations agents, pending)
+
+let run (prog : Stress.prog) =
+  let nwords = prog.nblocks * prog.words_per_block in
+  let master = Array.make nwords 0 in
+  List.iter (fun (w, v) -> master.(w) <- v) prog.init;
+  List.map
+    (fun (seg : Stress.segment) ->
+      match seg with
+      | Sequential ops ->
+        let expected = run_sequential master ops in
+        (expected, Array.copy master)
+      | Parallel ops ->
+        let expected, pending = run_parallel prog master ops in
+        Array.blit pending 0 master 0 nwords;
+        (expected, Array.copy master))
+    prog.segments

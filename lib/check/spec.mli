@@ -1,0 +1,29 @@
+(** Abstract-state-machine consistency spec for the paper's per-epoch
+    semantics (§3–§4), in the style of Schewe et al.'s concurrent-ASM
+    specification of shared replicated memory.
+
+    Agents carry private copy-on-write views over an immutable
+    phase-start state; writes land privately; flush (and the implicit
+    flush at reconcile) merges dirty words into the pending next state —
+    last-writer for plain words, the registered reduction operator
+    against the phase-start clean value for reduction words.  Agents are
+    stepped by a round-robin scheduler; for well-formed programs (see
+    {!Lcm_harness.Stress}) the result is scheduler-independent, so one
+    interleaving computes the verdict.
+
+    This module is the model checker's oracle.  It is an {e independent}
+    formulation of the same contract the stress harness's golden model
+    implements — the qcheck suite pins the two against each other
+    word-for-word across seeded programs and every policy, so the spec
+    cannot silently diverge from the oracle it replaces. *)
+
+val run :
+  Lcm_harness.Stress.prog -> (int option list array * int array) list
+(** [run prog] — one entry per segment: per-node expected load values
+    ([None] where the value is schedule-dependent and unchecked: bounded
+    capacity under LCM, multi-writer words under coherent policies) and
+    the expected master state after the segment (post-reconcile for
+    parallel segments).  Output shape and contents match
+    {!Lcm_harness.Stress.golden} exactly.
+    @raise Failure on a program outside the well-formedness contract
+    (e.g. an accum targeting a word outside every reduction region). *)

@@ -157,10 +157,21 @@ let ctrl_words = 2
 let data_words t = wpb t + 2
 
 let get_entry t b =
-  ignore (Machine.master t.mach b);
   match Hashtbl.find t.entries b with
   | e -> e
   | exception Not_found ->
+    (* A directory entry materialises on first touch, but only for a block
+       inside allocated memory: a corrupt block number (a mangled message,
+       an out-of-range probe) must fail naming the block here, not mint a
+       ghost entry and surface as an anonymous Not_found downstream.  An
+       existing entry implies the master copy (and the home backing line)
+       already exist — entries are only created below, after [master] —
+       so the hit path skips both lookups. *)
+    if not (Lcm_mem.Gmem.is_allocated (Machine.gmem t.mach) b) then
+      failwith
+        (Printf.sprintf "Proto_dir.get_entry: block %d is not an allocated \
+                         block" b);
+    ignore (Machine.master t.mach b);
     let e =
       {
         block = b;
@@ -971,6 +982,8 @@ let evict t node b line =
             home_recv_flush t b data mask ~from:nid ~epoch ~now)
       end
     end
+
+let touch_entry t b = ignore (get_entry t b)
 
 let register_reduction t ~base ~nwords op =
   List.iter

@@ -98,6 +98,13 @@ val dump_block : t -> int -> string
     for debugging: home, directory state, LCM holders, pending shadow,
     and every node's cached tag. *)
 
+val touch_entry : t -> int -> unit
+(** Materialise the directory entry for a block, validating the block
+    number: an unallocated block raises a typed [Failure] naming it —
+    the same guard every message handler's entry lookup goes through,
+    so a corrupt block number in a message fails loudly instead of
+    minting a ghost entry.  White-box probe for tests and debugging. *)
+
 val check_invariants : t -> (unit, string list) result
 (** Audit the global protocol state; intended for tests and debugging
     (call when the simulation is quiescent).  Checked invariants:

@@ -185,7 +185,11 @@ let golden_parallel prog master ops =
               | None -> pending.(w) <- v)
             dirty;
           Hashtbl.reset dirty;
-          Hashtbl.reset priv
+          (* Under LCM a flush returns the modified copies to their homes:
+             the next read refetches the clean phase-start version, so the
+             private view resets.  Under a coherent policy a flush is only
+             a writeback — the writer keeps observing its own stores. *)
+          if lcm then Hashtbl.reset priv
         in
         let checkable w =
           if lcm then prog.capacity_blocks = None
@@ -204,11 +208,18 @@ let golden_parallel prog master ops =
                 Hashtbl.replace priv w (view w + k);
                 Hashtbl.replace dirty w ();
                 None
-              | Accum (w, k) ->
-                let rop = Option.get (red_of prog w) in
-                Hashtbl.replace priv w (rop.Reduction.apply (view w) k);
-                Hashtbl.replace dirty w ();
-                None
+              | Accum (w, k) -> (
+                match red_of prog w with
+                | Some rop ->
+                  Hashtbl.replace priv w (rop.Reduction.apply (view w) k);
+                  Hashtbl.replace dirty w ();
+                  None
+                | None ->
+                  failwith
+                    (Printf.sprintf
+                       "Stress: accum targets word %d outside every \
+                        registered reduction region"
+                       w))
               | Flush ->
                 flush ();
                 None
@@ -220,6 +231,27 @@ let golden_parallel prog master ops =
       ops
   in
   (expected, pending)
+
+(* The whole-program view of the model above: fold the segments from the
+   initial state, snapshotting the expected load values and the
+   post-segment master for each.  [run_case] below interleaves the same
+   two functions with real execution; this entry point exists so an
+   independent specification (Lcm_check.Spec) can be pinned against the
+   oracle word-for-word. *)
+let golden prog =
+  let nwords = nwords_of prog in
+  let master = Array.make nwords 0 in
+  List.iter (fun (w, v) -> master.(w) <- v) prog.init;
+  List.map
+    (function
+      | Sequential ops ->
+        let expected = golden_sequential master ops in
+        (expected, Array.copy master)
+      | Parallel ops ->
+        let expected, pending = golden_parallel prog master ops in
+        Array.blit pending 0 master 0 nwords;
+        (expected, Array.copy master))
+    prog.segments
 
 (* ------------------------------------------------------------------ *)
 (* Running a program against the real stack                            *)
@@ -246,9 +278,15 @@ let exec_ops prog base mism si nid ops expected () =
         | Some _ | None -> ())
       | Store (w, v) -> Memeff.store (base + w) v
       | Rmw (w, k) -> ignore (Memeff.rmw (base + w) (fun x -> x + k))
-      | Accum (w, k) ->
-        let rop = Option.get (red_of prog w) in
-        ignore (Memeff.rmw (base + w) (fun x -> rop.Reduction.apply x k))
+      | Accum (w, k) -> (
+        match red_of prog w with
+        | Some rop -> ignore (Memeff.rmw (base + w) (fun x -> rop.Reduction.apply x k))
+        | None ->
+          failwith
+            (Printf.sprintf
+               "Stress: accum targets word %d outside every registered \
+                reduction region"
+               w))
       | Mark w -> Memeff.directive (Memeff.Mark_modification (base + w))
       | Flush -> Memeff.directive Memeff.Flush_copies
       | Work n -> Memeff.work n
@@ -544,6 +582,34 @@ let candidates prog =
   let drop_segment =
     List.init nseg (fun i -> with_segments (remove_nth prog.segments i))
   in
+  (* A reduction region may only be dropped together with every accum that
+     targets it: an accum on a region-less word is a program error (the
+     typed failure in the golden model / executor), and a shrink that
+     introduced one would chase that artifact instead of the original
+     bug — op retention is conditional on the region surviving. *)
+  let drop_reduction =
+    List.map
+      (fun (bi, _) ->
+        let in_region w = w / prog.words_per_block = bi in
+        let strip ops =
+          Array.map
+            (List.filter (function
+              | Accum (w, _) -> not (in_region w)
+              | _ -> true))
+            ops
+        in
+        {
+          prog with
+          reductions = List.remove_assoc bi prog.reductions;
+          segments =
+            List.map
+              (function
+                | Sequential ops -> Sequential (strip ops)
+                | Parallel ops -> Parallel (strip ops))
+              prog.segments;
+        })
+      prog.reductions
+  in
   let map_segment i f =
     with_segments
       (List.mapi (fun j s -> if j = i then f s else s) prog.segments)
@@ -585,23 +651,28 @@ let candidates prog =
                                rebuild s ops')))
                     (List.init (List.length ops.(nid)) Fun.id)))))
   in
-  drop_segment @ clear_node @ drop_op
+  drop_segment @ drop_reduction @ clear_node @ drop_op
 
-let shrink ?(max_runs = 300) ?faults prog =
-  let budget = ref max_runs in
-  let still_fails p =
+let shrink_with ?(max_tries = 300) still_fails prog =
+  let budget = ref max_tries in
+  let check p =
     !budget > 0
     && begin
          decr budget;
-         Result.is_error (run_case ?faults p)
+         still_fails p
        end
   in
   let rec go p =
-    match List.find_opt still_fails (candidates p) with
+    match List.find_opt check (candidates p) with
     | Some p' -> go p'
     | None -> p
   in
   go prog
+
+let shrink ?(max_runs = 300) ?faults prog =
+  shrink_with ~max_tries:max_runs
+    (fun p -> Result.is_error (run_case ?faults p))
+    prog
 
 (* ------------------------------------------------------------------ *)
 (* Drivers                                                             *)

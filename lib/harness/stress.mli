@@ -39,11 +39,47 @@
     per-node op lists, then single ops) to a minimal reproducer and
     prints it together with the generating seed and case number. *)
 
-type prog
+(** One memory operation of a generated program.  Word indices are
+    region-relative (the runner allocates one region and adds the base). *)
+type op =
+  | Load of int
+  | Store of int * int
+  | Rmw of int * int  (** fetch-and-add of the given delta *)
+  | Accum of int * int  (** reduction accumulate with the region's operator *)
+  | Mark of int  (** mark_modification of the word's block *)
+  | Flush
+  | Work of int
+  | Yield
+
+type segment = Sequential of op list array | Parallel of op list array
+(** Per-node op lists; index = node id. *)
+
+type prog = {
+  seed : int;
+  case : int;
+  policy : Lcm_core.Policy.t;
+  nnodes : int;
+  words_per_block : int;
+  nblocks : int;
+  dist : Lcm_mem.Gmem.dist;
+  topology : Lcm_net.Topology.t;
+  barrier : Lcm_core.Barrier.style;
+  capacity_blocks : int option;
+  hw_cache_blocks : int option;
+  reductions : (int * Lcm_core.Reduction.t) list;
+      (** region block index -> operator *)
+  init : (int * int) list;  (** word index -> initial value *)
+  segments : segment list;
+}
 (** A generated program: machine shape (nodes, block size, distribution,
     topology, barrier style, capacity), reduction regions, initial
     values, and a list of sequential/parallel segments of per-node op
-    lists. *)
+    lists.  The record is concrete so the model checker
+    ({!Lcm_check.Check}) can build bounded configurations directly and
+    its spec-agreement tests can construct micro-programs by hand;
+    hand-built programs must respect the well-formedness contract above
+    (unique writer per non-reduction word per phase, marks on writes that
+    may hit a writable copy). *)
 
 val gen : seed:int -> case:int -> ?policy:Lcm_core.Policy.t -> unit -> prog
 (** Deterministically generate case [case] of stream [seed].  [policy]
@@ -62,13 +98,32 @@ val run_case : ?faults:Lcm_net.Faults.t -> prog -> (unit, string) result
     retransmission enabled the final semantic state must be identical to
     the fault-free run. *)
 
+val golden : prog -> (int option list array * int array) list
+(** The golden model's verdict on a whole program, one entry per segment:
+    the expected load values per node ([None] where the value is
+    schedule-dependent and unchecked — see the module preamble) and a
+    snapshot of the master state after the segment (post-reconcile for
+    parallel segments).  This is {e exactly} the oracle {!run_case}
+    checks against; it is exported so {!Lcm_check.Spec} — an independent
+    abstract-state-machine formulation of the same semantics — can be
+    pinned against it word-for-word. *)
+
 val shrink : ?max_runs:int -> ?faults:Lcm_net.Faults.t -> prog -> prog
 (** Greedily minimize a failing program: repeatedly drop segments, then
-    whole per-node op lists, then single ops, keeping each candidate only
-    if it still fails; stops at a fixpoint or after [max_runs] (default
-    300) re-executions.  Individual marks are never dropped alone — that
+    reduction regions (together with every accum targeting them — op
+    retention is conditional on the region surviving, so shrinking never
+    manufactures an accum outside any region), then whole per-node op
+    lists, then single ops, keeping each candidate only if it still
+    fails; stops at a fixpoint or after [max_runs] (default 300)
+    re-executions.  Individual marks are never dropped alone — that
     could turn a well-formed program into one with unmarked parallel
     writes, which the paper's contract does not cover. *)
+
+val shrink_with : ?max_tries:int -> (prog -> bool) -> prog -> prog
+(** {!shrink} with a caller-supplied failure predicate — the model
+    checker minimizes against "re-exploration still finds a violation"
+    rather than a single re-execution.  [max_tries] (default 300) bounds
+    predicate evaluations. *)
 
 val pp_prog : Format.formatter -> prog -> unit
 

@@ -143,6 +143,7 @@ let offset_in_block t a =
 let base_of_block t b = b * t.words_per_block
 
 let allocated_words t = t.next_block * t.words_per_block
+let is_allocated t b = b >= 0 && b < t.next_block
 
 let region_blocks t base ~nwords =
   if nwords <= 0 then []

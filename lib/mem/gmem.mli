@@ -71,6 +71,13 @@ val base_of_block : t -> block -> addr
 val allocated_words : t -> int
 (** Total words allocated so far. *)
 
+val is_allocated : t -> block -> bool
+(** [is_allocated t b] — does [b] name a block inside allocated memory?
+    The predicate behind the typed lookup failures in
+    {!Lcm_tempest.Machine.master} and the directory engine, which turn a
+    corrupt block number into a diagnostic naming the block instead of an
+    anonymous [Not_found]. *)
+
 val region_blocks : t -> addr -> nwords:int -> block list
 (** [region_blocks t base ~nwords] enumerates the blocks overlapping
     [\[base, base+nwords)], in increasing order. *)

@@ -35,6 +35,32 @@ let make ?(drop = 0.0) ?(dup = 0.0) ?(jitter = 0) ?(down = [])
       if w.from_t < 0 || w.until_t < w.from_t then
         invalid_arg "Faults.make: malformed down window")
     down;
+  (* Windows whose channel patterns can match the same (src, dst) pair must
+     be listed in time order and must not overlap: [link_down] scans the
+     list, and a shadowed or out-of-order outage in a hand-written plan is
+     almost always a typo — e.g. a window entirely inside an earlier one
+     silently adds nothing.  Two patterns intersect unless they pin the
+     same field ([w_src] or [w_dst]) to different nodes; a [None] wildcard
+     matches everything. *)
+  let intersects a b =
+    (match (a.w_src, b.w_src) with Some x, Some y -> x = y | _ -> true)
+    && match (a.w_dst, b.w_dst) with Some x, Some y -> x = y | _ -> true
+  in
+  let rec check_order = function
+    | [] -> ()
+    | w :: rest ->
+      List.iter
+        (fun w' ->
+          if intersects w w' && w.until_t > w'.from_t then
+            invalid_arg
+              (Printf.sprintf
+                 "Faults.make: down windows on the same channel must be \
+                  sorted and non-overlapping: [%d,%d) is not before [%d,%d)"
+                 w.from_t w.until_t w'.from_t w'.until_t))
+        rest;
+      check_order rest
+  in
+  check_order down;
   { seed; drop; dup; jitter; down; retransmit; max_retries; rto; stall_limit }
 
 let link_down t ~src ~dst ~at =

@@ -52,9 +52,12 @@ val make :
   unit ->
   t
 (** Defaults: no faults, retransmission on with [max_retries = 12],
-    derived rto, [stall_limit = 1_000_000].
+    derived rto, [stall_limit = 1_000_000].  Down windows whose channel
+    patterns can match the same (src, dst) pair — wildcards intersect
+    everything — must be listed in time order and must not overlap.
     @raise Invalid_argument on out-of-range probabilities, negative
-    jitter/retries, non-positive rto/stall_limit, or a malformed window. *)
+    jitter/retries, non-positive rto/stall_limit, a malformed window, or
+    intersecting windows that are unsorted or overlapping. *)
 
 val link_down : t -> src:int -> dst:int -> at:int -> bool
 (** Is channel [(src, dst)] inside a down window at engine time [at]? *)

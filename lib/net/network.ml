@@ -4,6 +4,8 @@ module Stats = Lcm_util.Stats
 exception
   Net_unreachable of { src : int; dst : int; tag : string; attempts : int }
 
+type fate = Deliver | Drop | Dup
+
 (* Sender-side state of one in-flight reliable message.  Pooled: a
    record is released back to the free list by the final (stale) timer
    of an acknowledged message.  Ack continuations from duplicate copies
@@ -48,6 +50,12 @@ type t = {
          per channel outlast any plausible run, so the pair fits one
          immediate — no tuple allocation per lookup. *)
   rel_pool : rel_pending Lcm_util.Pool.t;
+  mutable fate_of : (src:int -> dst:int -> tag:string option -> fate) option;
+      (* model-checker hook: when installed, every per-copy fault decision
+         is delegated to this chooser instead of the plan's RNG stream —
+         no RNG is drawn, no jitter applied, and down windows are not
+         consulted, so the chooser is the single replayable source of
+         fault truth.  Only consulted on paths a fault plan enables. *)
   h_drops : Stats.Handle.counter;
   h_dups : Stats.Handle.counter;
   h_retx : Stats.Handle.counter;
@@ -89,9 +97,12 @@ let create ?faults ~engine ~costs ~stats ~topology ~nnodes () =
     h_timeouts = Stats.counter stats "fault.timeouts";
     h_dup_suppressed = Stats.counter stats "fault.dup_suppressed";
     retx_backoff = Stats.sample stats "net.retx_backoff_cycles";
+    fate_of = None;
   }
 
 let faults t = t.faults
+
+let set_fault_chooser t c = t.fate_of <- c
 
 let set_trace t trace = t.trace <- trace
 
@@ -244,6 +255,21 @@ let drop_copy t ~src ~dst ~words ~tag ~t_decide =
   | None -> ()
 
 let faulty_send t (plan : Faults.t) ~src ~dst ~words ~tag ~at k =
+  match t.fate_of with
+  | Some choose -> (
+    (* Deterministic fate injection: the chooser fully owns this copy's
+       fate — a Dup injects two identical un-jittered copies (channel
+       occupancy still spaces them), a Drop loses the copy at the
+       sender's interface exactly like an RNG drop. *)
+    let t_decide = max at (Lcm_sim.Engine.now t.engine) in
+    match choose ~src ~dst ~tag with
+    | Deliver -> inject t ~src ~dst ~words ~tag ~at deliver_call k 0
+    | Drop -> drop_copy t ~src ~dst ~words ~tag ~t_decide
+    | Dup ->
+      Stats.Handle.incr t.h_dups;
+      inject t ~src ~dst ~words ~tag ~at deliver_call k 0;
+      inject t ~src ~dst ~words ~tag ~at deliver_call k 0)
+  | None ->
   (* Straight-line per-copy decisions; the RNG draw order (drop1, dup,
      drop2, jit1, jit2) is part of the replay contract — fault patterns
      are a deterministic function of (workload, plan) and the stress

@@ -51,6 +51,25 @@ val create :
 val faults : t -> Faults.t option
 (** The fault plan this network was created with, if any. *)
 
+type fate = Deliver | Drop | Dup
+(** The fate of one physical message copy under {!set_fault_chooser}. *)
+
+val set_fault_chooser :
+  t -> (src:int -> dst:int -> tag:string option -> fate) option -> unit
+(** [set_fault_chooser n (Some choose)] replaces the fault plan's RNG
+    stream with a deterministic per-copy oracle: every copy a fault plan
+    would subject to probabilistic drop/dup/jitter instead asks [choose]
+    for its fate.  No RNG is drawn, no jitter is applied, and down
+    windows are ignored — the chooser is the single source of fault
+    truth, which is what makes a model checker's recorded fault choices
+    replayable.  [Dup] injects two identical copies (channel occupancy
+    still spaces them); [Drop] loses the copy at the sender's interface,
+    counting in ["fault.drops"] exactly like an RNG drop.  The chooser
+    is only consulted on paths a fault plan enables, i.e. the network
+    must still be created with [?faults] (typically a zero-probability
+    plan with retransmission on, so the reliable envelope machinery —
+    acks, dedup, timers — is live and drops are eventually repaired). *)
+
 val set_trace : t -> Lcm_sim.Trace.t option -> unit
 (** Attach (or detach) a trace ring; when set, every send emits
     {!Lcm_sim.Trace.Msg_send} at the {e actual} injection time — the

@@ -88,6 +88,7 @@ type ev = {
   mutable pay : Obj.t;  (* op_call payload: the handler's 'a *)
   mutable i1 : int;
   mutable i2 : int;
+  mutable own : int;  (* ownership hint from the scheduler; -1 = unknown *)
 }
 
 type event = ev
@@ -99,7 +100,15 @@ let unit_obj = Obj.repr ()
 let dead_fn () = failwith "Engine: event used after release"
 
 let make_ev () =
-  { op = op_free; fn = dead_fn; hnd = unit_obj; pay = unit_obj; i1 = 0; i2 = 0 }
+  {
+    op = op_free;
+    fn = dead_fn;
+    hnd = unit_obj;
+    pay = unit_obj;
+    i1 = 0;
+    i2 = 0;
+    own = -1;
+  }
 
 (* Shared inert sentinel: fills dead array slots in PDES window batches. *)
 let null_event = make_ev ()
@@ -139,6 +148,14 @@ type t = {
          compute phase followed by a burst of sends) is not a stall. *)
   mutable last_progress : int;
   mutable quiet_events : int;  (* events executed since last_progress *)
+  mutable chooser : ((int * int) array -> int) option;
+      (* model-checker hook: when several events tie at the minimal
+         timestamp, the hook picks which one commits next.  Candidates
+         are presented as [(stamp, owner)] pairs in FIFO (stamp) order;
+         the hook returns an index.  It is consulted on *every* commit —
+         including sole candidates — so a controller can observe the
+         committed order, not just the branch points.  Mutually
+         exclusive with the PDES sharding hooks below. *)
 }
 
 (* Cycle distance alone cannot tell a livelock from a legitimate silent
@@ -163,6 +180,7 @@ let create ?(hint = 1024) () =
     stall_limit = None;
     last_progress = 0;
     quiet_events = 0;
+    chooser = None;
   }
 
 let now e = e.now
@@ -173,6 +191,7 @@ let check_at e at =
       (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at e.now)
 
 let enqueue e ~owner ~at ev =
+  ev.own <- (match owner with Some o -> o | None -> -1);
   match e.router with
   | None -> Lcm_util.Heap.add e.queue ~key:at ev
   | Some route -> route ~owner ~at ev
@@ -228,9 +247,26 @@ let after e ~delay f =
   let delay = max 0 delay in
   schedule e ~at:(e.now + delay) f
 
-let set_router e r = e.router <- r
-let set_driver e d = e.driver <- d
+let set_router e r =
+  if r <> None && e.chooser <> None then
+    invalid_arg "Engine.set_router: engine has a choice hook installed";
+  e.router <- r
+
+let set_driver e d =
+  if d <> None && e.chooser <> None then
+    invalid_arg "Engine.set_driver: engine has a choice hook installed";
+  e.driver <- d
+
 let set_aux_pending e p = e.aux_pending <- p
+
+let set_choice_hook e hook =
+  (match hook with
+  | Some _ when e.driver <> None || e.router <> None ->
+    invalid_arg
+      "Engine.set_choice_hook: sharded engine (PDES) — choice hooks \
+       require the sequential drain loop"
+  | Some _ | None -> ());
+  e.chooser <- hook
 
 (* Budget enforcement happens before the event is popped, so a raise leaves
    the engine consistent (clock unmoved, event still queued) and fires at a
@@ -303,15 +339,48 @@ let commit_event e ~at ev =
   Atomic.incr e.tally;
   run_event e ev
 
+(* One step under a choice hook: pop every event tied at the minimal
+   timestamp, let the hook pick which commits, and re-insert the rest
+   with their original stamps ([add_stamped]) so the FIFO default order
+   is preserved for later steps.  Stamps are deterministic for a given
+   schedule prefix, which is what makes a recorded choice string
+   replayable.  This path allocates per step — it exists for the model
+   checker, not for benchmarked runs. *)
+let step_choice e choose =
+  pre_event_checks e;
+  let q = e.queue in
+  let t0 = Lcm_util.Heap.top_key q in
+  let ties = ref [] in
+  while (not (Lcm_util.Heap.is_empty q)) && Lcm_util.Heap.top_key q = t0 do
+    let seq = Lcm_util.Heap.top_seq q in
+    let ev = Lcm_util.Heap.pop_exn q in
+    ties := (seq, ev) :: !ties
+  done;
+  let ties = Array.of_list (List.rev !ties) in
+  let cands = Array.map (fun (seq, ev) -> (seq, ev.own)) ties in
+  let k = choose cands in
+  let n = Array.length ties in
+  if k < 0 || k >= n then
+    invalid_arg
+      (Printf.sprintf "Engine: choice hook returned %d with %d candidates" k n);
+  Array.iteri
+    (fun i (seq, ev) ->
+      if i <> k then Lcm_util.Heap.add_stamped q ~key:t0 ~seq ev)
+    ties;
+  commit_event e ~at:t0 (snd ties.(k))
+
 let step e =
   if e.driver <> None then
     invalid_arg "Engine.step: sharded engine — drive it with Engine.run";
   if Lcm_util.Heap.is_empty e.queue then false
   else begin
-    pre_event_checks e;
-    let t = Lcm_util.Heap.top_key e.queue in
-    let ev = Lcm_util.Heap.pop_exn e.queue in
-    commit_event e ~at:t ev;
+    (match e.chooser with
+    | Some choose -> step_choice e choose
+    | None ->
+      pre_event_checks e;
+      let t = Lcm_util.Heap.top_key e.queue in
+      let ev = Lcm_util.Heap.pop_exn e.queue in
+      commit_event e ~at:t ev);
     true
   end
 

@@ -448,6 +448,18 @@ let master t b =
   match Hashtbl.find t.masters b with
   | data -> data
   | exception Not_found ->
+    (* Master copies materialise lazily, but only for real blocks: under
+       snoop policies (no home backing) nothing else validates [b], so a
+       corrupt block number in a message would otherwise mint a ghost
+       master and corrupt the run silently instead of failing here. *)
+    if not (Lcm_mem.Gmem.is_allocated t.m_gmem b) then
+      failwith
+        (Printf.sprintf
+           "Machine.master: block %d is not an allocated block (%d blocks \
+            allocated)"
+           b
+           (Lcm_mem.Gmem.allocated_words t.m_gmem
+           / Lcm_mem.Gmem.words_per_block t.m_gmem));
     let data = Lcm_mem.Block.make ~words:(Lcm_mem.Gmem.words_per_block t.m_gmem) in
     Hashtbl.add t.masters b data;
     (if t.home_backing then begin
@@ -761,9 +773,12 @@ let init_arms t n =
         clear_cur ();
         let at = max n.node_clock (Lcm_sim.Engine.now t.m_engine) in
         (* allocation-free resume: the continuation rides an engine event
-           as the payload, the resume time and node id in the int slots *)
-        Lcm_sim.Engine.schedule_call t.m_engine ~at t.m_yield_h k at
-          n.node_id);
+           as the payload, the resume time and node id in the int slots.
+           The owner hint marks the resume as node-local work — the choice
+           hook's independence heuristic and a sharded engine's routing
+           both use it; neither changes execution order. *)
+        Lcm_sim.Engine.schedule_call t.m_engine ~owner:n.node_id ~at
+          t.m_yield_h k at n.node_id);
   n.arm_directive <-
     Some
       (fun k ->

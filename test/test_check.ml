@@ -1,0 +1,308 @@
+(* Tests for the small-scope model checker (Lcm_check): the engine's
+   choice-point hook, the ASM spec pinned word-for-word against the
+   stress harness's golden model, bounded exhaustive exploration of the
+   fixed scenario suite under every policy (with a fleet wall-clock
+   budget), partial-order-reduction soundness cross-checks, and the
+   violation -> shrink -> replay pipeline. *)
+
+module Check = Lcm_check.Check
+module Spec = Lcm_check.Spec
+module Stress = Lcm_harness.Stress
+module Traceview = Lcm_harness.Traceview
+module Policy = Lcm_core.Policy
+module Engine = Lcm_sim.Engine
+module Fleet = Lcm_fleet.Fleet
+
+(* ------------------------------------------------------------------ *)
+(* Engine choice-point hook                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Three thunks tied at t=10: the hook owns the commit order. *)
+let test_hook_default_is_fifo () =
+  let run hook =
+    let order = ref [] in
+    let e = Engine.create () in
+    List.iter
+      (fun (at, id) -> Engine.schedule e ~at (fun () -> order := id :: !order))
+      [ (10, 'a'); (10, 'b'); (10, 'c'); (20, 'd') ];
+    Engine.set_choice_hook e hook;
+    Engine.run e;
+    List.rev !order
+  in
+  let fifo = run None in
+  let zeros = run (Some (fun _ -> 0)) in
+  Alcotest.(check (list char)) "FIFO order" [ 'a'; 'b'; 'c'; 'd' ] fifo;
+  Alcotest.(check (list char)) "index 0 everywhere = FIFO" fifo zeros
+
+let test_hook_reorders_ties () =
+  let order = ref [] in
+  let e = Engine.create () in
+  List.iter
+    (fun (at, id) -> Engine.schedule e ~at (fun () -> order := id :: !order))
+    [ (10, 'a'); (10, 'b'); (10, 'c'); (20, 'd') ];
+  (* always pick the last candidate: ties commit in reverse FIFO order *)
+  Engine.set_choice_hook e (Some (fun cands -> Array.length cands - 1));
+  Engine.run e;
+  Alcotest.(check (list char))
+    "last-candidate hook reverses the tie" [ 'c'; 'b'; 'a'; 'd' ]
+    (List.rev !order)
+
+let test_hook_sees_all_candidates () =
+  let sizes = ref [] in
+  let e = Engine.create () in
+  List.iter
+    (fun at -> Engine.schedule e ~at (fun () -> ()))
+    [ 10; 10; 10; 20 ];
+  Engine.set_choice_hook e
+    (Some
+       (fun cands ->
+         sizes := Array.length cands :: !sizes;
+         0));
+  Engine.run e;
+  (* 3-way tie, then the two re-inserted, then one, then the singleton *)
+  Alcotest.(check (list int)) "candidate counts" [ 3; 2; 1; 1 ]
+    (List.rev !sizes)
+
+let test_hook_bad_index_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:5 (fun () -> ());
+  Engine.set_choice_hook e (Some (fun _ -> 7));
+  Alcotest.check_raises "out-of-range choice"
+    (Invalid_argument "Engine: choice hook returned 7 with 1 candidates")
+    (fun () -> Engine.run e)
+
+(* ------------------------------------------------------------------ *)
+(* Spec agrees with the stress golden model                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Word-for-word agreement on full-size generated programs, every
+   policy.  Both sides are pure (no simulation), so this runs wide. *)
+let prop_spec_matches_golden =
+  QCheck.Test.make ~name:"Spec.run = Stress.golden (all policies)" ~count:120
+    QCheck.(pair (int_range 0 40) (int_range 0 400))
+    (fun (seed, case) ->
+      List.for_all
+        (fun policy ->
+          let prog = Stress.gen ~seed ~case ~policy () in
+          Spec.run prog = Stress.golden prog)
+        Policy.policies)
+
+(* ... and on the checker's own micro-configurations. *)
+let prop_spec_matches_golden_micro =
+  QCheck.Test.make ~name:"Spec.run = Stress.golden (micro configs)" ~count:150
+    QCheck.(pair (int_range 0 40) (int_range 0 400))
+    (fun (seed, case) ->
+      List.for_all
+        (fun policy ->
+          let prog = Check.gen_micro ~seed ~case ~policy in
+          Spec.run prog = Stress.golden prog)
+        Policy.policies)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded exhaustive exploration                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The full fixed-scenario suite for every registered policy, each
+   policy one fleet cell under a wall-clock budget.  Every configuration
+   must be exhausted (not capped) with no violation. *)
+let test_scenarios_exhaust_all_policies () =
+  let budget = Fleet.Budget.make ~wall_s:120.0 () in
+  let cells =
+    Array.of_list
+      (List.map
+         (fun (p : Policy.t) ->
+           ( p.Policy.name,
+             fun () -> Check.check_scenarios ~max_schedules:2_000 ~policy:p () ))
+         Policy.policies)
+  in
+  let results = Fleet.Pool.run ~jobs:2 ~budget cells in
+  Array.iter
+    (fun (r : _ Fleet.cell_result) ->
+      match r.Fleet.outcome with
+      | Fleet.Done reports ->
+        List.iter
+          (fun (rep : Check.report) ->
+            match rep.Check.rep_outcome with
+            | Check.Exhausted -> ()
+            | Check.Capped ->
+              Alcotest.failf "%s %s: capped, expected exhausted" r.Fleet.label
+                rep.Check.rep_label
+            | Check.Found v ->
+              Alcotest.failf "%s %s: violation:\n%s" r.Fleet.label
+                rep.Check.rep_label v.Check.v_report)
+          reports
+      | Fleet.Failed { exn; _ } ->
+        Alcotest.failf "%s: raised %s" r.Fleet.label exn
+      | Fleet.Timed_out _ ->
+        Alcotest.failf "%s: blew the wall-clock budget" r.Fleet.label)
+    results
+
+(* Fault choices composed in: one droppable copy, retransmission must
+   recover every drop on a scenario with real cross-node traffic. *)
+let test_fault_choices_recovered () =
+  let prog = List.assoc "two-writers" (Check.scenarios ~policy:Policy.lcm_mcc) in
+  match Check.explore ~max_schedules:2_000 ~fault_budget:1 prog with
+  | Check.Exhausted, st ->
+    Alcotest.(check bool) "fault points explored" true (st.Check.fault_points > 0);
+    Alcotest.(check bool) "more than one schedule" true (st.Check.schedules > 1)
+  | Check.Capped, _ -> Alcotest.fail "capped"
+  | Check.Found v, _ -> Alcotest.failf "violation:\n%s" v.Check.v_report
+
+(* ------------------------------------------------------------------ *)
+(* Partial-order reduction soundness                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Reduction prunes branching but must reach the same verdict; on a tiny
+   configuration, cross-check against full enumeration. *)
+let test_por_agrees_with_full_enumeration () =
+  List.iter
+    (fun name ->
+      let prog = List.assoc name (Check.scenarios ~policy:Policy.lcm_mcc) in
+      let reduced, rst = Check.explore ~max_schedules:5_000 ~reduce:true prog in
+      let full, fst_ = Check.explore ~max_schedules:5_000 ~reduce:false prog in
+      (match (reduced, full) with
+      | Check.Exhausted, Check.Exhausted -> ()
+      | _ -> Alcotest.failf "%s: verdicts differ or capped" name);
+      Alcotest.(check bool)
+        (name ^ ": reduction explores no more schedules")
+        true
+        (rst.Check.schedules <= fst_.Check.schedules))
+    [ "two-writers"; "three-nodes" ]
+
+let test_exploration_deterministic () =
+  let prog = List.assoc "three-nodes" (Check.scenarios ~policy:Policy.lcm_mcc) in
+  let _, a = Check.explore ~max_schedules:5_000 prog in
+  let _, b = Check.explore ~max_schedules:5_000 prog in
+  Alcotest.(check (list int))
+    "identical exploration counters"
+    [ a.Check.schedules; a.Check.transitions; a.Check.choice_points;
+      a.Check.branches; a.Check.sleep_prunes; a.Check.pset_prunes ]
+    [ b.Check.schedules; b.Check.transitions; b.Check.choice_points;
+      b.Check.branches; b.Check.sleep_prunes; b.Check.pset_prunes ]
+
+(* ------------------------------------------------------------------ *)
+(* Violation -> shrink -> replay pipeline                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A program that violates the paper's compiler contract — an unmarked
+   parallel store by the block's home node.  The home holds a writable
+   backing line, so the unmarked store writes through to the master
+   mid-phase and a remote reader observes a value the per-epoch spec
+   says is unobservable.  Deterministic under the default schedule,
+   which exercises the whole violation -> shrink -> replay pipeline
+   without needing a live protocol bug. *)
+let bad_prog () : Stress.prog =
+  {
+    seed = 0;
+    case = 0;
+    policy = Policy.lcm_mcc;
+    nnodes = 2;
+    words_per_block = 2;
+    nblocks = 1;
+    dist = Lcm_mem.Gmem.Chunked;
+    topology = Lcm_net.Topology.Crossbar;
+    barrier = Lcm_core.Barrier.Constant;
+    capacity_blocks = None;
+    hw_cache_blocks = None;
+    reductions = [];
+    init = [ (0, 1) ];
+    segments =
+      [
+        Stress.Parallel
+          [|
+            [ Stress.Store (0, 5) ] (* unmarked: contract violation *);
+            [ Stress.Work 200; Stress.Load 0 ];
+          |];
+      ];
+  }
+
+let test_violation_shrinks_and_replays () =
+  match Check.explore ~max_schedules:100 ~label:"bad-prog" (bad_prog ()) with
+  | Check.Exhausted, _ | (Check.Capped, _) ->
+    Alcotest.fail "ill-formed program not flagged"
+  | Check.Found v, _ ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "report is a spec divergence" true
+      (contains v.Check.v_report "spec expects");
+    let v = Check.shrink_violation ~max_explore_schedules:50 ~max_tries:50 v in
+    (* the shrunk program still contains the offending accum and nothing
+       about it is schedule-dependent, so the schedule minimizes away *)
+    Alcotest.(check (list int)) "schedule minimized" [] v.Check.v_schedule;
+    let verdict, _ =
+      Check.replay ~schedule:v.Check.v_schedule v.Check.v_prog
+    in
+    (match verdict with
+    | Check.Fail _ -> ()
+    | Check.Pass -> Alcotest.fail "shrunk counterexample no longer replays");
+    (* counterexample artifacts: a traced replay renders through Traceview *)
+    let _, events = Check.replay ~trace:true ~schedule:[] v.Check.v_prog in
+    if events <> [] then begin
+      if not (Sys.file_exists "out") then Sys.mkdir "out" 0o755;
+      let path = "out/test-check-counterexample.trace.json" in
+      Traceview.export_file ~path events;
+      match Traceview.validate_file path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "exported trace invalid: %s" e
+    end
+
+let test_schedule_strings_roundtrip () =
+  List.iter
+    (fun sched ->
+      match Check.schedule_of_string (Check.schedule_to_string sched) with
+      | Ok s -> Alcotest.(check (list int)) "roundtrip" sched s
+      | Error e -> Alcotest.fail e)
+    [ []; [ 0 ]; [ 0; 2; 1 ]; [ 3; 0; 0; 5 ] ];
+  Alcotest.(check bool) "dash parses as empty" true
+    (Check.schedule_of_string "-" = Ok []);
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Check.schedule_of_string "0.x.1"))
+
+(* Replaying a schedule that asks for more candidates than a choice
+   point offers proves nothing and must be reported, not believed. *)
+let test_stale_schedule_diverges () =
+  let prog = List.assoc "reader-writer" (Check.scenarios ~policy:Policy.lcm_mcc) in
+  let verdict, _ = Check.replay ~schedule:[ 9; 9; 9 ] prog in
+  match verdict with
+  | Check.Fail r ->
+    Alcotest.(check string) "diverged report" "replay diverged: stale schedule" r
+  | Check.Pass ->
+    (* fine too if the run has no choice points at all: indices beyond
+       the recorded points are never consulted *)
+    ()
+
+let () =
+  Alcotest.run "lcm_check"
+    [
+      ( "choice-hook",
+        [
+          ("default is FIFO", `Quick, test_hook_default_is_fifo);
+          ("hook reorders ties", `Quick, test_hook_reorders_ties);
+          ("hook sees every candidate", `Quick, test_hook_sees_all_candidates);
+          ("bad index rejected", `Quick, test_hook_bad_index_rejected);
+        ] );
+      ( "spec",
+        [
+          QCheck_alcotest.to_alcotest prop_spec_matches_golden;
+          QCheck_alcotest.to_alcotest prop_spec_matches_golden_micro;
+        ] );
+      ( "explore",
+        [
+          ("scenario suite exhausts, all policies", `Slow,
+           test_scenarios_exhaust_all_policies);
+          ("fault choices recovered", `Quick, test_fault_choices_recovered);
+          ("POR agrees with full enumeration", `Quick,
+           test_por_agrees_with_full_enumeration);
+          ("exploration deterministic", `Quick, test_exploration_deterministic);
+        ] );
+      ( "counterexample",
+        [
+          ("violation shrinks and replays", `Quick,
+           test_violation_shrinks_and_replays);
+          ("schedule strings roundtrip", `Quick, test_schedule_strings_roundtrip);
+          ("stale schedule diverges", `Quick, test_stale_schedule_diverges);
+        ] );
+    ]

@@ -1482,6 +1482,21 @@ let test_invariants_catch_corruption () =
   Alcotest.(check bool) "corruption detected" true
     (match Proto.check_invariants p with Error _ -> true | Ok () -> false)
 
+let test_entry_rejects_unallocated_block () =
+  (* A directory entry materialises on first touch, but only for a block
+     inside allocated memory: a corrupt block number in a message must
+     fail naming the block, not mint a ghost entry. *)
+  let m =
+    Machine.create ~nnodes:2 ~words_per_block:8
+      ~topology:Lcm_net.Topology.Crossbar ()
+  in
+  let p = Proto_dir.install ~policy:Policy.stache m in
+  let a = Gmem.alloc (Machine.gmem m) ~dist:Gmem.Chunked ~nwords:8 in
+  Proto_dir.touch_entry p (Gmem.block_of_addr (Machine.gmem m) a);
+  Alcotest.check_raises "unallocated block named"
+    (Failure "Proto_dir.get_entry: block 9 is not an allocated block")
+    (fun () -> Proto_dir.touch_entry p 9)
+
 let prop_invariants_random_mixed =
   (* random interleavings of phases, marks, plain ops, reductions — the
      auditor must stay clean and all protocols agree *)
@@ -1900,6 +1915,8 @@ let () =
           ("lcm evictions mid-phase", `Quick, test_lcm_capacity_evictions_during_phase);
           ("clean copies reclaimed", `Quick, test_clean_copies_reclaimed_at_reconcile);
           ("auditor detects corruption", `Quick, test_invariants_catch_corruption);
+          ("entry lookup rejects unallocated block", `Quick,
+           test_entry_rejects_unallocated_block);
           QCheck_alcotest.to_alcotest prop_invariants_random_mixed;
         ] );
       ( "properties",

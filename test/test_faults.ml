@@ -38,6 +38,46 @@ let test_make_validation () =
            ~down:[ { Faults.w_src = None; w_dst = None; from_t = 10; until_t = 5 } ]
            ~seed:1 ()))
 
+let test_down_windows_sorted_non_overlapping () =
+  let w ?src ?dst from_t until_t =
+    { Faults.w_src = src; w_dst = dst; from_t; until_t }
+  in
+  let bad msg windows =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Faults.make ~down:windows ~seed:1 ()))
+  in
+  (* overlapping on the same (wildcard) channel *)
+  bad
+    "Faults.make: down windows on the same channel must be sorted and \
+     non-overlapping: [0,20) is not before [10,30)"
+    [ w 0 20; w 10 30 ];
+  (* out of order: sorted input is part of the contract *)
+  bad
+    "Faults.make: down windows on the same channel must be sorted and \
+     non-overlapping: [50,60) is not before [10,20)"
+    [ w 50 60; w 10 20 ];
+  (* a wildcard channel intersects every concrete one *)
+  bad
+    "Faults.make: down windows on the same channel must be sorted and \
+     non-overlapping: [0,20) is not before [5,8)"
+    [ w 0 20; w ~src:1 ~dst:2 5 8 ];
+  (* disjoint channels may overlap freely *)
+  let ok windows = ignore (Faults.make ~down:windows ~seed:1 ()) in
+  ok [ w ~src:0 0 20; w ~src:1 10 30 ];
+  ok [ w ~src:0 ~dst:1 0 20; w ~src:0 ~dst:2 0 20 ];
+  (* touching windows ([a,b) then [b,c)) are non-overlapping *)
+  ok [ w 0 10; w 10 20 ];
+  (* named profiles keep validating across the rate range *)
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun name ->
+          match Faults.of_profile name ~rate ~seed:3 with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "profile %s at rate %g rejected: %s" name rate e)
+        Faults.profiles)
+    [ 0.0; 0.5; 1.0 ]
+
 let test_profiles_parse () =
   List.iter
     (fun name ->
@@ -415,6 +455,8 @@ let () =
       ( "plans",
         [
           ("make validation", `Quick, test_make_validation);
+          ("down windows sorted/non-overlapping", `Quick,
+           test_down_windows_sorted_non_overlapping);
           ("profiles parse", `Quick, test_profiles_parse);
           ("link-down windows", `Quick, test_link_down_windows);
         ] );

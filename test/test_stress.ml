@@ -30,6 +30,103 @@ let test_shrink_minimizes () =
     (Format.asprintf "%a" Stress.pp_prog a)
     (Format.asprintf "%a" Stress.pp_prog b)
 
+(* A seeded program guaranteed to carry a reduction region with live
+   accums: the regression surface for the shrinker's reduction handling. *)
+let seeded_reduction_prog () : Stress.prog =
+  {
+    seed = 11;
+    case = 0;
+    policy = Policy.lcm_mcc;
+    nnodes = 2;
+    words_per_block = 4;
+    nblocks = 2;
+    dist = Lcm_mem.Gmem.Chunked;
+    topology = Lcm_net.Topology.Crossbar;
+    barrier = Lcm_core.Barrier.Constant;
+    capacity_blocks = None;
+    hw_cache_blocks = None;
+    reductions = [ (0, Lcm_core.Reduction.int_sum) ];
+    init = [ (0, 3); (4, 8) ];
+    segments =
+      [
+        Stress.Parallel
+          [|
+            [ Stress.Mark 0; Stress.Accum (0, 2); Stress.Load 4 ];
+            [ Stress.Mark 0; Stress.Accum (0, 5); Stress.Mark 4;
+              Stress.Store (4, 9) ];
+          |];
+        Stress.Parallel [| [ Stress.Mark 1; Stress.Accum (1, 7) ]; [] |];
+      ];
+  }
+
+let accum_count (prog : Stress.prog) =
+  List.fold_left
+    (fun acc seg ->
+      let ops =
+        match seg with Stress.Sequential o | Stress.Parallel o -> o
+      in
+      Array.fold_left
+        (fun acc opl ->
+          acc
+          + List.length
+              (List.filter
+                 (function Stress.Accum _ -> true | _ -> false)
+                 opl))
+        acc ops)
+    0 prog.Stress.segments
+
+let orphan_accums (prog : Stress.prog) =
+  List.exists
+    (fun seg ->
+      let ops =
+        match seg with Stress.Sequential o | Stress.Parallel o -> o
+      in
+      Array.exists
+        (List.exists (function
+          | Stress.Accum (w, _) ->
+            not
+              (List.mem_assoc
+                 (w / prog.Stress.words_per_block)
+                 prog.Stress.reductions)
+          | _ -> false))
+        ops)
+    prog.Stress.segments
+
+(* Regression: shrinking a reduction program must never evaluate a
+   candidate whose accums outlived their region — the golden model on
+   such a candidate used to die with an anonymous option crash mid-
+   shrink; now regions are dropped together with their accums and an
+   orphan accum is a typed failure naming the word. *)
+let test_shrink_keeps_accums_with_their_region () =
+  let prog = seeded_reduction_prog () in
+  (* every candidate the shrinker proposes must be well-formed: golden
+     evaluates without raising *)
+  let shrunk =
+    Stress.shrink_with
+      (fun p ->
+        ignore (Stress.golden p);
+        Alcotest.(check bool) "no orphan accums in candidate" false
+          (orphan_accums p);
+        accum_count p > 0)
+      prog
+  in
+  (* the predicate pins accums, so the region must survive with them *)
+  Alcotest.(check bool) "accums survive" true (accum_count shrunk > 0);
+  Alcotest.(check bool) "their region survives" true
+    (shrunk.Stress.reductions <> []);
+  (* ... and when the predicate does NOT pin accums, the region shrinks
+     away together with every accum targeting it *)
+  let gone = Stress.shrink_with (fun p -> ignore (Stress.golden p); true) prog in
+  Alcotest.(check bool) "regions dropped" true (gone.Stress.reductions = []);
+  Alcotest.(check int) "accums dropped with them" 0 (accum_count gone)
+
+let test_orphan_accum_is_typed_failure () =
+  let prog = seeded_reduction_prog () in
+  let orphaned = { prog with Stress.reductions = [] } in
+  Alcotest.check_raises "golden names the word"
+    (Failure "Stress: accum targets word 0 outside every registered reduction region")
+    (fun () -> ignore (Stress.golden orphaned))
+
 let () =
   Alcotest.run "lcm_stress"
     [
@@ -43,5 +140,9 @@ let () =
             Alcotest.test_case "mixed policies" `Slow test_mixed;
             Alcotest.test_case "deterministic generation" `Quick
               test_shrink_minimizes;
+            Alcotest.test_case "shrink keeps accums with their region" `Quick
+              test_shrink_keeps_accums_with_their_region;
+            Alcotest.test_case "orphan accum is a typed failure" `Quick
+              test_orphan_accum_is_typed_failure;
           ] );
     ]

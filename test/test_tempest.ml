@@ -73,6 +73,20 @@ let test_local_home_access_hits () =
   let b = Lcm_mem.Gmem.block_of_addr gmem a in
   Alcotest.(check int) "master updated" 42 (Machine.master m b).(0)
 
+let test_master_rejects_unallocated_block () =
+  let m = mk () in
+  let gmem = Machine.gmem m in
+  let a = Lcm_mem.Gmem.alloc gmem ~dist:(Lcm_mem.Gmem.On 0) ~nwords:16 in
+  (* 2 allocated blocks (wpb = 8): a corrupt block number must fail with
+     a typed message naming the block, not mint a ghost master copy. *)
+  ignore (Machine.master m (Lcm_mem.Gmem.block_of_addr gmem a));
+  Alcotest.check_raises "unallocated block named"
+    (Failure "Machine.master: block 7 is not an allocated block (2 blocks allocated)")
+    (fun () -> ignore (Machine.master m 7));
+  Alcotest.check_raises "negative block named"
+    (Failure "Machine.master: block -1 is not an allocated block (2 blocks allocated)")
+    (fun () -> ignore (Machine.master m (-1)))
+
 let test_remote_access_faults_and_suspends () =
   let m = mk () in
   let gmem = Machine.gmem m in
@@ -450,6 +464,8 @@ let () =
           ("fiber completes", `Quick, test_fiber_completes_without_memory);
           ("home access hits", `Quick, test_local_home_access_hits);
           ("remote faults+suspends", `Quick, test_remote_access_faults_and_suspends);
+          ("master rejects unallocated block", `Quick,
+           test_master_rejects_unallocated_block);
           ("second access hits", `Quick, test_second_access_hits);
           ("lcm dirty mask", `Quick, test_store_sets_dirty_mask_on_lcm_line);
           ("plain store untracked", `Quick, test_plain_writable_store_does_not_track_dirty);
